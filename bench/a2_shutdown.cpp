@@ -1,0 +1,95 @@
+// §5.2 extension: lead-time shutdown strategy. Expected cable failures with
+// and without a prioritized power-down plan, across lead times and storm
+// strengths, plus the §5.3 partition view after a severe draw.
+#include <iostream>
+
+#include "core/partition.h"
+#include "core/shutdown.h"
+#include "datasets/submarine.h"
+#include "gic/failure_model.h"
+#include "gic/timeline.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace solarnet;
+
+  const auto net = datasets::make_submarine_network({});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const auto s2 = gic::LatitudeBandFailureModel::s2();
+
+  util::print_banner(std::cout,
+                     "Shutdown strategy: expected failed cables vs lead time "
+                     "(0.5 h per cable shutdown, powered-off factor 0.65)");
+  util::TextTable t({"model", "lead time h", "cables shut down",
+                     "E[failures] no action", "E[failures] with plan",
+                     "E[cables saved]"});
+  for (const gic::RepeaterFailureModel* model :
+       std::initializer_list<const gic::RepeaterFailureModel*>{&s1, &s2}) {
+    for (double lead : {13.0, 24.0, 72.0, 120.0}) {
+      core::ShutdownPolicy policy;
+      policy.lead_time_hours = lead;
+      const auto out = core::evaluate_shutdown(net, *model, policy);
+      t.add_row({model->name(), util::format_fixed(lead, 0),
+                 std::to_string(out.cables_shut_down),
+                 util::format_fixed(out.expected_failures_no_action, 1),
+                 util::format_fixed(out.expected_failures_with_plan, 1),
+                 util::format_fixed(out.expected_cables_saved(), 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "paper §5.2: powering off gives only partial protection — "
+               "GIC flows through powered-off cables too\n";
+
+  util::print_banner(std::cout,
+                     "Ablation: shutdown triage policy (S2, 24 h lead time)");
+  util::TextTable abl({"priority", "E[failures] with plan",
+                       "E[cables saved]"});
+  for (const auto& [label, priority] :
+       std::initializer_list<std::pair<const char*, core::ShutdownPriority>>{
+           {"by expected benefit", core::ShutdownPriority::kByBenefit},
+           {"by raw risk", core::ShutdownPriority::kByRisk},
+           {"no triage (id order)", core::ShutdownPriority::kNone}}) {
+    core::ShutdownPolicy policy;
+    policy.lead_time_hours = 24.0;
+    policy.priority = priority;
+    const auto out = core::evaluate_shutdown(net, s2, policy);
+    abl.add_row({label,
+                 util::format_fixed(out.expected_failures_with_plan, 1),
+                 util::format_fixed(out.expected_cables_saved(), 1)});
+  }
+  abl.print(std::cout);
+
+  // Time-resolved damage: how fast does the main phase lock the losses in?
+  util::print_banner(std::cout,
+                     "Damage timeline under S1 (onset 2 h, main phase 10 h, "
+                     "recovery tau 18 h)");
+  {
+    sim::TrialConfig cfg;
+    const sim::FailureSimulator simulator(net, cfg);
+    const gic::StormPhaseProfile profile;
+    const auto series =
+        gic::failure_time_series(simulator, s1, profile, 6.0);
+    util::TextTable tl({"hour", "E[cables failed]", "% of final damage"});
+    for (const auto& pt : series) {
+      tl.add_row({util::format_fixed(pt.hours, 0),
+                  util::format_fixed(pt.expected_cables_failed, 1),
+                  util::format_fixed(100.0 * pt.fraction_of_final, 1)});
+    }
+    tl.print(std::cout);
+    std::cout << "shutdown decisions must land inside the onset window — "
+                 "by the end of the main phase most damage is locked in\n";
+  }
+
+  // §5.3: what partition does a severe storm leave behind?
+  util::print_banner(std::cout,
+                     "Partitioned Internet after one S1 draw (§5.3)");
+  sim::TrialConfig cfg;
+  const sim::FailureSimulator simulator(net, cfg);
+  util::Rng rng(1859);
+  const auto dead = simulator.sample_cable_failures(s1, rng);
+  const auto report = core::analyze_partition(net, dead);
+  std::cout << core::render_partition(report);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the figure harnesses: optional CSV export. Every
+// figure bench accepts an optional output directory as argv[1]; when
+// given, the plotted series are also written as CSV files for external
+// plotting (gnuplot/matplotlib), alongside the printed tables.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace solarnet::benchutil {
+
+inline std::optional<std::string> csv_dir(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  std::filesystem::create_directories(argv[1]);
+  return std::string(argv[1]);
+}
+
+inline void write_series(const std::optional<std::string>& dir,
+                         const std::string& name,
+                         const std::vector<util::CsvRow>& rows) {
+  if (!dir) return;
+  util::write_csv_file(*dir + "/" + name + ".csv", rows);
+}
+
+}  // namespace solarnet::benchutil

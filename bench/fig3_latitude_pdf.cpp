@@ -1,0 +1,64 @@
+// Figure 3: PDF of world population and submarine cable endpoints with
+// respect to latitude (2-degree bins), plus the headline shares above
+// |40 deg| the paper quotes alongside it.
+#include <iostream>
+
+#include "analysis/distribution.h"
+#include "bench_util.h"
+#include "datasets/population.h"
+#include "datasets/submarine.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const auto csv = solarnet::benchutil::csv_dir(argc, argv);
+  using namespace solarnet;
+
+  const auto submarine = datasets::make_submarine_network({});
+  const auto population = datasets::make_population_grid({});
+
+  const auto endpoint_pdf = analysis::latitude_pdf(
+      std::span<const double>(submarine.node_latitudes()), 2.0);
+  const auto population_pdf = analysis::latitude_pdf(population, 2.0);
+
+  util::print_banner(std::cout,
+                     "Figure 3: PDF of population and submarine cable end "
+                     "points vs latitude (2-deg bins, density %)");
+  util::TextTable table({"latitude", "population pdf %", "submarine pdf %"});
+  for (std::size_t i = 0; i < endpoint_pdf.size(); ++i) {
+    // Compress the table: skip empty bins at the poles.
+    if (population_pdf[i].density_pct < 1e-6 &&
+        endpoint_pdf[i].density_pct < 1e-6) {
+      continue;
+    }
+    table.add_row({util::format_fixed(endpoint_pdf[i].latitude_center, 0),
+                   util::format_fixed(population_pdf[i].density_pct, 3),
+                   util::format_fixed(endpoint_pdf[i].density_pct, 3)});
+  }
+  table.print(std::cout);
+  {
+    std::vector<util::CsvRow> rows = {{"latitude", "population_pdf_pct", "submarine_pdf_pct"}};
+    for (std::size_t i = 0; i < endpoint_pdf.size(); ++i) {
+      rows.push_back({util::format_fixed(endpoint_pdf[i].latitude_center, 1),
+                      util::format_fixed(population_pdf[i].density_pct, 6),
+                      util::format_fixed(endpoint_pdf[i].density_pct, 6)});
+    }
+    benchutil::write_series(csv, "fig3_latitude_pdf", rows);
+  }
+
+  const double pop40 = population.fraction_above_abs_latitude(40.0);
+  std::size_t above = 0;
+  const auto lats = submarine.node_latitudes();
+  for (double lat : lats) {
+    if (std::abs(lat) > 40.0) ++above;
+  }
+  util::print_banner(std::cout, "Headline shares above |40 deg|");
+  std::cout << "population:          "
+            << util::format_fixed(100.0 * pop40, 1) << "%  (paper: 16%)\n"
+            << "submarine endpoints: "
+            << util::format_fixed(100.0 * static_cast<double>(above) /
+                                      static_cast<double>(lats.size()),
+                                  1)
+            << "%  (paper: 31%)\n";
+  return 0;
+}

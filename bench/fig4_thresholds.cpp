@@ -1,0 +1,122 @@
+// Figure 4: distribution of network elements and population as percentage
+// above |latitude| thresholds.
+//   (a) long-distance cable endpoints: submarine endpoints, one-hop
+//       endpoints, Intertubes endpoints, population.
+//   (b) other infrastructure: Internet routers, IXPs, DNS root servers,
+//       population.
+#include <iostream>
+
+#include "analysis/distribution.h"
+#include "bench_util.h"
+#include "core/world.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const auto csv = solarnet::benchutil::csv_dir(argc, argv);
+  using namespace solarnet;
+
+  core::WorldConfig cfg;
+  cfg.build_itu = false;  // ITU has no authoritative coordinates (paper too)
+  const core::World world = core::World::generate(cfg);
+
+  const auto thresholds = analysis::default_thresholds();
+
+  const auto submarine_curve = analysis::percent_above_thresholds(
+      std::span<const double>(world.submarine().node_latitudes()),
+      thresholds);
+  const auto one_hop_curve = analysis::one_hop_percent_above_thresholds(
+      world.submarine(), thresholds);
+  const auto intertubes_curve = analysis::percent_above_thresholds(
+      std::span<const double>(world.intertubes().node_latitudes()),
+      thresholds);
+
+  const auto population_samples = world.population().latitude_samples();
+  const auto population_curve = analysis::percent_above_thresholds(
+      std::span<const std::pair<double, double>>(population_samples),
+      thresholds);
+
+  std::vector<double> router_lats;
+  router_lats.reserve(world.routers().router_count());
+  for (const auto& r : world.routers().routers()) {
+    router_lats.push_back(r.location.lat_deg);
+  }
+  const auto router_curve = analysis::percent_above_thresholds(
+      std::span<const double>(router_lats), thresholds);
+
+  std::vector<double> ixp_lats;
+  for (const auto& p : world.ixps()) ixp_lats.push_back(p.location.lat_deg);
+  const auto ixp_curve = analysis::percent_above_thresholds(
+      std::span<const double>(ixp_lats), thresholds);
+
+  std::vector<double> dns_lats;
+  for (const auto& d : world.dns_roots()) {
+    dns_lats.push_back(d.location.lat_deg);
+  }
+  const auto dns_curve = analysis::percent_above_thresholds(
+      std::span<const double>(dns_lats), thresholds);
+
+  util::print_banner(std::cout,
+                     "Figure 4(a): long-distance cable endpoints, % above "
+                     "|latitude| threshold");
+  util::TextTable a({"threshold", "submarine", "one-hop", "intertubes",
+                     "population"});
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    a.add_row({util::format_fixed(thresholds[i], 0),
+               util::format_fixed(submarine_curve[i], 1),
+               util::format_fixed(one_hop_curve[i], 1),
+               util::format_fixed(intertubes_curve[i], 1),
+               util::format_fixed(population_curve[i], 1)});
+  }
+  a.print(std::cout);
+
+  util::print_banner(std::cout,
+                     "Figure 4(b): other infrastructure, % above |latitude| "
+                     "threshold");
+  util::TextTable b({"threshold", "routers", "IXPs", "DNS roots",
+                     "population"});
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    b.add_row({util::format_fixed(thresholds[i], 0),
+               util::format_fixed(router_curve[i], 1),
+               util::format_fixed(ixp_curve[i], 1),
+               util::format_fixed(dns_curve[i], 1),
+               util::format_fixed(population_curve[i], 1)});
+  }
+  b.print(std::cout);
+  {
+    std::vector<util::CsvRow> rows = {{"threshold", "submarine", "one_hop",
+                                       "intertubes", "routers", "ixps",
+                                       "dns", "population"}};
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      rows.push_back({util::format_fixed(thresholds[i], 0),
+                      util::format_fixed(submarine_curve[i], 3),
+                      util::format_fixed(one_hop_curve[i], 3),
+                      util::format_fixed(intertubes_curve[i], 3),
+                      util::format_fixed(router_curve[i], 3),
+                      util::format_fixed(ixp_curve[i], 3),
+                      util::format_fixed(dns_curve[i], 3),
+                      util::format_fixed(population_curve[i], 3)});
+    }
+    benchutil::write_series(csv, "fig4_thresholds", rows);
+  }
+
+  // §4.2.2's summary sentence at the 40-deg threshold.
+  const std::size_t idx40 = 8;  // thresholds[8] == 40
+  util::print_banner(std::cout, "Paper summary row (threshold = 40 deg)");
+  std::cout << "submarine endpoints: "
+            << util::format_fixed(submarine_curve[idx40], 1)
+            << "% (paper 31%), one-hop: "
+            << util::format_fixed(one_hop_curve[idx40], 1)
+            << "% (paper ~45%), intertubes: "
+            << util::format_fixed(intertubes_curve[idx40], 1)
+            << "% (paper 40%), IXPs: "
+            << util::format_fixed(ixp_curve[idx40], 1)
+            << "% (paper 43%), routers: "
+            << util::format_fixed(router_curve[idx40], 1)
+            << "% (paper 38%), DNS roots: "
+            << util::format_fixed(dns_curve[idx40], 1)
+            << "% (paper 39%), population: "
+            << util::format_fixed(population_curve[idx40], 1)
+            << "% (paper 16%)\n";
+  return 0;
+}

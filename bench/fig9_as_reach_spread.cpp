@@ -1,0 +1,73 @@
+// Figure 9: (a) % of ASes with presence above each |latitude| threshold;
+// (b) CDF of AS latitude spread. Plus the §4.4.1 summary numbers.
+#include <iostream>
+
+#include "analysis/as_analysis.h"
+#include "bench_util.h"
+#include "analysis/distribution.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const auto csv = solarnet::benchutil::csv_dir(argc, argv);
+  using namespace solarnet;
+
+  const auto ds = datasets::make_router_dataset({});
+  const auto thresholds = analysis::default_thresholds();
+  const auto reach = analysis::as_reach_curve(ds, thresholds);
+
+  util::print_banner(std::cout,
+                     "Figure 9(a): % of ASes with presence above |latitude| "
+                     "threshold");
+  util::TextTable a({"threshold", "ASes with presence %"});
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    a.add_row({util::format_fixed(thresholds[i], 0),
+               util::format_fixed(reach[i], 1)});
+  }
+  a.print(std::cout);
+  {
+    std::vector<util::CsvRow> rows = {{"threshold", "as_presence_pct"}};
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      rows.push_back({util::format_fixed(thresholds[i], 0),
+                      util::format_fixed(reach[i], 3)});
+    }
+    benchutil::write_series(csv, "fig9a_as_reach", rows);
+  }
+
+  const auto cdf = analysis::as_spread_cdf(ds);
+  util::print_banner(std::cout,
+                     "Figure 9(b): CDF of AS latitude spread (degrees; 1 deg "
+                     "~ 111 km)");
+  util::TextTable b({"spread deg", "CDF"});
+  for (double x : {0.0, 0.5, 1.0, 1.723, 3.0, 5.0, 10.0, 18.263, 30.0, 60.0,
+                   90.0, 140.0}) {
+    b.add_row({util::format_fixed(x, 3),
+               util::format_fixed(util::cdf_at(cdf, x), 3)});
+  }
+  b.print(std::cout);
+  {
+    std::vector<util::CsvRow> rows = {{"spread_deg", "cdf"}};
+    for (const auto& point : cdf) {
+      rows.push_back({util::format_fixed(point.value, 4),
+                      util::format_fixed(point.cum_fraction, 6)});
+    }
+    benchutil::write_series(csv, "fig9b_as_spread_cdf", rows);
+  }
+
+  const auto stats = analysis::summarize_as_stats(ds);
+  util::print_banner(std::cout, "Summary (§4.4.1)");
+  std::cout << "ASes: " << stats.as_count << "\n"
+            << "presence above |40 deg|: "
+            << util::format_fixed(100.0 * stats.fraction_with_presence_above_40,
+                                  1)
+            << "%  (paper: 57%)\n"
+            << "routers above |40 deg|: "
+            << util::format_fixed(100.0 * stats.router_fraction_above_40, 1)
+            << "%  (paper: 38%)\n"
+            << "spread median: "
+            << util::format_fixed(stats.spread_median_deg, 3)
+            << " deg (paper: 1.723)\n"
+            << "spread p90:    " << util::format_fixed(stats.spread_p90_deg, 3)
+            << " deg (paper: 18.263)\n";
+  return 0;
+}

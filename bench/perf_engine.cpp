@@ -1,0 +1,104 @@
+// Engine micro-benchmarks (google-benchmark): dataset generation, repeater
+// layout, Monte-Carlo trial throughput, component finding, and field
+// integration. These guard the performance envelope that makes the
+// figure-scale sweeps cheap.
+#include <benchmark/benchmark.h>
+
+#include "analysis/country.h"
+#include "datasets/land.h"
+#include "datasets/submarine.h"
+#include "gic/induction.h"
+#include "graph/components.h"
+#include "sim/monte_carlo.h"
+
+namespace {
+
+using namespace solarnet;
+
+const topo::InfrastructureNetwork& submarine() {
+  static const auto net = datasets::make_submarine_network({});
+  return net;
+}
+
+const sim::FailureSimulator& submarine_sim() {
+  static const sim::FailureSimulator s(submarine(), {});
+  return s;
+}
+
+void BM_GenerateSubmarineNetwork(benchmark::State& state) {
+  for (auto _ : state) {
+    datasets::SubmarineConfig cfg;
+    cfg.total_cables = static_cast<std::size_t>(state.range(0));
+    cfg.target_landing_points = cfg.total_cables * 5 / 2;
+    cfg.cables_without_length = 0;
+    benchmark::DoNotOptimize(datasets::make_submarine_network(cfg));
+  }
+}
+BENCHMARK(BM_GenerateSubmarineNetwork)->Arg(100)->Arg(470);
+
+void BM_SimulatorConstruction(benchmark::State& state) {
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::FailureSimulator(submarine(), cfg));
+  }
+}
+BENCHMARK(BM_SimulatorConstruction)->Arg(50)->Arg(150);
+
+void BM_MonteCarloTrial(benchmark::State& state) {
+  const gic::UniformFailureModel model(0.01);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(submarine_sim().run_trial(model, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloTrial);
+
+void BM_MonteCarloTrialBandModel(benchmark::State& state) {
+  const auto model = gic::LatitudeBandFailureModel::s1();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(submarine_sim().run_trial(model, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloTrialBandModel);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& net = submarine();
+  const auto mask = graph::AliveMask::all_alive(net.graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::connected_components(net.graph(), mask));
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_CableInduction(benchmark::State& state) {
+  const gic::GeoelectricFieldModel field(gic::carrington_1859());
+  // The longest cable dominates; benchmark the whole network integral.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gic::compute_network_induction(submarine(), field));
+  }
+}
+BENCHMARK(BM_CableInduction);
+
+void BM_CountryConnectivity(benchmark::State& state) {
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::country_connectivity(
+        submarine(), submarine_sim(), s1, "US"));
+  }
+}
+BENCHMARK(BM_CountryConnectivity);
+
+void BM_GenerateItuNetwork(benchmark::State& state) {
+  for (auto _ : state) {
+    datasets::ItuConfig cfg;
+    cfg.total_links = static_cast<std::size_t>(state.range(0));
+    cfg.target_nodes = cfg.total_links;
+    cfg.short_links = cfg.total_links * 7 / 10;
+    benchmark::DoNotOptimize(datasets::make_itu_network(cfg));
+  }
+}
+BENCHMARK(BM_GenerateItuNetwork)->Arg(1000)->Arg(11737);
+
+}  // namespace

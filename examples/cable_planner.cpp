@@ -1,0 +1,56 @@
+// Cable planner: §5.1 as a tool. Given the current submarine map, rank
+// candidate new systems by how much they reduce the probability of the US
+// being fully cut off from Europe in a severe (S1) event, and show the
+// low-latitude-vs-northern trade-off the paper recommends.
+#include <algorithm>
+#include <iostream>
+
+#include "core/planner.h"
+#include "datasets/submarine.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace solarnet;
+
+  // Optional CLI: cable_planner <from-node> <to-node> evaluates one custom
+  // candidate in addition to the default pool.
+  const auto net = datasets::make_submarine_network({});
+  const core::TopologyPlanner planner(net, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const std::vector<std::string> us = {"US"};
+  const std::vector<std::string> europe = {"GB", "IE", "FR", "NL", "BE",
+                                           "DE", "DK", "NO", "PT", "ES"};
+
+  auto candidates = core::TopologyPlanner::default_low_latitude_candidates();
+  if (argc == 3) {
+    candidates.push_back({argv[1], argv[2], 0.0});
+  }
+
+  const auto ranked = planner.rank(candidates, s1, us, europe);
+  util::print_banner(std::cout,
+                     "Candidate cables ranked by US<->Europe S1 risk "
+                     "reduction");
+  util::TextTable t({"rank", "candidate", "length km", "P(dies) S1",
+                     "risk reduction"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto& e = ranked[i];
+    t.add_row({std::to_string(i + 1),
+               e.candidate.from_node + " - " + e.candidate.to_node,
+               util::format_fixed(e.length_km, 0),
+               util::format_fixed(e.death_probability, 3),
+               util::format_fixed(e.risk_reduction(), 4)});
+  }
+  t.print(std::cout);
+
+  const auto& best = ranked.front();
+  std::cout << "\nRecommendation: build " << best.candidate.from_node
+            << " - " << best.candidate.to_node << " ("
+            << util::format_fixed(best.length_km, 0)
+            << " km). US<->Europe cut-off probability drops from "
+            << util::format_fixed(best.corridor_cutoff_before, 3) << " to "
+            << util::format_fixed(best.corridor_cutoff_after, 3) << ".\n"
+            << "Note how the low-latitude routes dominate the northern "
+               "controls — §5.1's recommendation quantified.\n";
+  return 0;
+}

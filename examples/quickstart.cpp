@@ -1,0 +1,37 @@
+// Quickstart: generate the world, run the paper's S1/S2 states and a
+// Carrington-class physical storm through the high-level façade, print the
+// resilience reports. This is the five-minute tour of the public API.
+#include <iostream>
+
+#include "core/scenario.h"
+#include "core/world.h"
+
+int main() {
+  using namespace solarnet;
+
+  std::cout << "Generating datasets (submarine map, US long-haul, ITU land "
+               "network, routers, IXPs, DNS, population)...\n";
+  const core::World world = core::World::generate();
+
+  std::cout << "submarine: " << world.submarine().cable_count()
+            << " cables across " << world.submarine().node_count()
+            << " landing points\n"
+            << "intertubes: " << world.intertubes().cable_count()
+            << " links, itu: " << world.itu().cable_count() << " links\n"
+            << "routers: " << world.routers().router_count() << " in "
+            << world.routers().as_count() << " ASes\n\n";
+
+  const core::ScenarioRunner runner(world);
+
+  // The paper's high-failure latitude-band state.
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  std::cout << runner.run(s1).render() << "\n";
+
+  // The low-failure state.
+  const auto s2 = gic::LatitudeBandFailureModel::s2();
+  std::cout << runner.run(s2).render() << "\n";
+
+  // A physical storm via the geoelectric-field model.
+  std::cout << runner.run_storm(gic::carrington_1859()).render() << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Storm drill: the operator's view of an incoming CME. Given ~13 hours of
+// warning, which cables do we power down, what do we expect to lose anyway,
+// and what partition of the Internet are we left with afterwards?
+// Exercises the induction model, shutdown planner, and partition analysis.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/country.h"
+#include "core/partition.h"
+#include "core/shutdown.h"
+#include "datasets/submarine.h"
+#include "gic/induction.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace solarnet;
+
+  const auto net = datasets::make_submarine_network({});
+  const gic::StormScenario storm = gic::carrington_1859();
+  const gic::GeoelectricFieldModel field(storm);
+
+  std::cout << "Incoming storm: " << storm.name << " ("
+            << storm.peak_field_v_per_km << " V/km peak field, strong above "
+            << storm.boundary_deg << " deg)\n";
+
+  // 1. Which cables face the worst induced currents?
+  const auto inductions = gic::compute_network_induction(net, field);
+  std::vector<std::pair<double, topo::CableId>> worst;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    worst.push_back({inductions[c].overload_factor, c});
+  }
+  std::sort(worst.rbegin(), worst.rend());
+  util::print_banner(std::cout, "Top 10 cables by GIC overload factor");
+  util::TextTable t({"cable", "length km", "peak GIC A", "overload x"});
+  for (std::size_t i = 0; i < 10 && i < worst.size(); ++i) {
+    const topo::CableId c = worst[i].second;
+    t.add_row({net.cable(c).name,
+               util::format_fixed(net.cable(c).total_length_km(), 0),
+               util::format_fixed(inductions[c].peak_gic_amp, 1),
+               util::format_fixed(inductions[c].overload_factor, 1)});
+  }
+  t.print(std::cout);
+
+  // 2. Shutdown plan within the lead time.
+  const gic::FieldDrivenFailureModel model(field);
+  core::ShutdownPolicy policy;
+  policy.lead_time_hours = 13.0;
+  const auto plan = core::evaluate_shutdown(net, model, policy);
+  util::print_banner(std::cout, "Shutdown plan (13 h lead time)");
+  std::cout << "cables powered down: " << plan.cables_shut_down << "\n"
+            << "expected failures without action: "
+            << util::format_fixed(plan.expected_failures_no_action, 1) << "\n"
+            << "expected failures with plan:      "
+            << util::format_fixed(plan.expected_failures_with_plan, 1) << "\n"
+            << "expected cables saved:            "
+            << util::format_fixed(plan.expected_cables_saved(), 1) << "\n";
+
+  // 3. The morning after: one sampled outcome and the resulting partition.
+  sim::TrialConfig cfg;
+  const sim::FailureSimulator simulator(net, cfg);
+  util::Rng rng(2026);
+  const auto dead = simulator.sample_cable_failures(model, rng);
+  const auto partition = core::analyze_partition(net, dead);
+  util::print_banner(std::cout, "Post-storm partition");
+  std::cout << core::render_partition(partition);
+
+  // 4. Did the US keep Europe?
+  const auto corridor = analysis::corridor_cables(
+      net, {"US", "CA"}, {"GB", "IE", "FR", "NL", "DE", "DK", "NO", "ES",
+                          "PT"});
+  std::size_t alive = 0;
+  for (topo::CableId c : corridor) {
+    if (!dead[c]) ++alive;
+  }
+  std::cout << "\ntransatlantic corridor: " << alive << "/" << corridor.size()
+            << " cables survived this draw\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "analysis/as_analysis.h"
+
+namespace solarnet::analysis {
+
+std::vector<double> as_reach_curve(const datasets::RouterDataset& ds,
+                                   std::span<const double> thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    out.push_back(100.0 * ds.as_fraction_with_presence_above(t));
+  }
+  return out;
+}
+
+std::vector<util::CdfPoint> as_spread_cdf(const datasets::RouterDataset& ds) {
+  return util::empirical_cdf(ds.as_spreads());
+}
+
+AsSummaryStats summarize_as_stats(const datasets::RouterDataset& ds) {
+  AsSummaryStats s;
+  s.as_count = ds.as_count();
+  const std::vector<double> spreads = ds.as_spreads();
+  if (!spreads.empty()) {
+    s.spread_median_deg = util::quantile_unsorted(spreads, 0.5);
+    s.spread_p90_deg = util::quantile_unsorted(spreads, 0.9);
+  }
+  s.fraction_with_presence_above_40 = ds.as_fraction_with_presence_above(40.0);
+  s.router_fraction_above_40 = ds.router_fraction_above(40.0);
+  return s;
+}
+
+}  // namespace solarnet::analysis

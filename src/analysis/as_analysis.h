@@ -1,0 +1,31 @@
+// Autonomous-System analyses (Figure 9 and §4.4.1): the reach curve (share
+// of ASes with presence above each latitude threshold) and the spread CDF.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "datasets/routers.h"
+#include "util/stats.h"
+
+namespace solarnet::analysis {
+
+// Figure 9(a): % of ASes with at least one router above each |lat|
+// threshold.
+std::vector<double> as_reach_curve(const datasets::RouterDataset& ds,
+                                   std::span<const double> thresholds);
+
+// Figure 9(b): empirical CDF of AS latitude spread (degrees).
+std::vector<util::CdfPoint> as_spread_cdf(const datasets::RouterDataset& ds);
+
+struct AsSummaryStats {
+  std::size_t as_count = 0;
+  double spread_median_deg = 0.0;
+  double spread_p90_deg = 0.0;
+  double fraction_with_presence_above_40 = 0.0;
+  double router_fraction_above_40 = 0.0;
+};
+
+AsSummaryStats summarize_as_stats(const datasets::RouterDataset& ds);
+
+}  // namespace solarnet::analysis

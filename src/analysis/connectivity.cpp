@@ -1,0 +1,43 @@
+#include "analysis/connectivity.h"
+
+namespace solarnet::analysis {
+
+std::vector<SweepPoint> uniform_failure_sweep(
+    const sim::FailureSimulator& simulator, std::span<const double> probs,
+    std::size_t trials, std::uint64_t seed) {
+  std::vector<SweepPoint> out;
+  out.reserve(probs.size());
+  std::uint64_t salt = 0;
+  for (double p : probs) {
+    const gic::UniformFailureModel model(p);
+    const sim::AggregateResult agg =
+        simulator.run_trials(model, trials, seed ^ (0x9e37 + salt++));
+    out.push_back({p, agg.cables_failed_pct.mean(),
+                   agg.cables_failed_pct.sample_stddev(),
+                   agg.nodes_unreachable_pct.mean(),
+                   agg.nodes_unreachable_pct.sample_stddev()});
+  }
+  return out;
+}
+
+std::vector<double> default_probability_grid() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+}
+
+BandSweepResult band_failure_run(const topo::InfrastructureNetwork& net,
+                                 const gic::RepeaterFailureModel& model,
+                                 double spacing_km, std::size_t trials,
+                                 std::uint64_t seed) {
+  sim::TrialConfig config;
+  config.repeater_spacing_km = spacing_km;
+  const sim::FailureSimulator simulator(net, config);
+  const sim::AggregateResult agg = simulator.run_trials(model, trials, seed);
+  return {model.name(),
+          spacing_km,
+          agg.cables_failed_pct.mean(),
+          agg.cables_failed_pct.sample_stddev(),
+          agg.nodes_unreachable_pct.mean(),
+          agg.nodes_unreachable_pct.sample_stddev()};
+}
+
+}  // namespace solarnet::analysis

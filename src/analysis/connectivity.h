@@ -1,0 +1,46 @@
+// Failure-sweep analyses behind Figures 6, 7 and 8: cable/node failure
+// percentages across repeater-failure probabilities, spacings, and the
+// paper's non-uniform latitude-band states.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gic/failure_model.h"
+#include "sim/monte_carlo.h"
+
+namespace solarnet::analysis {
+
+struct SweepPoint {
+  double repeater_failure_probability = 0.0;
+  double cables_failed_mean_pct = 0.0;
+  double cables_failed_sd_pct = 0.0;
+  double nodes_unreachable_mean_pct = 0.0;
+  double nodes_unreachable_sd_pct = 0.0;
+};
+
+// Uniform-probability sweep (Figures 6 and 7): one point per probability.
+std::vector<SweepPoint> uniform_failure_sweep(
+    const sim::FailureSimulator& simulator, std::span<const double> probs,
+    std::size_t trials, std::uint64_t seed);
+
+// The paper's probability grid: log-spaced 0.001 .. 1.
+std::vector<double> default_probability_grid();
+
+struct BandSweepResult {
+  std::string model_name;
+  double spacing_km = 0.0;
+  double cables_failed_mean_pct = 0.0;
+  double cables_failed_sd_pct = 0.0;
+  double nodes_unreachable_mean_pct = 0.0;
+  double nodes_unreachable_sd_pct = 0.0;
+};
+
+// Non-uniform (latitude-band) evaluation at one spacing (Figure 8 bars).
+BandSweepResult band_failure_run(const topo::InfrastructureNetwork& net,
+                                 const gic::RepeaterFailureModel& model,
+                                 double spacing_km, std::size_t trials,
+                                 std::uint64_t seed);
+
+}  // namespace solarnet::analysis

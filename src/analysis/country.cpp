@@ -1,0 +1,117 @@
+#include "analysis/country.h"
+
+#include <algorithm>
+
+namespace solarnet::analysis {
+
+namespace {
+
+bool cable_touches_country(const topo::InfrastructureNetwork& net,
+                           const topo::Cable& cable,
+                           const std::vector<std::string>& countries) {
+  for (topo::NodeId n : cable.endpoints()) {
+    const std::string& cc = net.node(n).country_code;
+    if (std::find(countries.begin(), countries.end(), cc) !=
+        countries.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<topo::CableId> international_cables(
+    const topo::InfrastructureNetwork& net, const std::string& country) {
+  std::vector<topo::CableId> out;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    bool touches = false;
+    bool leaves = false;
+    for (topo::NodeId n : net.cable(c).endpoints()) {
+      const std::string& cc = net.node(n).country_code;
+      if (cc == country) {
+        touches = true;
+      } else if (!cc.empty()) {
+        leaves = true;
+      }
+    }
+    if (touches && leaves) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<topo::CableId> corridor_cables(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<std::string>& countries_a,
+    const std::vector<std::string>& countries_b) {
+  std::vector<topo::CableId> out;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    const topo::Cable& cable = net.cable(c);
+    if (cable_touches_country(net, cable, countries_a) &&
+        cable_touches_country(net, cable, countries_b)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<topo::CableId> cables_at_named_node(
+    const topo::InfrastructureNetwork& net, const std::string& node_name) {
+  const auto id = net.find_node(node_name);
+  if (!id) return {};
+  return net.cables_at(*id);
+}
+
+double all_fail_probability(const sim::FailureSimulator& simulator,
+                            const gic::RepeaterFailureModel& model,
+                            const std::vector<topo::CableId>& cables) {
+  double p = 1.0;
+  for (topo::CableId c : cables) {
+    p *= simulator.cable_death_probability(c, model);
+    if (p == 0.0) break;
+  }
+  return p;
+}
+
+double expected_survivors(const sim::FailureSimulator& simulator,
+                          const gic::RepeaterFailureModel& model,
+                          const std::vector<topo::CableId>& cables) {
+  double expected = 0.0;
+  for (topo::CableId c : cables) {
+    expected += 1.0 - simulator.cable_death_probability(c, model);
+  }
+  return expected;
+}
+
+std::vector<CableRisk> rank_cable_risk(
+    const sim::FailureSimulator& simulator,
+    const gic::RepeaterFailureModel& model,
+    const std::vector<topo::CableId>& cables) {
+  std::vector<CableRisk> out;
+  out.reserve(cables.size());
+  const topo::InfrastructureNetwork& net = simulator.network();
+  for (topo::CableId c : cables) {
+    out.push_back({c, net.cable(c).name, net.cable(c).total_length_km(),
+                   simulator.cable_death_probability(c, model)});
+  }
+  std::sort(out.begin(), out.end(), [](const CableRisk& a, const CableRisk& b) {
+    return a.death_probability > b.death_probability;
+  });
+  return out;
+}
+
+CountryConnectivity country_connectivity(
+    const topo::InfrastructureNetwork& net,
+    const sim::FailureSimulator& simulator,
+    const gic::RepeaterFailureModel& model, const std::string& country) {
+  CountryConnectivity result;
+  result.country = country;
+  const auto cables = international_cables(net, country);
+  result.international_cable_count = cables.size();
+  result.all_fail_probability = all_fail_probability(simulator, model, cables);
+  result.expected_surviving_cables =
+      expected_survivors(simulator, model, cables);
+  return result;
+}
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,72 @@
+// Country-scale connectivity analysis (§4.3.4). Because cable deaths are
+// independent Bernoulli events under every failure model in the library,
+// the probability that a country/corridor/city loses ALL of a set of
+// cables is the exact product of per-cable death probabilities — so these
+// results are analytic (no Monte-Carlo noise), matching the style of the
+// paper's narrative ("US-Europe connectivity is lost with probability
+// 0.8", "Shanghai loses all its long-distance connectivity", ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gic/failure_model.h"
+#include "sim/monte_carlo.h"
+#include "topology/network.h"
+
+namespace solarnet::analysis {
+
+// Cables with at least one landing in `country` (ISO code) and at least one
+// landing in a different country — i.e. the country's international cables.
+std::vector<topo::CableId> international_cables(
+    const topo::InfrastructureNetwork& net, const std::string& country);
+
+// Cables with landings in both country sets (a "corridor", e.g. the
+// US/Canada <-> Europe transatlantic corridor).
+std::vector<topo::CableId> corridor_cables(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<std::string>& countries_a,
+    const std::vector<std::string>& countries_b);
+
+// Cables landing at a specific node (e.g. the Shanghai landing station).
+std::vector<topo::CableId> cables_at_named_node(
+    const topo::InfrastructureNetwork& net, const std::string& node_name);
+
+// Probability that every cable in `cables` dies (product of exact per-cable
+// death probabilities from the simulator's repeater layout). Returns 1.0
+// for an empty set — no cables means the corridor is already absent.
+double all_fail_probability(const sim::FailureSimulator& simulator,
+                            const gic::RepeaterFailureModel& model,
+                            const std::vector<topo::CableId>& cables);
+
+// Expected number of surviving cables in the set.
+double expected_survivors(const sim::FailureSimulator& simulator,
+                          const gic::RepeaterFailureModel& model,
+                          const std::vector<topo::CableId>& cables);
+
+// Per-cable report row used by the country bench.
+struct CableRisk {
+  topo::CableId cable = topo::kInvalidCable;
+  std::string name;
+  double length_km = 0.0;
+  double death_probability = 0.0;
+};
+
+std::vector<CableRisk> rank_cable_risk(const sim::FailureSimulator& simulator,
+                                       const gic::RepeaterFailureModel& model,
+                                       const std::vector<topo::CableId>& cables);
+
+// Full country summary under one model.
+struct CountryConnectivity {
+  std::string country;
+  std::size_t international_cable_count = 0;
+  double all_fail_probability = 0.0;
+  double expected_surviving_cables = 0.0;
+};
+
+CountryConnectivity country_connectivity(
+    const topo::InfrastructureNetwork& net,
+    const sim::FailureSimulator& simulator,
+    const gic::RepeaterFailureModel& model, const std::string& country);
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,123 @@
+#include "analysis/distribution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace solarnet::analysis {
+
+std::vector<PdfPoint> latitude_pdf(
+    std::span<const std::pair<double, double>> weighted_latitudes,
+    double bin_deg) {
+  util::Histogram hist(-90.0, 90.0, static_cast<std::size_t>(
+                                        std::lround(180.0 / bin_deg)));
+  for (const auto& [lat, w] : weighted_latitudes) hist.add(lat, w);
+  const std::vector<double> density = hist.density();
+  std::vector<PdfPoint> out;
+  out.reserve(density.size());
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    out.push_back({hist.bin_center(i), 100.0 * density[i]});
+  }
+  return out;
+}
+
+std::vector<PdfPoint> latitude_pdf(std::span<const double> latitudes,
+                                   double bin_deg) {
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(latitudes.size());
+  for (double lat : latitudes) weighted.emplace_back(lat, 1.0);
+  return latitude_pdf(weighted, bin_deg);
+}
+
+std::vector<PdfPoint> latitude_pdf(const geo::LatLonGrid& grid,
+                                   double bin_deg) {
+  const auto samples = grid.latitude_samples();
+  return latitude_pdf(std::span<const std::pair<double, double>>(samples),
+                      bin_deg);
+}
+
+std::vector<double> percent_above_thresholds(
+    std::span<const double> latitudes, std::span<const double> thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    std::size_t n = 0;
+    for (double lat : latitudes) {
+      if (std::abs(lat) > t) ++n;
+    }
+    out.push_back(latitudes.empty()
+                      ? 0.0
+                      : 100.0 * static_cast<double>(n) /
+                            static_cast<double>(latitudes.size()));
+  }
+  return out;
+}
+
+std::vector<double> percent_above_thresholds(
+    std::span<const std::pair<double, double>> weighted_latitudes,
+    std::span<const double> thresholds) {
+  double total = 0.0;
+  for (const auto& [lat, w] : weighted_latitudes) total += w;
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    double above = 0.0;
+    for (const auto& [lat, w] : weighted_latitudes) {
+      if (std::abs(lat) > t) above += w;
+    }
+    out.push_back(total > 0.0 ? 100.0 * above / total : 0.0);
+  }
+  return out;
+}
+
+double one_hop_fraction_above(const topo::InfrastructureNetwork& net,
+                              double abs_lat_threshold) {
+  const auto& nodes = net.nodes();
+  if (nodes.empty()) return 0.0;
+  std::vector<bool> in_closure(nodes.size(), false);
+  for (topo::NodeId n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].location.abs_lat() > abs_lat_threshold) {
+      in_closure[n] = true;
+    }
+  }
+  // Spread one hop along cables: a node joins the closure if any cable it
+  // shares has an endpoint already above the threshold.
+  std::vector<bool> result = in_closure;
+  for (const topo::Cable& c : net.cables()) {
+    const auto endpoints = c.endpoints();
+    bool any_above = false;
+    for (topo::NodeId n : endpoints) {
+      if (in_closure[n]) {
+        any_above = true;
+        break;
+      }
+    }
+    if (!any_above) continue;
+    for (topo::NodeId n : endpoints) result[n] = true;
+  }
+  std::size_t count = 0;
+  for (bool b : result) {
+    if (b) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(nodes.size());
+}
+
+std::vector<double> one_hop_percent_above_thresholds(
+    const topo::InfrastructureNetwork& net,
+    std::span<const double> thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    out.push_back(100.0 * one_hop_fraction_above(net, t));
+  }
+  return out;
+}
+
+std::vector<double> default_thresholds() {
+  std::vector<double> t;
+  for (int v = 0; v <= 90; v += 5) t.push_back(static_cast<double>(v));
+  return t;
+}
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,56 @@
+// Latitude-distribution analyses behind Figures 3 and 4: PDFs of weighted
+// latitude samples in 2-degree bins, percentage-above-threshold curves, and
+// the one-hop closure over submarine endpoints.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "topology/network.h"
+
+namespace solarnet::analysis {
+
+struct PdfPoint {
+  double latitude_center;  // bin center, degrees
+  double density_pct;      // probability density x 100 (as the paper plots)
+};
+
+// PDF over [-90, 90) in `bin_deg` bins from weighted (latitude, weight)
+// samples. bin_deg must divide 180.
+std::vector<PdfPoint> latitude_pdf(
+    std::span<const std::pair<double, double>> weighted_latitudes,
+    double bin_deg = 2.0);
+
+// Unweighted overload.
+std::vector<PdfPoint> latitude_pdf(std::span<const double> latitudes,
+                                   double bin_deg = 2.0);
+
+// Population-grid overload (uses cell-center latitudes and cell masses).
+std::vector<PdfPoint> latitude_pdf(const geo::LatLonGrid& grid,
+                                   double bin_deg = 2.0);
+
+// Percentage of samples with |latitude| strictly above each threshold
+// (Figure 4's y-axis, thresholds 0..90).
+std::vector<double> percent_above_thresholds(
+    std::span<const double> latitudes, std::span<const double> thresholds);
+
+// Weighted variant (population).
+std::vector<double> percent_above_thresholds(
+    std::span<const std::pair<double, double>> weighted_latitudes,
+    std::span<const double> thresholds);
+
+// One-hop closure (Figure 4a): fraction of nodes that are above the
+// threshold OR share a cable with a node above the threshold.
+double one_hop_fraction_above(const topo::InfrastructureNetwork& net,
+                              double abs_lat_threshold);
+
+std::vector<double> one_hop_percent_above_thresholds(
+    const topo::InfrastructureNetwork& net,
+    std::span<const double> thresholds);
+
+// The default threshold grid 0,5,...,90.
+std::vector<double> default_thresholds();
+
+}  // namespace solarnet::analysis

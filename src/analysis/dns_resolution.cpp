@@ -1,0 +1,64 @@
+#include "analysis/dns_resolution.h"
+
+#include <set>
+
+#include "services/availability.h"
+
+namespace solarnet::analysis {
+
+DnsResolutionReport evaluate_dns_resolution(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<bool>& cable_dead,
+    const std::vector<datasets::DnsRootInstance>& roots) {
+  // Reuse the services machinery: treat each root letter as a service with
+  // quorum 1 and collect per-continent reads.
+  std::array<services::ServiceSpec, 13> letters;
+  for (int l = 0; l < 13; ++l) {
+    letters[l].name = std::string(1, static_cast<char>('a' + l));
+    letters[l].write_quorum = 1;
+  }
+  for (const datasets::DnsRootInstance& r : roots) {
+    letters[r.root_letter - 'a'].replicas.push_back(r.location);
+  }
+
+  DnsResolutionReport report;
+  // Per-letter evaluation (skip letters with no instances).
+  std::vector<services::AvailabilityReport> letter_reports;
+  for (const services::ServiceSpec& spec : letters) {
+    if (spec.replicas.empty()) continue;
+    letter_reports.push_back(
+        services::evaluate_service(net, cable_dead, spec));
+  }
+
+  // Collate per continent.
+  std::set<geo::Continent> continents;
+  for (const auto& lr : letter_reports) {
+    for (const auto& pc : lr.per_continent) continents.insert(pc.continent);
+  }
+  for (geo::Continent cont : continents) {
+    DnsResolutionReport::PerContinent pc;
+    pc.continent = cont;
+    for (const auto& lr : letter_reports) {
+      for (const auto& c : lr.per_continent) {
+        if (c.continent == cont && c.read_available) {
+          pc.any_root_reachable = true;
+          ++pc.letters_reachable;
+        }
+      }
+    }
+    report.per_continent.push_back(pc);
+  }
+
+  for (const auto& [cont, share] :
+       services::continent_population_shares()) {
+    for (const auto& pc : report.per_continent) {
+      if (pc.continent != cont) continue;
+      if (pc.any_root_reachable) report.resolution_availability += share;
+      report.mean_letters_reachable +=
+          share * static_cast<double>(pc.letters_reachable);
+    }
+  }
+  return report;
+}
+
+}  // namespace solarnet::analysis

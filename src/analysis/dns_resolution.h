@@ -1,0 +1,38 @@
+// DNS resolution availability under partitions (§4.4.3 made operational):
+// the root zone stays resolvable for a client as long as the client's
+// partition contains at least one instance of at least one root letter —
+// anycast means any reachable instance serves the zone. We also report the
+// stricter per-letter view (how many of the 13 letters remain reachable),
+// which bounds resolver retry behaviour.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "datasets/infra_points.h"
+#include "geo/regions.h"
+#include "topology/network.h"
+
+namespace solarnet::analysis {
+
+struct DnsResolutionReport {
+  struct PerContinent {
+    geo::Continent continent;
+    bool any_root_reachable = false;
+    std::size_t letters_reachable = 0;  // of 13
+  };
+  std::vector<PerContinent> per_continent;
+  // Population-weighted probability that a client can resolve the root.
+  double resolution_availability = 0.0;
+  // Weighted mean number of reachable letters.
+  double mean_letters_reachable = 0.0;
+};
+
+// Evaluates root reachability for clients on every continent under a
+// cable-failure draw. Instances and clients attach to landing stations the
+// same way services do (best-connected node within range).
+DnsResolutionReport evaluate_dns_resolution(
+    const topo::InfrastructureNetwork& net, const std::vector<bool>& cable_dead,
+    const std::vector<datasets::DnsRootInstance>& roots);
+
+}  // namespace solarnet::analysis

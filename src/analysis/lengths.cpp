@@ -1,0 +1,44 @@
+#include "analysis/lengths.h"
+
+#include <algorithm>
+
+#include "topology/repeater.h"
+
+namespace solarnet::analysis {
+
+std::vector<util::CdfPoint> length_cdf(
+    const topo::InfrastructureNetwork& net) {
+  const std::vector<double> lengths = net.cable_lengths();
+  return util::empirical_cdf(lengths);
+}
+
+LengthSummary summarize_lengths(const topo::InfrastructureNetwork& net,
+                                double repeater_spacing_km) {
+  LengthSummary s;
+  s.network = net.name();
+  s.repeater_spacing_km = repeater_spacing_km;
+  std::vector<double> lengths = net.cable_lengths();
+  s.cables_with_length = lengths.size();
+  if (!lengths.empty()) {
+    std::sort(lengths.begin(), lengths.end());
+    s.min_km = lengths.front();
+    s.max_km = lengths.back();
+    s.median_km = util::quantile(lengths, 0.5);
+    s.p99_km = util::quantile(lengths, 0.99);
+    s.mean_km = util::mean(lengths);
+  }
+  std::size_t repeaters = 0;
+  for (const topo::Cable& c : net.cables()) {
+    const std::size_t r = topo::cable_repeater_count(c, repeater_spacing_km);
+    if (r == 0) ++s.cables_without_repeater;
+    repeaters += r;
+  }
+  s.avg_repeaters_per_cable =
+      net.cable_count() > 0
+          ? static_cast<double>(repeaters) /
+                static_cast<double>(net.cable_count())
+          : 0.0;
+  return s;
+}
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,33 @@
+// Cable-length distribution analysis (Figure 5) and the repeater-count
+// summary statistics §4.3.1 reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/network.h"
+#include "util/stats.h"
+
+namespace solarnet::analysis {
+
+struct LengthSummary {
+  std::string network;
+  std::size_t cables_with_length = 0;
+  double min_km = 0.0;
+  double median_km = 0.0;
+  double mean_km = 0.0;
+  double p99_km = 0.0;
+  double max_km = 0.0;
+  // At the given repeater spacing:
+  double repeater_spacing_km = 150.0;
+  std::size_t cables_without_repeater = 0;
+  double avg_repeaters_per_cable = 0.0;
+};
+
+// Empirical CDF of a network's (length-known) cable lengths.
+std::vector<util::CdfPoint> length_cdf(const topo::InfrastructureNetwork& net);
+
+LengthSummary summarize_lengths(const topo::InfrastructureNetwork& net,
+                                double repeater_spacing_km = 150.0);
+
+}  // namespace solarnet::analysis

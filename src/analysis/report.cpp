@@ -1,0 +1,85 @@
+#include "analysis/report.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace solarnet::analysis {
+
+std::string ResilienceReport::render() const {
+  std::ostringstream os;
+  os << "================================================================\n";
+  os << " " << title << "\n";
+  os << "================================================================\n";
+
+  if (!length_summaries.empty()) {
+    util::print_banner(os, "Cable length / repeater inventory");
+    util::TextTable t({"network", "cables", "median km", "p99 km", "max km",
+                       "no-repeater", "avg repeaters"});
+    for (const LengthSummary& s : length_summaries) {
+      t.add_row({s.network, std::to_string(s.cables_with_length),
+                 util::format_fixed(s.median_km, 0),
+                 util::format_fixed(s.p99_km, 0),
+                 util::format_fixed(s.max_km, 0),
+                 std::to_string(s.cables_without_repeater),
+                 util::format_fixed(s.avg_repeaters_per_cable, 2)});
+    }
+    t.print(os);
+  }
+
+  if (!failure_results.empty()) {
+    util::print_banner(os, "Failure simulation");
+    util::TextTable t({"model", "spacing km", "cables failed %", "sd",
+                       "nodes unreachable %", "sd"});
+    for (const BandSweepResult& r : failure_results) {
+      t.add_row({r.model_name, util::format_fixed(r.spacing_km, 0),
+                 util::format_fixed(r.cables_failed_mean_pct, 1),
+                 util::format_fixed(r.cables_failed_sd_pct, 1),
+                 util::format_fixed(r.nodes_unreachable_mean_pct, 1),
+                 util::format_fixed(r.nodes_unreachable_sd_pct, 1)});
+    }
+    t.print(os);
+  }
+
+  if (!countries.empty()) {
+    util::print_banner(os, "Country connectivity");
+    util::TextTable t({"country", "intl cables", "P(all fail)",
+                       "E[survivors]"});
+    for (const CountryConnectivity& c : countries) {
+      t.add_row({c.country, std::to_string(c.international_cable_count),
+                 util::format_fixed(c.all_fail_probability, 3),
+                 util::format_fixed(c.expected_surviving_cables, 1)});
+    }
+    t.print(os);
+  }
+
+  if (!datacenter_footprints.empty()) {
+    util::print_banner(os, "Hyperscale data center footprints");
+    util::TextTable t({"operator", "sites", "continents", "% above 40",
+                       "low-risk sites", "score"});
+    for (const FootprintSummary& f : datacenter_footprints) {
+      t.add_row({f.label, std::to_string(f.site_count),
+                 std::to_string(f.continents_covered),
+                 util::format_fixed(100.0 * f.fraction_above_40, 0),
+                 std::to_string(f.low_risk_sites),
+                 util::format_fixed(footprint_resilience_score(f), 2)});
+    }
+    t.print(os);
+  }
+
+  if (has_dns) {
+    util::print_banner(os, "DNS root servers");
+    os << "instances: " << dns.instance_count
+       << ", root letters: " << dns.root_letters
+       << ", continents: " << dns.continents_covered << "\n"
+       << "share above |40 deg|: "
+       << util::format_fixed(100.0 * dns.fraction_above_40, 1) << "%\n"
+       << "letters still served if every site above |40 deg| fails: "
+       << dns.letters_surviving_40_cutoff << "/13\n";
+  }
+
+  return os.str();
+}
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,31 @@
+// Structured resilience report: the library's top-level summary object,
+// combining physical-infrastructure sweeps, country connectivity, and
+// systems (DC/DNS) resilience into one renderable result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/connectivity.h"
+#include "analysis/country.h"
+#include "analysis/lengths.h"
+#include "analysis/systems.h"
+
+namespace solarnet::analysis {
+
+struct ResilienceReport {
+  std::string title;
+
+  std::vector<LengthSummary> length_summaries;
+  // One entry per (network, model) evaluation.
+  std::vector<BandSweepResult> failure_results;
+  std::vector<CountryConnectivity> countries;
+  std::vector<FootprintSummary> datacenter_footprints;
+  DnsSummary dns;
+  bool has_dns = false;
+
+  // Renders a human-readable multi-section text report.
+  std::string render() const;
+};
+
+}  // namespace solarnet::analysis

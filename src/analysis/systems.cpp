@@ -1,0 +1,70 @@
+#include "analysis/systems.h"
+
+#include <algorithm>
+#include <set>
+
+namespace solarnet::analysis {
+
+FootprintSummary summarize_datacenters(datasets::DataCenterOperator op) {
+  FootprintSummary s;
+  s.label = std::string(datasets::to_string(op));
+  const auto sites = datasets::datacenters_of(op);
+  s.site_count = sites.size();
+  if (sites.empty()) return s;
+  double min_lat = sites.front().location.lat_deg;
+  double max_lat = min_lat;
+  std::size_t above40 = 0;
+  for (const datasets::DataCenter& d : sites) {
+    const geo::Continent cont = geo::continent_at(d.location);
+    ++s.per_continent[cont];
+    min_lat = std::min(min_lat, d.location.lat_deg);
+    max_lat = std::max(max_lat, d.location.lat_deg);
+    if (d.location.abs_lat() > 40.0) {
+      ++above40;
+    } else {
+      ++s.low_risk_sites;
+    }
+  }
+  s.continents_covered = s.per_continent.size();
+  s.fraction_above_40 =
+      static_cast<double>(above40) / static_cast<double>(sites.size());
+  s.latitude_spread_deg = max_lat - min_lat;
+  return s;
+}
+
+double footprint_resilience_score(const FootprintSummary& s) {
+  if (s.site_count == 0) return 0.0;
+  const double continent_term =
+      static_cast<double>(s.continents_covered) / 6.0;
+  const double low_risk_term = static_cast<double>(s.low_risk_sites) /
+                               static_cast<double>(s.site_count);
+  return 0.5 * continent_term + 0.5 * low_risk_term;
+}
+
+DnsSummary summarize_dns(
+    const std::vector<datasets::DnsRootInstance>& roots) {
+  DnsSummary s;
+  s.instance_count = roots.size();
+  std::set<char> letters;
+  std::set<char> surviving_letters;
+  std::size_t above40 = 0;
+  for (const datasets::DnsRootInstance& r : roots) {
+    letters.insert(r.root_letter);
+    ++s.per_continent[r.continent];
+    if (r.location.abs_lat() > 40.0) {
+      ++above40;
+    } else {
+      surviving_letters.insert(r.root_letter);
+    }
+  }
+  s.root_letters = letters.size();
+  s.continents_covered = s.per_continent.size();
+  s.fraction_above_40 =
+      roots.empty() ? 0.0
+                    : static_cast<double>(above40) /
+                          static_cast<double>(roots.size());
+  s.letters_surviving_40_cutoff = surviving_letters.size();
+  return s;
+}
+
+}  // namespace solarnet::analysis

@@ -1,0 +1,46 @@
+// Systems-resilience analyses (§4.4.2 / §4.4.3): hyperscale data center
+// footprints (Google vs Facebook) and DNS root server geo-distribution.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datasets/datacenters.h"
+#include "datasets/infra_points.h"
+#include "geo/regions.h"
+
+namespace solarnet::analysis {
+
+struct FootprintSummary {
+  std::string label;
+  std::size_t site_count = 0;
+  std::size_t continents_covered = 0;
+  double fraction_above_40 = 0.0;
+  double latitude_spread_deg = 0.0;  // max lat - min lat
+  // Sites in the low-risk band (|lat| <= 40).
+  std::size_t low_risk_sites = 0;
+  std::map<geo::Continent, std::size_t> per_continent;
+};
+
+FootprintSummary summarize_datacenters(datasets::DataCenterOperator op);
+
+// Simple comparable score in [0,1]: continents covered (out of 6) weighted
+// with the share of sites in the low-risk band. Higher = more resilient
+// footprint under a solar superstorm.
+double footprint_resilience_score(const FootprintSummary& s);
+
+struct DnsSummary {
+  std::size_t instance_count = 0;
+  std::size_t root_letters = 0;  // distinct letters present
+  std::size_t continents_covered = 0;
+  double fraction_above_40 = 0.0;
+  std::map<geo::Continent, std::size_t> per_continent;
+  // Letters that would still have an instance if every site above |40 deg|
+  // vanished — §4.4.3's resilience argument.
+  std::size_t letters_surviving_40_cutoff = 0;
+};
+
+DnsSummary summarize_dns(const std::vector<datasets::DnsRootInstance>& roots);
+
+}  // namespace solarnet::analysis

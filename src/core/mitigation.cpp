@@ -1,0 +1,97 @@
+#include "core/mitigation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/country.h"
+#include "geo/distance.h"
+#include "sim/monte_carlo.h"
+#include "util/rng.h"
+
+namespace solarnet::core {
+
+namespace {
+
+topo::InfrastructureNetwork copy_network(
+    const topo::InfrastructureNetwork& base, const std::string& suffix) {
+  topo::InfrastructureNetwork copy(base.name() + suffix);
+  for (const topo::Node& n : base.nodes()) copy.add_node(n);
+  for (const topo::Cable& c : base.cables()) copy.add_cable(c);
+  return copy;
+}
+
+double mean_service_availability(const topo::InfrastructureNetwork& net,
+                                 const gic::RepeaterFailureModel& model,
+                                 const services::ServiceSpec& service,
+                                 const MitigationOptions& options) {
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = options.repeater_spacing_km;
+  const sim::FailureSimulator simulator(net, cfg);
+  util::Rng rng(options.seed);
+  double total = 0.0;
+  for (std::size_t d = 0; d < options.availability_draws; ++d) {
+    const auto dead = simulator.sample_cable_failures(model, rng);
+    total +=
+        services::evaluate_service(net, dead, service).read_availability;
+  }
+  return options.availability_draws > 0
+             ? total / static_cast<double>(options.availability_draws)
+             : 0.0;
+}
+
+}  // namespace
+
+MitigationReport evaluate_mitigation(const topo::InfrastructureNetwork& base,
+                                     const gic::RepeaterFailureModel& model,
+                                     const MitigationPlan& plan,
+                                     const MitigationOptions& options) {
+  MitigationReport report;
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = options.repeater_spacing_km;
+
+  // Baseline corridor risk and service availability.
+  {
+    const sim::FailureSimulator simulator(base, cfg);
+    report.corridor_cutoff_before = analysis::all_fail_probability(
+        simulator, model,
+        analysis::corridor_cables(base, options.corridor_a,
+                                  options.corridor_b));
+    if (plan.has_service) {
+      report.service_availability_before =
+          mean_service_availability(base, model, plan.service, options);
+    }
+  }
+
+  // Rank and build the best candidates.
+  const TopologyPlanner planner(copy_network(base, ""), cfg);
+  const auto ranked = planner.rank(plan.candidate_cables, model,
+                                   options.corridor_a, options.corridor_b);
+  topo::InfrastructureNetwork augmented = copy_network(base, "+mitigation");
+  const std::size_t build =
+      std::min(plan.cables_to_build, ranked.size());
+  for (std::size_t i = 0; i < build; ++i) {
+    augmented = with_cable(augmented, ranked[i].candidate);
+    report.cables_built.push_back(ranked[i].candidate.from_node + " - " +
+                                  ranked[i].candidate.to_node);
+  }
+
+  // Post-build metrics.
+  {
+    const sim::FailureSimulator simulator(augmented, cfg);
+    report.corridor_cutoff_after = analysis::all_fail_probability(
+        simulator, model,
+        analysis::corridor_cables(augmented, options.corridor_a,
+                                  options.corridor_b));
+  }
+  const ShutdownOutcome shutdown = evaluate_shutdown(
+      augmented, model, plan.shutdown, options.repeater_spacing_km);
+  report.expected_failures_no_action = shutdown.expected_failures_no_action;
+  report.expected_failures_with_plan = shutdown.expected_failures_with_plan;
+  if (plan.has_service) {
+    report.service_availability_after =
+        mean_service_availability(augmented, model, plan.service, options);
+  }
+  return report;
+}
+
+}  // namespace solarnet::core

@@ -1,0 +1,93 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/components.h"
+
+namespace solarnet::core {
+
+PartitionReport analyze_partition(const topo::InfrastructureNetwork& net,
+                                  const std::vector<bool>& cable_dead) {
+  PartitionReport report;
+  const graph::AliveMask mask = net.mask_for_failures(cable_dead);
+  const graph::ComponentResult cc =
+      graph::connected_components(net.graph(), mask);
+
+  // Restrict to nodes that still have at least one alive cable.
+  const auto isolated = net.unreachable_nodes(cable_dead);
+  report.isolated_nodes = isolated.size();
+  std::vector<bool> is_isolated(net.node_count(), false);
+  for (topo::NodeId n : isolated) is_isolated[n] = true;
+
+  // Components among surviving (non-isolated, cable-bearing) nodes.
+  std::vector<std::size_t> component_sizes(cc.component_count(), 0);
+  std::size_t surviving = 0;
+  for (topo::NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.cables_at(n).empty() || is_isolated[n]) continue;
+    const auto comp = cc.component[n];
+    if (comp == graph::ComponentResult::kNoComponent) continue;
+    ++component_sizes[comp];
+    ++surviving;
+  }
+  std::size_t largest = 0;
+  for (std::size_t size : component_sizes) {
+    if (size > 0) ++report.components;
+    largest = std::max(largest, size);
+  }
+  report.largest_component_share =
+      surviving > 0 ? static_cast<double>(largest) /
+                          static_cast<double>(surviving)
+                    : 0.0;
+
+  // Continent pair connectivity: two continents are linked when any two
+  // surviving nodes, one on each, share a component.
+  for (topo::NodeId a = 0; a < net.node_count(); ++a) {
+    if (net.cables_at(a).empty() || is_isolated[a]) continue;
+    const auto comp_a = cc.component[a];
+    if (comp_a == graph::ComponentResult::kNoComponent) continue;
+    const auto cont_a =
+        static_cast<std::size_t>(geo::continent_at(net.node(a).location));
+    report.continent_connected[cont_a][cont_a] = true;
+    for (topo::NodeId b = a + 1; b < net.node_count(); ++b) {
+      if (net.cables_at(b).empty() || is_isolated[b]) continue;
+      if (cc.component[b] != comp_a) continue;
+      const auto cont_b =
+          static_cast<std::size_t>(geo::continent_at(net.node(b).location));
+      report.continent_connected[cont_a][cont_b] = true;
+      report.continent_connected[cont_b][cont_a] = true;
+    }
+  }
+  return report;
+}
+
+std::string render_partition(const PartitionReport& report) {
+  static constexpr std::array<geo::Continent, 6> kContinents = {
+      geo::Continent::kNorthAmerica, geo::Continent::kSouthAmerica,
+      geo::Continent::kEurope,       geo::Continent::kAfrica,
+      geo::Continent::kAsia,         geo::Continent::kOceania,
+  };
+  std::ostringstream os;
+  os << "components: " << report.components
+     << ", isolated nodes: " << report.isolated_nodes
+     << ", largest component share: " << report.largest_component_share
+     << "\n";
+  os << "continent connectivity (1 = linked):\n        ";
+  for (geo::Continent c : kContinents) {
+    os << std::string(geo::to_string(c)).substr(0, 5) << " ";
+  }
+  os << "\n";
+  for (geo::Continent a : kContinents) {
+    os << std::string(geo::to_string(a)).substr(0, 7);
+    os << std::string(8 - std::min<std::size_t>(
+                              7, std::string(geo::to_string(a)).size()),
+                      ' ');
+    for (geo::Continent b : kContinents) {
+      os << "  " << (report.continents_linked(a, b) ? "1" : ".") << "   ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace solarnet::core

@@ -1,0 +1,109 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/country.h"
+#include "geo/distance.h"
+
+namespace solarnet::core {
+
+topo::InfrastructureNetwork with_cable(const topo::InfrastructureNetwork& net,
+                                       const CandidateCable& candidate,
+                                       double* out_length) {
+  topo::InfrastructureNetwork copy(net.name() + "+candidate");
+  for (const topo::Node& n : net.nodes()) copy.add_node(n);
+  for (const topo::Cable& c : net.cables()) copy.add_cable(c);
+
+  const auto a = copy.find_node(candidate.from_node);
+  const auto b = copy.find_node(candidate.to_node);
+  if (!a || !b) {
+    throw std::invalid_argument("planner: unknown candidate endpoint '" +
+                                candidate.from_node + "' or '" +
+                                candidate.to_node + "'");
+  }
+  double length = candidate.length_km;
+  if (length <= 0.0) {
+    length = 1.1 * geo::haversine_km(copy.node(*a).location,
+                                     copy.node(*b).location);
+  }
+  topo::Cable cable;
+  cable.name = "Candidate " + candidate.from_node + " - " + candidate.to_node;
+  cable.kind = topo::CableKind::kSubmarine;
+  cable.segments.push_back({*a, *b, length});
+  copy.add_cable(std::move(cable));
+  if (out_length) *out_length = length;
+  return copy;
+}
+
+CandidateEvaluation TopologyPlanner::evaluate(
+    const CandidateCable& candidate, const gic::RepeaterFailureModel& model,
+    const std::vector<std::string>& countries_a,
+    const std::vector<std::string>& countries_b) const {
+  CandidateEvaluation eval;
+  eval.candidate = candidate;
+
+  const sim::FailureSimulator before(base_, config_);
+  eval.corridor_cutoff_before = analysis::all_fail_probability(
+      before, model,
+      analysis::corridor_cables(base_, countries_a, countries_b));
+
+  const topo::InfrastructureNetwork modified =
+      with_cable(base_, candidate, &eval.length_km);
+  const sim::FailureSimulator after(modified, config_);
+  const topo::CableId new_cable =
+      static_cast<topo::CableId>(modified.cable_count() - 1);
+  eval.death_probability = after.cable_death_probability(new_cable, model);
+  eval.corridor_cutoff_after = analysis::all_fail_probability(
+      after, model,
+      analysis::corridor_cables(modified, countries_a, countries_b));
+  return eval;
+}
+
+std::vector<CandidateEvaluation> TopologyPlanner::rank(
+    const std::vector<CandidateCable>& candidates,
+    const gic::RepeaterFailureModel& model,
+    const std::vector<std::string>& countries_a,
+    const std::vector<std::string>& countries_b) const {
+  std::vector<CandidateEvaluation> out;
+  out.reserve(candidates.size());
+  for (const CandidateCable& c : candidates) {
+    out.push_back(evaluate(c, model, countries_a, countries_b));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CandidateEvaluation& a, const CandidateEvaluation& b) {
+              return a.risk_reduction() > b.risk_reduction();
+            });
+  return out;
+}
+
+std::vector<CandidateCable>
+TopologyPlanner::default_low_latitude_candidates() {
+  // §5.1: add low-latitude capacity — southern-US and South-America routes
+  // to Europe/Africa keep global connectivity when the northern corridors
+  // die. All endpoints exist in the default submarine network.
+  // Endpoints are anchor-cable landing stations, so they exist in every
+  // default-generated submarine network.
+  return {
+      {"Miami", "Tenerife", 0.0},
+      {"Miami", "Dakar", 0.0},
+      {"Virginia Beach", "Tenerife", 0.0},
+      {"Fortaleza", "Lisbon", 0.0},
+      {"Fortaleza", "Dakar", 0.0},
+      {"West Palm Beach FL", "Fortaleza", 0.0},
+      {"Shirley NY", "Lisbon", 0.0},   // control: a northern route
+      {"Boston", "Porthcurno", 0.0},   // control: a northern route
+  };
+}
+
+std::vector<CandidateCable> TopologyPlanner::arctic_candidates() {
+  // Proposed trans-Arctic systems (Arctic Connect / Far North Fiber
+  // analogues): Europe <-> East Asia over the pole. Lengths approximate
+  // the published route plans; endpoints are anchor landing stations.
+  return {
+      {"Bude", "Tokyo", 15500.0},           // UK <-> Japan via the Arctic
+      {"Landeyjasandur", "Tokyo", 14500.0}, // Iceland <-> Japan
+  };
+}
+
+}  // namespace solarnet::core

@@ -1,0 +1,78 @@
+// Topology planner (§5.1): evaluates candidate new cables for their effect
+// on solar-storm resilience. The paper recommends adding capacity at lower
+// latitudes (e.g. more US <-> Central/South America links, Brazil <->
+// Europe/Africa links) even at a latency cost; this module quantifies that
+// trade-off on a concrete network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gic/failure_model.h"
+#include "sim/monte_carlo.h"
+#include "topology/network.h"
+
+namespace solarnet::core {
+
+struct CandidateCable {
+  std::string from_node;  // node names in the target network
+  std::string to_node;
+  double length_km = 0.0;  // 0 = great-circle x 1.1 slack
+};
+
+// Returns a copy of `net` with the candidate added as a new submarine
+// cable; the realized length is written to *out_length when non-null.
+// Throws std::invalid_argument for unknown endpoints.
+topo::InfrastructureNetwork with_cable(const topo::InfrastructureNetwork& net,
+                                       const CandidateCable& candidate,
+                                       double* out_length = nullptr);
+
+struct CandidateEvaluation {
+  CandidateCable candidate;
+  double length_km = 0.0;
+  double death_probability = 0.0;  // of the new cable itself
+  // Corridor metric before/after adding the candidate: probability that the
+  // two country groups are fully cut off from each other.
+  double corridor_cutoff_before = 0.0;
+  double corridor_cutoff_after = 0.0;
+  double risk_reduction() const noexcept {
+    return corridor_cutoff_before - corridor_cutoff_after;
+  }
+};
+
+class TopologyPlanner {
+ public:
+  // The base network is copied so candidates can be applied independently.
+  TopologyPlanner(topo::InfrastructureNetwork base, sim::TrialConfig config)
+      : base_(std::move(base)), config_(config) {}
+
+  // Evaluates one candidate against a corridor (country sets A and B).
+  CandidateEvaluation evaluate(const CandidateCable& candidate,
+                               const gic::RepeaterFailureModel& model,
+                               const std::vector<std::string>& countries_a,
+                               const std::vector<std::string>& countries_b) const;
+
+  // Evaluates many candidates and returns them sorted by risk reduction,
+  // best first.
+  std::vector<CandidateEvaluation> rank(
+      const std::vector<CandidateCable>& candidates,
+      const gic::RepeaterFailureModel& model,
+      const std::vector<std::string>& countries_a,
+      const std::vector<std::string>& countries_b) const;
+
+  // A curated default candidate pool mirroring §5.1's suggestions
+  // (low-latitude routes: US south <-> South America, Brazil <-> Africa /
+  // Europe-south). Node names refer to the default submarine network.
+  static std::vector<CandidateCable> default_low_latitude_candidates();
+
+  // §5.1's other direction: proposed trans-Arctic systems (Europe <->
+  // East Asia through the Arctic Ocean) — shorter, hence faster, but
+  // routed through the highest-GIC latitudes.
+  static std::vector<CandidateCable> arctic_candidates();
+
+ private:
+  topo::InfrastructureNetwork base_;
+  sim::TrialConfig config_;
+};
+
+}  // namespace solarnet::core

@@ -1,0 +1,63 @@
+#include "core/scenario.h"
+
+#include "sim/monte_carlo.h"
+
+namespace solarnet::core {
+
+analysis::ResilienceReport ScenarioRunner::run(
+    const gic::RepeaterFailureModel& model,
+    const ScenarioOptions& options) const {
+  analysis::ResilienceReport report;
+  report.title = "solarnet resilience report — model " + model.name();
+
+  report.length_summaries.push_back(analysis::summarize_lengths(
+      world_.submarine(), options.repeater_spacing_km));
+  report.length_summaries.push_back(analysis::summarize_lengths(
+      world_.intertubes(), options.repeater_spacing_km));
+  if (world_.has_itu()) {
+    report.length_summaries.push_back(analysis::summarize_lengths(
+        world_.itu(), options.repeater_spacing_km));
+  }
+
+  report.failure_results.push_back(analysis::band_failure_run(
+      world_.submarine(), model, options.repeater_spacing_km, options.trials,
+      options.seed));
+  report.failure_results.back().model_name += " [submarine]";
+  report.failure_results.push_back(analysis::band_failure_run(
+      world_.intertubes(), model, options.repeater_spacing_km, options.trials,
+      options.seed + 1));
+  report.failure_results.back().model_name += " [intertubes]";
+  if (world_.has_itu()) {
+    report.failure_results.push_back(analysis::band_failure_run(
+        world_.itu(), model, options.repeater_spacing_km, options.trials,
+        options.seed + 2));
+    report.failure_results.back().model_name += " [itu]";
+  }
+
+  sim::TrialConfig trial_config;
+  trial_config.repeater_spacing_km = options.repeater_spacing_km;
+  const sim::FailureSimulator simulator(world_.submarine(), trial_config);
+  for (const std::string& country : options.countries) {
+    report.countries.push_back(analysis::country_connectivity(
+        world_.submarine(), simulator, model, country));
+  }
+
+  report.datacenter_footprints.push_back(
+      analysis::summarize_datacenters(datasets::DataCenterOperator::kGoogle));
+  report.datacenter_footprints.push_back(analysis::summarize_datacenters(
+      datasets::DataCenterOperator::kFacebook));
+  report.dns = analysis::summarize_dns(world_.dns_roots());
+  report.has_dns = true;
+  return report;
+}
+
+analysis::ResilienceReport ScenarioRunner::run_storm(
+    const gic::StormScenario& storm, const ScenarioOptions& options) const {
+  const gic::FieldDrivenFailureModel model{gic::GeoelectricFieldModel(storm)};
+  analysis::ResilienceReport report = run(model, options);
+  report.title =
+      "solarnet resilience report — storm " + storm.name + " (field-driven)";
+  return report;
+}
+
+}  // namespace solarnet::core

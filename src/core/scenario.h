@@ -1,0 +1,43 @@
+// ScenarioRunner: one-call evaluation of a failure model (or a physical
+// storm scenario) against a World, producing the structured
+// ResilienceReport. This is the "quickstart" entry point of the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "core/world.h"
+#include "gic/failure_model.h"
+#include "gic/storm.h"
+
+namespace solarnet::core {
+
+struct ScenarioOptions {
+  double repeater_spacing_km = 150.0;
+  std::size_t trials = 10;  // the paper's trial count
+  std::uint64_t seed = 7;
+  // Countries included in the country-connectivity section.
+  std::vector<std::string> countries = {"US", "GB", "CN", "IN", "SG", "ZA",
+                                        "AU", "NZ", "BR"};
+};
+
+class ScenarioRunner {
+ public:
+  // The world must outlive the runner.
+  explicit ScenarioRunner(const World& world) : world_(world) {}
+
+  // Evaluates an explicit repeater-failure model.
+  analysis::ResilienceReport run(const gic::RepeaterFailureModel& model,
+                                 const ScenarioOptions& options = {}) const;
+
+  // Evaluates a physical storm via the field-driven failure model.
+  analysis::ResilienceReport run_storm(const gic::StormScenario& storm,
+                                       const ScenarioOptions& options = {}) const;
+
+ private:
+  const World& world_;
+};
+
+}  // namespace solarnet::core

@@ -1,0 +1,64 @@
+#include "core/shutdown.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace solarnet::core {
+
+ShutdownOutcome evaluate_shutdown(const topo::InfrastructureNetwork& net,
+                                  const gic::RepeaterFailureModel& model,
+                                  const ShutdownPolicy& policy,
+                                  double repeater_spacing_km) {
+  sim::TrialConfig config;
+  config.repeater_spacing_km = repeater_spacing_km;
+  const sim::FailureSimulator simulator(net, config);
+  const ShutdownAdjustedModel off_model(model, policy.powered_off_factor);
+
+  // How many cables fit in the lead time?
+  const std::size_t budget =
+      policy.hours_per_cable > 0.0
+          ? static_cast<std::size_t>(policy.lead_time_hours /
+                                     policy.hours_per_cable)
+          : net.cable_count();
+
+  std::vector<std::pair<double, topo::CableId>> risk;
+  risk.reserve(net.cable_count());
+  ShutdownOutcome outcome;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    const double p = simulator.cable_death_probability(c, model);
+    outcome.expected_failures_no_action += p;
+    double key = 0.0;
+    switch (policy.priority) {
+      case ShutdownPriority::kByBenefit:
+        key = p - simulator.cable_death_probability(c, off_model);
+        break;
+      case ShutdownPriority::kByRisk:
+        key = p;
+        break;
+      case ShutdownPriority::kNone:
+        key = 0.0;
+        break;
+    }
+    risk.push_back({key, c});
+  }
+  if (policy.priority != ShutdownPriority::kNone) {
+    std::stable_sort(risk.begin(), risk.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+  }
+
+  std::vector<bool> shut(net.cable_count(), false);
+  for (std::size_t i = 0; i < risk.size() && i < budget; ++i) {
+    shut[risk[i].second] = true;
+    ++outcome.cables_shut_down;
+  }
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    outcome.expected_failures_with_plan +=
+        shut[c] ? simulator.cable_death_probability(c, off_model)
+                : simulator.cable_death_probability(c, model);
+  }
+  return outcome;
+}
+
+}  // namespace solarnet::core

@@ -1,0 +1,75 @@
+// Lead-time shutdown strategy (§5.2). A CME gives 13 hours to a few days
+// of warning. Powering off a cable gives only partial protection — GIC
+// flows through a powered-off conductor too; removing the superimposed feed
+// current reduces the peak only slightly — and operators can only process
+// so many cable shutdowns within the lead time. This module quantifies the
+// expected benefit of a shutdown plan.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gic/failure_model.h"
+#include "sim/monte_carlo.h"
+#include "topology/network.h"
+
+namespace solarnet::core {
+
+enum class ShutdownPriority {
+  // Largest expected benefit first (death-probability drop from powering
+  // off). The right default: cables already doomed gain nothing from a
+  // shutdown, so raw risk is a bad ordering.
+  kByBenefit,
+  // Highest death probability first (naive triage).
+  kByRisk,
+  // Cable-id order (no triage) — the do-nothing baseline for ablations.
+  kNone,
+};
+
+struct ShutdownPolicy {
+  double lead_time_hours = 13.0;  // minimum CME travel time
+  // Operational cost of a controlled cable shutdown.
+  double hours_per_cable = 0.5;
+  // Multiplier on repeater failure probability for a powered-off cable
+  // (< 1; modest, per §5.2's "powering off ... helps only when the threat
+  // is moderate").
+  double powered_off_factor = 0.65;
+  ShutdownPriority priority = ShutdownPriority::kByBenefit;
+};
+
+// A failure-model decorator that scales probabilities for cables marked
+// shut down. Used internally and exposed for tests.
+class ShutdownAdjustedModel final : public gic::RepeaterFailureModel {
+ public:
+  ShutdownAdjustedModel(const gic::RepeaterFailureModel& base, double factor)
+      : base_(base), factor_(factor) {}
+  double failure_probability(const gic::RepeaterContext& ctx) const override {
+    return factor_ * base_.failure_probability(ctx);
+  }
+  std::string name() const override {
+    return base_.name() + " (powered off)";
+  }
+
+ private:
+  const gic::RepeaterFailureModel& base_;
+  double factor_;
+};
+
+struct ShutdownOutcome {
+  std::size_t cables_shut_down = 0;
+  double expected_failures_no_action = 0.0;
+  double expected_failures_with_plan = 0.0;
+  double expected_cables_saved() const noexcept {
+    return expected_failures_no_action - expected_failures_with_plan;
+  }
+};
+
+// Evaluates the expected number of failed cables with and without the
+// shutdown plan (exact expectation over per-cable death probabilities).
+ShutdownOutcome evaluate_shutdown(const topo::InfrastructureNetwork& net,
+                                  const gic::RepeaterFailureModel& model,
+                                  const ShutdownPolicy& policy,
+                                  double repeater_spacing_km = 150.0);
+
+}  // namespace solarnet::core

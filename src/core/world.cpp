@@ -1,0 +1,47 @@
+#include "core/world.h"
+
+#include <stdexcept>
+
+namespace solarnet::core {
+
+World World::generate(const WorldConfig& config) {
+  World w;
+  w.submarine_ = std::make_unique<topo::InfrastructureNetwork>(
+      datasets::make_submarine_network(config.submarine));
+  w.intertubes_ = std::make_unique<topo::InfrastructureNetwork>(
+      datasets::make_intertubes_network(config.intertubes));
+  if (config.build_itu) {
+    w.itu_ = std::make_unique<topo::InfrastructureNetwork>(
+        datasets::make_itu_network(config.itu));
+  }
+  if (config.build_routers) {
+    w.routers_ = std::make_unique<datasets::RouterDataset>(
+        datasets::make_router_dataset(config.routers));
+  }
+  w.ixps_ = datasets::make_ixp_dataset(config.ixps);
+  w.dns_ = datasets::make_dns_dataset(config.dns);
+  if (config.build_population) {
+    w.population_ = std::make_unique<geo::LatLonGrid>(
+        datasets::make_population_grid(config.population));
+  }
+  return w;
+}
+
+const topo::InfrastructureNetwork& World::itu() const {
+  if (!itu_) throw std::logic_error("World: ITU network was not built");
+  return *itu_;
+}
+
+const datasets::RouterDataset& World::routers() const {
+  if (!routers_) throw std::logic_error("World: router dataset was not built");
+  return *routers_;
+}
+
+const geo::LatLonGrid& World::population() const {
+  if (!population_) {
+    throw std::logic_error("World: population grid was not built");
+  }
+  return *population_;
+}
+
+}  // namespace solarnet::core

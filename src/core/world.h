@@ -1,0 +1,72 @@
+// World: the library's top-level container — every dataset the paper's
+// analysis touches, generated (or loaded) once and shared by the analyses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datasets/infra_points.h"
+#include "datasets/land.h"
+#include "datasets/population.h"
+#include "datasets/routers.h"
+#include "datasets/submarine.h"
+#include "geo/grid.h"
+#include "topology/network.h"
+
+namespace solarnet::core {
+
+struct WorldConfig {
+  datasets::SubmarineConfig submarine;
+  datasets::IntertubesConfig intertubes;
+  datasets::ItuConfig itu;
+  datasets::RouterConfig routers;
+  datasets::IxpConfig ixps;
+  datasets::DnsConfig dns;
+  datasets::PopulationConfig population;
+  // Expensive optional parts can be skipped for light-weight uses.
+  bool build_itu = true;
+  bool build_routers = true;
+  bool build_population = true;
+};
+
+class World {
+ public:
+  // Generates all datasets from the config (deterministic per seed set).
+  static World generate(const WorldConfig& config = {});
+
+  const topo::InfrastructureNetwork& submarine() const {
+    return *submarine_;
+  }
+  const topo::InfrastructureNetwork& intertubes() const {
+    return *intertubes_;
+  }
+  bool has_itu() const noexcept { return itu_ != nullptr; }
+  const topo::InfrastructureNetwork& itu() const;
+
+  bool has_routers() const noexcept { return routers_ != nullptr; }
+  const datasets::RouterDataset& routers() const;
+
+  const std::vector<datasets::InfraPoint>& ixps() const noexcept {
+    return ixps_;
+  }
+  const std::vector<datasets::DnsRootInstance>& dns_roots() const noexcept {
+    return dns_;
+  }
+
+  bool has_population() const noexcept { return population_ != nullptr; }
+  const geo::LatLonGrid& population() const;
+
+ private:
+  World() = default;
+
+  // unique_ptr keeps World cheaply movable and lets optional parts be null.
+  std::unique_ptr<topo::InfrastructureNetwork> submarine_;
+  std::unique_ptr<topo::InfrastructureNetwork> intertubes_;
+  std::unique_ptr<topo::InfrastructureNetwork> itu_;
+  std::unique_ptr<datasets::RouterDataset> routers_;
+  std::vector<datasets::InfraPoint> ixps_;
+  std::vector<datasets::DnsRootInstance> dns_;
+  std::unique_ptr<geo::LatLonGrid> population_;
+};
+
+}  // namespace solarnet::core

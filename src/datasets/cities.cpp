@@ -1,0 +1,358 @@
+#include "datasets/cities.h"
+
+#include <stdexcept>
+
+namespace solarnet::datasets {
+
+namespace {
+
+std::vector<City> build_cities() {
+  std::vector<City> c;
+  auto add = [&](const char* name, const char* cc, double lat, double lon,
+                 double pop_m, bool coastal) {
+    c.push_back({name, cc, {lat, lon}, pop_m, coastal});
+  };
+
+  // --- North America: US ---
+  add("New York", "US", 40.71, -74.01, 19.8, true);
+  add("Wall Township NJ", "US", 40.16, -74.06, 0.3, true);
+  add("Manasquan NJ", "US", 40.12, -74.05, 0.1, true);
+  add("Shirley NY", "US", 40.80, -72.87, 0.1, true);
+  add("Boston", "US", 42.36, -71.06, 4.9, true);
+  add("Narragansett RI", "US", 41.43, -71.46, 0.02, true);
+  add("Block Island RI", "US", 41.17, -71.58, 0.001, true);
+  add("Lynn MA", "US", 42.47, -70.95, 0.1, true);
+  add("Wilmington DE", "US", 39.75, -75.55, 0.7, false);
+  add("Philadelphia", "US", 39.95, -75.17, 6.1, false);
+  add("Tuckerton NJ", "US", 39.60, -74.34, 0.05, true);
+  add("Virginia Beach", "US", 36.85, -75.98, 1.8, true);
+  add("Washington DC", "US", 38.91, -77.04, 6.3, false);
+  add("Richmond VA", "US", 37.54, -77.44, 1.3, false);
+  add("Ashburn VA", "US", 39.04, -77.49, 0.4, false);
+  add("Charleston SC", "US", 32.78, -79.93, 0.8, true);
+  add("Myrtle Beach SC", "US", 33.69, -78.89, 0.5, true);
+  add("Jacksonville FL", "US", 30.33, -81.66, 1.6, true);
+  add("Jacksonville Beach FL", "US", 30.29, -81.39, 0.02, true);
+  add("Miami", "US", 25.76, -80.19, 6.1, true);
+  add("Boca Raton FL", "US", 26.37, -80.10, 0.1, true);
+  add("West Palm Beach FL", "US", 26.71, -80.05, 1.5, true);
+  add("Hollywood FL", "US", 26.01, -80.15, 0.15, true);
+  add("Tampa", "US", 27.95, -82.46, 3.2, true);
+  add("New Orleans", "US", 29.95, -90.07, 1.3, true);
+  add("Houston", "US", 29.76, -95.37, 7.1, true);
+  add("Dallas", "US", 32.78, -96.80, 7.6, false);
+  add("Austin", "US", 30.27, -97.74, 2.3, false);
+  add("San Antonio", "US", 29.42, -98.49, 2.6, false);
+  add("Atlanta", "US", 33.75, -84.39, 6.1, false);
+  add("Charlotte", "US", 35.23, -80.84, 2.7, false);
+  add("Raleigh", "US", 35.78, -78.64, 1.4, false);
+  add("Nashville", "US", 36.16, -86.78, 2.0, false);
+  add("Memphis", "US", 35.15, -90.05, 1.3, false);
+  add("St Louis", "US", 38.63, -90.20, 2.8, false);
+  add("Chicago", "US", 41.88, -87.63, 9.5, false);
+  add("Detroit", "US", 42.33, -83.05, 4.3, false);
+  add("Cleveland", "US", 41.50, -81.69, 2.1, false);
+  add("Pittsburgh", "US", 40.44, -80.00, 2.3, false);
+  add("Buffalo", "US", 42.89, -78.88, 1.1, false);
+  add("Indianapolis", "US", 39.77, -86.16, 2.1, false);
+  add("Columbus OH", "US", 39.96, -83.00, 2.1, false);
+  add("Cincinnati", "US", 39.10, -84.51, 2.2, false);
+  add("Kansas City", "US", 39.10, -94.58, 2.2, false);
+  add("Minneapolis", "US", 44.98, -93.27, 3.7, false);
+  add("Milwaukee", "US", 43.04, -87.91, 1.6, false);
+  add("Omaha", "US", 41.26, -95.93, 0.9, false);
+  add("Denver", "US", 39.74, -104.99, 2.9, false);
+  add("Salt Lake City", "US", 40.76, -111.89, 1.2, false);
+  add("Albuquerque", "US", 35.08, -106.65, 0.9, false);
+  add("Phoenix", "US", 33.45, -112.07, 4.9, false);
+  add("Tucson", "US", 32.22, -110.97, 1.0, false);
+  add("El Paso", "US", 31.76, -106.49, 0.8, false);
+  add("Las Vegas", "US", 36.17, -115.14, 2.3, false);
+  add("Los Angeles", "US", 34.05, -118.24, 13.2, true);
+  add("Hermosa Beach CA", "US", 33.86, -118.40, 0.02, true);
+  add("Manhattan Beach CA", "US", 33.88, -118.41, 0.04, true);
+  add("Grover Beach CA", "US", 35.12, -120.62, 0.01, true);
+  add("San Luis Obispo CA", "US", 35.28, -120.66, 0.05, true);
+  add("San Diego", "US", 32.72, -117.16, 3.3, true);
+  add("San Jose", "US", 37.34, -121.89, 2.0, false);
+  add("San Francisco", "US", 37.77, -122.42, 4.7, true);
+  add("Pacifica CA", "US", 37.61, -122.49, 0.04, true);
+  add("Point Arena CA", "US", 38.91, -123.69, 0.01, true);
+  add("Sacramento", "US", 38.58, -121.49, 2.4, false);
+  add("Portland OR", "US", 45.52, -122.68, 2.5, false);
+  add("Pacific City OR", "US", 45.20, -123.96, 0.01, true);
+  add("Bandon OR", "US", 43.12, -124.41, 0.003, true);
+  add("Warrenton OR", "US", 46.17, -123.92, 0.006, true);
+  add("Hillsboro OR", "US", 45.52, -122.99, 0.1, true);
+  add("Seattle", "US", 47.61, -122.33, 4.0, true);
+  add("Salt Creek WA", "US", 48.16, -123.70, 0.002, true);
+  add("Spokane", "US", 47.66, -117.43, 0.6, false);
+  add("Boise", "US", 43.62, -116.20, 0.8, false);
+  add("Billings", "US", 45.78, -108.50, 0.2, false);
+  add("Honolulu", "US", 21.31, -157.86, 1.0, true);
+  add("Kahe Point HI", "US", 21.35, -158.13, 0.01, true);
+  add("Hilo HI", "US", 19.71, -155.08, 0.05, true);
+  add("Kapolei HI", "US", 21.34, -158.06, 0.02, true);
+  add("Anchorage", "US", 61.22, -149.90, 0.4, true);
+  add("Juneau", "US", 58.30, -134.42, 0.03, true);
+  add("Nikiski AK", "US", 60.69, -151.29, 0.005, true);
+  // --- Canada ---
+  add("Halifax", "CA", 44.65, -63.58, 0.4, true);
+  add("St Johns NL", "CA", 47.56, -52.71, 0.2, true);
+  add("Montreal", "CA", 45.50, -73.57, 4.3, false);
+  add("Toronto", "CA", 43.65, -79.38, 6.4, false);
+  add("Ottawa", "CA", 45.42, -75.70, 1.4, false);
+  add("Winnipeg", "CA", 49.90, -97.14, 0.8, false);
+  add("Calgary", "CA", 51.05, -114.07, 1.5, false);
+  add("Edmonton", "CA", 53.55, -113.49, 1.4, false);
+  add("Vancouver", "CA", 49.28, -123.12, 2.6, true);
+  add("Prince Rupert BC", "CA", 54.32, -130.32, 0.01, true);
+  add("Nuuk", "GL", 64.18, -51.72, 0.02, true);
+  // --- Mexico / Central America / Caribbean ---
+  add("Mexico City", "MX", 19.43, -99.13, 21.8, false);
+  add("Tijuana", "MX", 32.51, -117.04, 2.0, true);
+  add("Mazatlan", "MX", 23.25, -106.41, 0.5, true);
+  add("Cancun", "MX", 21.16, -86.85, 0.9, true);
+  add("San Jose CR", "CR", 9.93, -84.08, 1.4, true);
+  add("Panama City PA", "PA", 8.98, -79.52, 1.9, true);
+  add("Havana", "CU", 23.11, -82.37, 2.1, true);
+  add("Nassau", "BS", 25.04, -77.35, 0.3, true);
+  add("San Juan PR", "PR", 18.47, -66.11, 2.4, true);
+  add("Charlotte Amalie VI", "VG", 18.34, -64.93, 0.05, true);
+  // --- South America ---
+  add("Cartagena", "CO", 10.39, -75.51, 1.0, true);
+  add("Barranquilla", "CO", 10.97, -74.80, 2.0, true);
+  add("Bogota", "CO", 4.71, -74.07, 10.7, false);
+  add("Caracas", "VE", 10.48, -66.90, 2.9, true);
+  add("Fortaleza", "BR", -3.73, -38.53, 4.0, true);
+  add("Recife", "BR", -8.05, -34.88, 4.0, true);
+  add("Salvador", "BR", -12.97, -38.50, 3.9, true);
+  add("Rio de Janeiro", "BR", -22.91, -43.17, 13.5, true);
+  add("Santos", "BR", -23.96, -46.33, 0.4, true);
+  add("Sao Paulo", "BR", -23.55, -46.63, 22.0, false);
+  add("Porto Alegre", "BR", -30.03, -51.23, 4.1, true);
+  add("Montevideo", "UY", -34.90, -56.16, 1.8, true);
+  add("Buenos Aires", "AR", -34.60, -58.38, 15.2, true);
+  add("Las Toninas", "AR", -36.49, -56.70, 0.01, true);
+  add("Santiago", "CL", -33.45, -70.67, 6.8, false);
+  add("Valparaiso", "CL", -33.05, -71.62, 1.0, true);
+  add("Arica", "CL", -18.48, -70.31, 0.2, true);
+  add("Lima", "PE", -12.05, -77.04, 10.7, true);
+  add("Lurin", "PE", -12.28, -76.87, 0.09, true);
+  // --- Europe ---
+  add("London", "GB", 51.51, -0.13, 14.3, false);
+  add("Bude", "GB", 50.83, -4.54, 0.01, true);
+  add("Porthcurno", "GB", 50.04, -5.65, 0.001, true);
+  add("Southport", "GB", 53.65, -3.01, 0.09, true);
+  add("Highbridge", "GB", 51.22, -2.97, 0.01, true);
+  add("Manchester", "GB", 53.48, -2.24, 2.8, false);
+  add("Lowestoft", "GB", 52.48, 1.75, 0.07, true);
+  add("Newcastle", "GB", 54.98, -1.61, 0.8, true);
+  add("Edinburgh", "GB", 55.95, -3.19, 0.9, true);
+  add("Dublin", "IE", 53.35, -6.26, 1.4, true);
+  add("Cork", "IE", 51.90, -8.47, 0.4, true);
+  add("Paris", "FR", 48.86, 2.35, 12.4, false);
+  add("Brest", "FR", 48.39, -4.49, 0.3, true);
+  add("Saint-Hilaire-de-Riez", "FR", 46.72, -1.95, 0.01, true);
+  add("Bordeaux", "FR", 44.84, -0.58, 1.2, true);
+  add("Marseille", "FR", 43.30, 5.37, 1.8, true);
+  add("Lisbon", "PT", 38.72, -9.14, 2.9, true);
+  add("Sines", "PT", 37.96, -8.87, 0.01, true);
+  add("Carcavelos", "PT", 38.69, -9.33, 0.02, true);
+  add("Seixal", "PT", 38.64, -9.10, 0.16, true);
+  add("Madrid", "ES", 40.42, -3.70, 6.7, false);
+  add("Bilbao", "ES", 43.26, -2.93, 1.0, true);
+  add("Sopelana", "ES", 43.38, -2.98, 0.01, true);
+  add("Barcelona", "ES", 41.39, 2.17, 5.6, true);
+  add("Valencia", "ES", 39.47, -0.38, 1.6, true);
+  add("Tenerife", "ES", 28.46, -16.25, 0.9, true);
+  add("Cadiz", "ES", 36.53, -6.29, 0.6, true);
+  add("Amsterdam", "NL", 52.37, 4.90, 2.5, true);
+  add("Katwijk", "NL", 52.20, 4.40, 0.07, true);
+  add("Brussels", "BE", 50.85, 4.35, 2.1, false);
+  add("Ostend", "BE", 51.22, 2.92, 0.07, true);
+  add("Frankfurt", "DE", 50.11, 8.68, 2.3, false);
+  add("Berlin", "DE", 52.52, 13.41, 3.7, false);
+  add("Hamburg", "DE", 53.55, 9.99, 1.8, true);
+  add("Norden", "DE", 53.60, 7.21, 0.03, true);
+  add("Munich", "DE", 48.14, 11.58, 1.5, false);
+  add("Zurich", "CH", 47.37, 8.54, 1.4, false);
+  add("Geneva", "CH", 46.20, 6.14, 0.6, false);
+  add("Milan", "IT", 45.46, 9.19, 3.1, false);
+  add("Rome", "IT", 41.90, 12.50, 4.3, false);
+  add("Genoa", "IT", 44.41, 8.93, 0.8, true);
+  add("Palermo", "IT", 38.12, 13.36, 0.9, true);
+  add("Bari", "IT", 41.12, 16.87, 0.6, true);
+  add("Catania", "IT", 37.50, 15.09, 0.6, true);
+  add("Athens", "GR", 37.98, 23.73, 3.2, true);
+  add("Chania", "GR", 35.51, 24.02, 0.1, true);
+  add("Copenhagen", "DK", 55.68, 12.57, 2.1, true);
+  add("Fredericia", "DK", 55.57, 9.75, 0.05, true);
+  add("Oslo", "NO", 59.91, 10.75, 1.0, true);
+  add("Kristiansand", "NO", 58.15, 8.00, 0.1, true);
+  add("Bergen", "NO", 60.39, 5.32, 0.4, true);
+  add("Longyearbyen", "NO", 78.22, 15.63, 0.002, true);
+  add("Stockholm", "SE", 59.33, 18.06, 2.4, true);
+  add("Gothenburg", "SE", 57.71, 11.97, 1.0, true);
+  add("Lulea", "SE", 65.58, 22.15, 0.08, true);
+  add("Helsinki", "FI", 60.17, 24.94, 1.5, true);
+  add("Hamina", "FI", 60.57, 27.20, 0.02, true);
+  add("Warsaw", "PL", 52.23, 21.01, 3.1, false);
+  add("Gdansk", "PL", 54.35, 18.65, 0.8, true);
+  add("Reykjavik", "IS", 64.15, -21.94, 0.2, true);
+  add("Landeyjasandur", "IS", 63.59, -20.10, 0.001, true);
+  add("Moscow", "RU", 55.76, 37.62, 12.6, false);
+  add("St Petersburg", "RU", 59.93, 30.34, 5.4, true);
+  add("Vladivostok", "RU", 43.12, 131.89, 0.6, true);
+  add("Murmansk", "RU", 68.97, 33.07, 0.3, true);
+  // --- Africa ---
+  add("Casablanca", "MA", 33.57, -7.59, 3.7, true);
+  add("Dakar", "SN", 14.72, -17.47, 3.1, true);
+  add("Accra", "GH", 5.60, -0.19, 2.5, true);
+  add("Lagos", "NG", 6.52, 3.38, 14.8, true);
+  add("Cairo", "EG", 30.04, 31.24, 20.9, false);
+  add("Alexandria", "EG", 31.20, 29.92, 5.3, true);
+  add("Suez", "EG", 29.97, 32.53, 0.7, true);
+  add("Djibouti City", "DJ", 11.59, 43.15, 0.6, true);
+  add("Mogadishu", "SO", 2.05, 45.32, 2.4, true);
+  add("Mombasa", "KE", -4.04, 39.67, 1.3, true);
+  add("Nairobi", "KE", -1.29, 36.82, 4.9, false);
+  add("Dar es Salaam", "TZ", -6.79, 39.21, 6.7, true);
+  add("Maputo", "MZ", -25.97, 32.57, 1.8, true);
+  add("Toliara", "MG", -23.35, 43.67, 0.2, true);
+  add("Luanda", "AO", -8.84, 13.23, 8.3, true);
+  add("Durban", "ZA", -29.86, 31.02, 3.9, true);
+  add("Mtunzini", "ZA", -28.95, 31.75, 0.01, true);
+  add("Cape Town", "ZA", -33.92, 18.42, 4.6, true);
+  add("Melkbosstrand", "ZA", -33.72, 18.44, 0.01, true);
+  add("Johannesburg", "ZA", -26.20, 28.05, 9.6, false);
+  // --- Middle East ---
+  add("Tel Aviv", "IL", 32.09, 34.78, 4.0, true);
+  add("Istanbul", "TR", 41.01, 28.98, 15.5, true);
+  add("Jeddah", "SA", 21.49, 39.19, 4.7, true);
+  add("Riyadh", "SA", 24.71, 46.68, 7.5, false);
+  add("Dubai", "AE", 25.20, 55.27, 3.4, true);
+  add("Fujairah", "AE", 25.13, 56.33, 0.3, true);
+  add("Muscat", "OM", 23.59, 58.41, 1.6, true);
+  // --- South Asia ---
+  add("Karachi", "PK", 24.86, 67.01, 16.5, true);
+  add("Mumbai", "IN", 19.08, 72.88, 20.7, true);
+  add("Versova", "IN", 19.13, 72.81, 0.1, true);
+  add("Chennai", "IN", 13.08, 80.27, 11.0, true);
+  add("Kochi", "IN", 9.93, 76.27, 2.1, true);
+  add("Tuticorin", "IN", 8.76, 78.13, 0.5, true);
+  add("Delhi", "IN", 28.70, 77.10, 31.2, false);
+  add("Bangalore", "IN", 12.97, 77.59, 12.8, false);
+  add("Hyderabad", "IN", 17.39, 78.49, 10.0, false);
+  add("Kolkata", "IN", 22.57, 88.36, 14.9, true);
+  add("Colombo", "LK", 6.93, 79.85, 2.3, true);
+  // --- East & Southeast Asia ---
+  add("Singapore", "SG", 1.35, 103.82, 5.9, true);
+  add("Tuas", "SG", 1.32, 103.65, 0.05, true);
+  add("Changi", "SG", 1.35, 103.99, 0.05, true);
+  add("Kuala Lumpur", "MY", 3.14, 101.69, 7.8, false);
+  add("Penang", "MY", 5.41, 100.33, 2.5, true);
+  add("Mersing", "MY", 2.43, 103.84, 0.07, true);
+  add("Jakarta", "ID", -6.21, 106.85, 10.6, true);
+  add("Ancol", "ID", -6.12, 106.83, 0.03, true);
+  add("Batam", "ID", 1.08, 104.03, 1.2, true);
+  add("Surabaya", "ID", -7.26, 112.75, 2.9, true);
+  add("Manado", "ID", 1.47, 124.84, 0.4, true);
+  add("Bangkok", "TH", 13.76, 100.50, 10.7, true);
+  add("Songkhla", "TH", 7.19, 100.60, 0.07, true);
+  add("Satun", "TH", 6.62, 100.07, 0.03, true);
+  add("Hanoi", "VN", 21.03, 105.85, 8.1, false);
+  add("Da Nang", "VN", 16.05, 108.21, 1.1, true);
+  add("Vung Tau", "VN", 10.35, 107.08, 0.5, true);
+  add("Ho Chi Minh City", "VN", 10.82, 106.63, 9.0, true);
+  add("Manila", "PH", 14.60, 120.98, 13.9, true);
+  add("Batangas", "PH", 13.76, 121.06, 0.3, true);
+  add("Davao", "PH", 7.19, 125.46, 1.8, true);
+  add("Hong Kong", "HK", 22.32, 114.17, 7.5, true);
+  add("Chung Hom Kok", "HK", 22.22, 114.21, 0.005, true);
+  add("Tseung Kwan O", "HK", 22.31, 114.26, 0.4, true);
+  add("Taipei", "TW", 25.03, 121.57, 7.0, true);
+  add("Toucheng", "TW", 24.85, 121.82, 0.03, true);
+  add("Fangshan", "TW", 22.26, 120.65, 0.01, true);
+  add("Kaohsiung", "TW", 22.63, 120.30, 2.8, true);
+  add("Shanghai", "CN", 31.23, 121.47, 27.1, true);
+  add("Chongming", "CN", 31.62, 121.40, 0.7, true);
+  add("Nanhui", "CN", 30.89, 121.93, 0.1, true);
+  add("Qingdao", "CN", 36.07, 120.38, 9.5, true);
+  add("Shantou", "CN", 23.35, 116.68, 5.5, true);
+  add("Beijing", "CN", 39.90, 116.41, 20.9, false);
+  add("Guangzhou", "CN", 23.13, 113.26, 18.7, false);
+  add("Shenzhen", "CN", 22.54, 114.06, 17.6, true);
+  add("Chengdu", "CN", 30.57, 104.07, 16.3, false);
+  add("Wuhan", "CN", 30.59, 114.31, 11.1, false);
+  add("Xian", "CN", 34.34, 108.94, 12.9, false);
+  add("Harbin", "CN", 45.80, 126.53, 10.0, false);
+  add("Urumqi", "CN", 43.83, 87.62, 4.0, false);
+  add("Seoul", "KR", 37.57, 126.98, 25.5, false);
+  add("Busan", "KR", 35.18, 129.08, 3.4, true);
+  add("Keoje", "KR", 34.88, 128.62, 0.2, true);
+  add("Tokyo", "JP", 35.68, 139.69, 37.3, true);
+  add("Chikura", "JP", 34.95, 139.95, 0.01, true);
+  add("Maruyama", "JP", 35.10, 139.83, 0.01, true);
+  add("Minamiboso", "JP", 35.04, 139.84, 0.04, true);
+  add("Shima", "JP", 34.33, 136.84, 0.05, true);
+  add("Osaka", "JP", 34.69, 135.50, 19.1, true);
+  add("Kitaibaraki", "JP", 36.80, 140.75, 0.04, true);
+  add("Sendai", "JP", 38.27, 140.87, 2.3, true);
+  add("Sapporo", "JP", 43.06, 141.35, 2.7, false);
+  // --- Oceania ---
+  add("Sydney", "AU", -33.87, 151.21, 5.3, true);
+  add("Alexandria NSW", "AU", -33.90, 151.19, 0.01, true);
+  add("Paddington NSW", "AU", -33.88, 151.23, 0.01, true);
+  add("Melbourne", "AU", -37.81, 144.96, 5.1, true);
+  add("Brisbane", "AU", -27.47, 153.03, 2.6, true);
+  add("Sunshine Coast", "AU", -26.65, 153.07, 0.35, true);
+  add("Perth", "AU", -31.95, 115.86, 2.1, true);
+  add("Adelaide", "AU", -34.93, 138.60, 1.4, true);
+  add("Darwin", "AU", -12.46, 130.84, 0.15, true);
+  add("Auckland", "NZ", -36.85, 174.76, 1.7, true);
+  add("Takapuna", "NZ", -36.79, 174.77, 0.05, true);
+  add("Wellington", "NZ", -41.29, 174.78, 0.4, true);
+  add("Christchurch", "NZ", -43.53, 172.64, 0.4, true);
+  add("Suva", "FJ", -18.12, 178.45, 0.2, true);
+  add("Hagatna", "GU", 13.47, 144.75, 0.15, true);
+  add("Piti", "GU", 13.46, 144.69, 0.002, true);
+  add("Pohnpei", "FM", 6.88, 158.22, 0.03, true);
+  add("Port Moresby", "PG", -9.44, 147.18, 0.4, true);
+  add("Noumea", "NC", -22.26, 166.45, 0.2, true);
+  add("Papeete", "PF", -17.54, -149.57, 0.14, true);
+
+  return c;
+}
+
+}  // namespace
+
+const std::vector<City>& world_cities() {
+  static const std::vector<City> cities = build_cities();
+  return cities;
+}
+
+std::vector<City> coastal_cities() {
+  std::vector<City> out;
+  for (const City& c : world_cities()) {
+    if (c.coastal) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<City> cities_in_country(const std::string& country_code) {
+  std::vector<City> out;
+  for (const City& c : world_cities()) {
+    if (c.country_code == country_code) out.push_back(c);
+  }
+  return out;
+}
+
+const City& city(const std::string& name) {
+  for (const City& c : world_cities()) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("city: unknown city '" + name + "'");
+}
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,33 @@
+// A curated table of world cities (coastal landing sites and inland hubs)
+// with approximate coordinates and metro populations. Shared by the
+// synthetic dataset generators: submarine landing points, land-network PoPs,
+// IXPs, and DNS instances are all seeded from this pool so the different
+// datasets stay geographically consistent with one another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace solarnet::datasets {
+
+struct City {
+  std::string name;
+  std::string country_code;  // ISO alpha-2
+  geo::GeoPoint location;
+  double population_m = 1.0;  // metro population, millions (approximate)
+  bool coastal = false;       // plausible submarine landing site
+};
+
+// The full curated table (stable order; ~200 entries).
+const std::vector<City>& world_cities();
+
+// Subsets (returned by value; cheap relative to generator cost).
+std::vector<City> coastal_cities();
+std::vector<City> cities_in_country(const std::string& country_code);
+
+// Lookup by exact name; throws std::out_of_range when absent.
+const City& city(const std::string& name);
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,75 @@
+#include "datasets/datacenters.h"
+
+namespace solarnet::datasets {
+
+std::string_view to_string(DataCenterOperator op) noexcept {
+  switch (op) {
+    case DataCenterOperator::kGoogle:
+      return "Google";
+    case DataCenterOperator::kFacebook:
+      return "Facebook";
+  }
+  return "unknown";
+}
+
+const std::vector<DataCenter>& hyperscale_datacenters() {
+  using Op = DataCenterOperator;
+  static const std::vector<DataCenter> dcs = [] {
+    std::vector<DataCenter> d;
+    auto add = [&](const char* site, Op op, double lat, double lon,
+                   const char* cc) {
+      d.push_back({site, op, {lat, lon}, cc});
+    };
+    // --- Google (public list, 2021) ---
+    add("The Dalles, OR", Op::kGoogle, 45.59, -121.18, "US");
+    add("Council Bluffs, IA", Op::kGoogle, 41.26, -95.86, "US");
+    add("Mayes County, OK", Op::kGoogle, 36.24, -95.33, "US");
+    add("Lenoir, NC", Op::kGoogle, 35.91, -81.54, "US");
+    add("Berkeley County, SC", Op::kGoogle, 33.19, -80.01, "US");
+    add("Douglas County, GA", Op::kGoogle, 33.75, -84.75, "US");
+    add("Jackson County, AL", Op::kGoogle, 34.77, -85.97, "US");
+    add("Montgomery County, TN", Op::kGoogle, 36.56, -87.36, "US");
+    add("Midlothian, TX", Op::kGoogle, 32.48, -96.99, "US");
+    add("New Albany, OH", Op::kGoogle, 40.08, -82.81, "US");
+    add("Papillion, NE", Op::kGoogle, 41.15, -96.04, "US");
+    add("Henderson, NV", Op::kGoogle, 36.04, -114.98, "US");
+    add("Loudoun County, VA", Op::kGoogle, 39.08, -77.64, "US");
+    add("Quilicura, Chile", Op::kGoogle, -33.36, -70.73, "CL");
+    add("St Ghislain, Belgium", Op::kGoogle, 50.45, 3.82, "BE");
+    add("Hamina, Finland", Op::kGoogle, 60.57, 27.20, "FI");
+    add("Dublin, Ireland", Op::kGoogle, 53.32, -6.44, "IE");
+    add("Eemshaven, Netherlands", Op::kGoogle, 53.43, 6.86, "NL");
+    add("Fredericia, Denmark", Op::kGoogle, 55.56, 9.65, "DK");
+    add("Changhua County, Taiwan", Op::kGoogle, 24.08, 120.42, "TW");
+    add("Singapore", Op::kGoogle, 1.35, 103.72, "SG");
+    // --- Facebook (public list, 2021) ---
+    add("Prineville, OR", Op::kFacebook, 44.29, -120.79, "US");
+    add("Forest City, NC", Op::kFacebook, 35.33, -81.87, "US");
+    add("Altoona, IA", Op::kFacebook, 41.65, -93.47, "US");
+    add("Fort Worth, TX", Op::kFacebook, 32.75, -97.33, "US");
+    add("Los Lunas, NM", Op::kFacebook, 34.81, -106.73, "US");
+    add("New Albany, OH (FB)", Op::kFacebook, 40.08, -82.75, "US");
+    add("Papillion, NE (FB)", Op::kFacebook, 41.15, -96.10, "US");
+    add("Henrico, VA", Op::kFacebook, 37.54, -77.43, "US");
+    add("Eagle Mountain, UT", Op::kFacebook, 40.31, -112.01, "US");
+    add("Huntsville, AL", Op::kFacebook, 34.73, -86.59, "US");
+    add("Newton County, GA", Op::kFacebook, 33.55, -83.85, "US");
+    add("Gallatin, TN", Op::kFacebook, 36.39, -86.45, "US");
+    add("Lulea, Sweden", Op::kFacebook, 65.61, 22.14, "SE");
+    add("Clonee, Ireland", Op::kFacebook, 53.41, -6.44, "IE");
+    add("Odense, Denmark", Op::kFacebook, 55.40, 10.40, "DK");
+    add("Singapore (FB)", Op::kFacebook, 1.32, 103.70, "SG");
+    return d;
+  }();
+  return dcs;
+}
+
+std::vector<DataCenter> datacenters_of(DataCenterOperator op) {
+  std::vector<DataCenter> out;
+  for (const DataCenter& d : hyperscale_datacenters()) {
+    if (d.op == op) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace solarnet::datasets

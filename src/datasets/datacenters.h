@@ -1,0 +1,32 @@
+// Hyperscale data center footprints (public location lists as of 2021,
+// which is what the paper's §4.4.2 compares): Google operates on five
+// continents including South America (Chile) and Asia (Singapore/Taiwan),
+// while Facebook's fleet is concentrated in the northern parts of the
+// northern hemisphere with no hyperscale sites in Africa or South America.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coords.h"
+#include "geo/regions.h"
+
+namespace solarnet::datasets {
+
+enum class DataCenterOperator { kGoogle, kFacebook };
+
+std::string_view to_string(DataCenterOperator op) noexcept;
+
+struct DataCenter {
+  std::string site;
+  DataCenterOperator op;
+  geo::GeoPoint location;
+  std::string country_code;
+};
+
+const std::vector<DataCenter>& hyperscale_datacenters();
+
+std::vector<DataCenter> datacenters_of(DataCenterOperator op);
+
+}  // namespace solarnet::datasets

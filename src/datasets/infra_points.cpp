@@ -1,0 +1,114 @@
+#include "datasets/infra_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/cities.h"
+#include "util/rng.h"
+
+namespace solarnet::datasets {
+
+namespace {
+
+// Shared helper: population-weighted city sampling with a northern tilt
+// factor applied to cities above |40 deg|.
+std::vector<double> tilted_city_weights(double north_tilt) {
+  const auto& cities = world_cities();
+  std::vector<double> w;
+  w.reserve(cities.size());
+  for (const City& c : cities) {
+    const double tilt = c.location.abs_lat() > 40.0 ? north_tilt : 1.0;
+    w.push_back(tilt * (0.1 + std::sqrt(c.population_m)));
+  }
+  return w;
+}
+
+geo::GeoPoint jitter(util::Rng& rng, const geo::GeoPoint& p, double deg) {
+  return geo::validated(
+      {std::clamp(p.lat_deg + rng.uniform(-deg, deg), -89.0, 89.0),
+       p.lon_deg + rng.uniform(-deg, deg)});
+}
+
+}  // namespace
+
+std::vector<InfraPoint> make_ixp_dataset(const IxpConfig& config) {
+  util::Rng rng(config.seed);
+  const auto& cities = world_cities();
+  // 43% of PCH IXP locations sit above |40 deg|; a 2.2x tilt over the
+  // population-weighted city pool reproduces that.
+  const std::vector<double> weights = tilted_city_weights(2.2);
+
+  std::vector<InfraPoint> out;
+  out.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const City& c = cities[rng.weighted_index(weights)];
+    out.push_back({"IXP " + c.name + " #" + std::to_string(i + 1),
+                   jitter(rng, c.location, 0.3), c.country_code});
+  }
+  return out;
+}
+
+const std::vector<std::pair<geo::Continent, double>>& dns_continent_shares() {
+  // Approximate continent shares of root instances (root-servers.org):
+  // Europe and North America host the most, but every continent is covered.
+  // §4.4.3's observation that Africa has roughly half of North America's
+  // instance count despite more users is encoded here.
+  static const std::vector<std::pair<geo::Continent, double>> shares = {
+      {geo::Continent::kNorthAmerica, 0.26},
+      {geo::Continent::kEurope, 0.27},
+      {geo::Continent::kAsia, 0.22},
+      {geo::Continent::kSouthAmerica, 0.09},
+      {geo::Continent::kAfrica, 0.12},
+      {geo::Continent::kOceania, 0.04},
+  };
+  return shares;
+}
+
+std::vector<DnsRootInstance> make_dns_dataset(const DnsConfig& config) {
+  util::Rng rng(config.seed);
+  const auto& cities = world_cities();
+  const auto& shares = dns_continent_shares();
+
+  // Bucket cities by continent once.
+  std::vector<std::vector<const City*>> by_continent(shares.size());
+  std::vector<std::vector<double>> weights(shares.size());
+  for (const City& c : cities) {
+    const geo::Continent cont = geo::continent_at(c.location);
+    for (std::size_t s = 0; s < shares.size(); ++s) {
+      if (shares[s].first == cont) {
+        // Mild northern tilt (39% of instances above |40 deg|).
+        const double tilt = c.location.abs_lat() > 40.0 ? 1.55 : 1.0;
+        by_continent[s].push_back(&c);
+        weights[s].push_back(tilt * (0.1 + std::sqrt(c.population_m)));
+        break;
+      }
+    }
+  }
+
+  std::vector<DnsRootInstance> out;
+  out.reserve(config.instance_count);
+  // Root letters a..m; instance counts per letter are deliberately uneven
+  // (some letters are far more replicated than others, as in reality).
+  std::vector<double> letter_weights;
+  for (int l = 0; l < 13; ++l) {
+    letter_weights.push_back(0.3 + 1.7 * rng.uniform());
+  }
+  std::vector<double> continent_weights;
+  continent_weights.reserve(shares.size());
+  for (const auto& [cont, share] : shares) continent_weights.push_back(share);
+  for (std::size_t i = 0; i < config.instance_count; ++i) {
+    // Guarantee every letter appears at least once (first 13 instances).
+    const char letter =
+        i < 13 ? static_cast<char>('a' + i)
+               : static_cast<char>('a' + rng.weighted_index(letter_weights));
+    std::size_t s = rng.weighted_index(continent_weights);
+    if (by_continent[s].empty()) s = 0;
+    const std::size_t ci = rng.weighted_index(weights[s]);
+    const City& c = *by_continent[s][ci];
+    out.push_back({letter, jitter(rng, c.location, 0.2), c.country_code,
+                   shares[s].first});
+  }
+  return out;
+}
+
+}  // namespace solarnet::datasets

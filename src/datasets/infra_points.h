@@ -1,0 +1,49 @@
+// Point-infrastructure datasets: IXPs (PCH directory shape: 1026 locations,
+// 43% above |40 deg|) and DNS root server instances (root-servers.org
+// shape: 13 root letters, 1076 anycast instances spread across all
+// continents, 39% above |40 deg|).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+#include "geo/regions.h"
+
+namespace solarnet::datasets {
+
+struct InfraPoint {
+  std::string name;
+  geo::GeoPoint location;
+  std::string country_code;
+};
+
+struct IxpConfig {
+  std::size_t count = 1026;
+  std::uint64_t seed = 1026;
+};
+
+std::vector<InfraPoint> make_ixp_dataset(const IxpConfig& config = {});
+
+struct DnsRootInstance {
+  char root_letter = 'a';  // 'a'..'m'
+  geo::GeoPoint location;
+  std::string country_code;
+  geo::Continent continent;
+};
+
+struct DnsConfig {
+  std::size_t instance_count = 1076;
+  std::uint64_t seed = 13;
+};
+
+// All 13 root letters get instances; continent shares follow the root
+// server directory (Europe and North America heaviest, but every continent
+// covered — the property §4.4.3 builds on).
+std::vector<DnsRootInstance> make_dns_dataset(const DnsConfig& config = {});
+
+// Instances per continent (order: NA, SA, EU, AF, AS, OC) as fractions.
+const std::vector<std::pair<geo::Continent, double>>& dns_continent_shares();
+
+}  // namespace solarnet::datasets

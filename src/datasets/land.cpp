@@ -1,0 +1,327 @@
+#include "datasets/land.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/cities.h"
+#include "geo/distance.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace solarnet::datasets {
+
+namespace {
+
+// US metro cities suitable as long-haul fiber hubs (must exist in
+// world_cities() with population above the hub threshold).
+constexpr double kHubPopulationThreshold = 0.2;  // millions
+
+std::vector<City> us_hub_cities() {
+  std::vector<City> hubs;
+  for (const City& c : cities_in_country("US")) {
+    if (c.population_m >= kHubPopulationThreshold) hubs.push_back(c);
+  }
+  return hubs;
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& us_backbone_pairs() {
+  // Adjacent hubs along the major interstate fiber corridors.
+  static const std::vector<std::pair<std::string, std::string>> pairs = {
+      // Northeast corridor
+      {"Boston", "New York"},
+      {"New York", "Philadelphia"},
+      {"Philadelphia", "Washington DC"},
+      {"Washington DC", "Richmond VA"},
+      {"Richmond VA", "Virginia Beach"},
+      {"Richmond VA", "Raleigh"},
+      {"Raleigh", "Charlotte"},
+      {"Charlotte", "Atlanta"},
+      {"Atlanta", "Jacksonville FL"},
+      {"Jacksonville FL", "Tampa"},
+      {"Tampa", "Miami"},
+      {"Jacksonville FL", "Miami"},
+      // Gulf / southern transcontinental
+      {"Atlanta", "New Orleans"},
+      {"New Orleans", "Houston"},
+      {"Houston", "San Antonio"},
+      {"San Antonio", "Austin"},
+      {"Austin", "Dallas"},
+      {"Houston", "Dallas"},
+      {"San Antonio", "El Paso"},
+      {"El Paso", "Tucson"},
+      {"Tucson", "Phoenix"},
+      {"Phoenix", "Los Angeles"},
+      {"Phoenix", "Las Vegas"},
+      {"El Paso", "Albuquerque"},
+      // Midwest mesh
+      {"New York", "Buffalo"},
+      {"Buffalo", "Cleveland"},
+      {"Cleveland", "Detroit"},
+      {"Detroit", "Chicago"},
+      {"Cleveland", "Pittsburgh"},
+      {"Pittsburgh", "Philadelphia"},
+      {"Pittsburgh", "Columbus OH"},
+      {"Columbus OH", "Indianapolis"},
+      {"Indianapolis", "Chicago"},
+      {"Indianapolis", "St Louis"},
+      {"Columbus OH", "Cincinnati"},
+      {"Cincinnati", "Nashville"},
+      {"Nashville", "Atlanta"},
+      {"Nashville", "Memphis"},
+      {"Memphis", "Dallas"},
+      {"Memphis", "St Louis"},
+      {"St Louis", "Kansas City"},
+      {"Kansas City", "Omaha"},
+      {"Omaha", "Chicago"},
+      {"Chicago", "Milwaukee"},
+      {"Milwaukee", "Minneapolis"},
+      {"Chicago", "Minneapolis"},
+      // Transcontinental north / central
+      {"Minneapolis", "Billings"},
+      {"Billings", "Spokane"},
+      {"Spokane", "Seattle"},
+      {"Omaha", "Denver"},
+      {"Kansas City", "Denver"},
+      {"Denver", "Salt Lake City"},
+      {"Salt Lake City", "Boise"},
+      {"Boise", "Portland OR"},
+      {"Portland OR", "Seattle"},
+      {"Salt Lake City", "Las Vegas"},
+      {"Las Vegas", "Los Angeles"},
+      {"Salt Lake City", "Sacramento"},
+      {"Sacramento", "San Francisco"},
+      {"San Francisco", "San Jose"},
+      {"San Jose", "Los Angeles"},
+      {"Los Angeles", "San Diego"},
+      {"San Diego", "Phoenix"},
+      {"Sacramento", "Portland OR"},
+      // Plains / Texas links
+      {"Dallas", "Albuquerque"},
+      {"Albuquerque", "Phoenix"},
+      {"Dallas", "Kansas City"},
+      {"Denver", "Albuquerque"},
+      {"Chicago", "Nashville"},
+      {"Atlanta", "Memphis"},
+      {"Charlotte", "Washington DC"},
+      {"Boston", "Buffalo"},
+  };
+  return pairs;
+}
+
+topo::InfrastructureNetwork make_intertubes_network(
+    const IntertubesConfig& config) {
+  util::Rng rng(config.seed);
+  topo::NetworkBuilder builder("intertubes");
+  const std::vector<City> hubs = us_hub_cities();
+
+  auto hub_node = [&](const City& c) {
+    return builder.node(c.name, c.location, topo::NodeKind::kCity,
+                        c.country_code);
+  };
+
+  // --- long links: backbone corridors -------------------------------------
+  std::size_t links_left = config.total_links;
+  std::size_t long_links_target =
+      config.total_links > config.short_links
+          ? config.total_links - config.short_links
+          : 0;
+  std::size_t made = 0;
+  for (const auto& [a_name, b_name] : us_backbone_pairs()) {
+    if (long_links_target == 0) break;
+    const City& a = city(a_name);
+    const City& b = city(b_name);
+    builder.cable("Backbone " + a_name + " - " + b_name, hub_node(a),
+                  hub_node(b), topo::CableKind::kLandLongHaul,
+                  geo::road_distance_km(a.location, b.location));
+    --long_links_target;
+    --links_left;
+    ++made;
+  }
+
+  // Extra long links: parallel conduits on random corridor pairs within
+  // 1,600 km (multiple providers share the big routes).
+  std::size_t parallel = 0;
+  while (long_links_target > 0) {
+    const City& a = hubs[rng.uniform_below(hubs.size())];
+    const City& b = hubs[rng.uniform_below(hubs.size())];
+    if (a.name == b.name) continue;
+    const double road = geo::road_distance_km(a.location, b.location);
+    if (road < 150.0 || road > 700.0) continue;
+    ++parallel;
+    builder.cable("Conduit " + std::to_string(parallel) + " " + a.name +
+                      " - " + b.name,
+                  hub_node(a), hub_node(b), topo::CableKind::kLandLongHaul,
+                  road);
+    --long_links_target;
+    --links_left;
+  }
+
+  // --- short links: metro/regional laterals under 150 km ------------------
+  // Each lateral connects a hub (or an earlier lateral node) to a nearby
+  // point of presence. Steer the share of brand-new PoP nodes so the node
+  // count lands near target_nodes.
+  std::vector<std::size_t> pop_counter(hubs.size(), 0);
+  // Weight hubs: larger metros grow more laterals; northern metros get a
+  // mild tilt (the real dataset concentrates along northern corridors).
+  std::vector<double> hub_weights;
+  for (const City& c : hubs) {
+    const double lat_tilt = c.location.lat_deg > 40.0 ? 1.5 : 1.0;
+    hub_weights.push_back(lat_tilt * (0.3 + std::sqrt(c.population_m)));
+  }
+
+  while (links_left > 0) {
+    const std::size_t h = rng.weighted_index(hub_weights);
+    const City& base = hubs[h];
+    const topo::NodeId hub_id = hub_node(base);
+
+    const std::size_t nodes_now = builder.network().node_count();
+    const double nodes_needed =
+        config.target_nodes > nodes_now
+            ? static_cast<double>(config.target_nodes - nodes_now)
+            : 0.0;
+    const double p_new = std::clamp(
+        nodes_needed / std::max(1.0, static_cast<double>(links_left)), 0.05,
+        1.0);
+
+    topo::NodeId other;
+    if (rng.bernoulli(p_new)) {
+      const std::size_t n = ++pop_counter[h];
+      geo::GeoPoint p = base.location;
+      p.lat_deg = std::clamp(p.lat_deg + rng.uniform(-0.9, 0.9), 18.0, 71.0);
+      p.lon_deg =
+          geo::normalize_longitude(p.lon_deg + rng.uniform(-0.9, 0.9));
+      other = builder.node(base.name + " PoP " + std::to_string(n), p,
+                           topo::NodeKind::kCity, "US");
+    } else {
+      // Reuse a nearby hub for a short inter-hub hop if one exists;
+      // otherwise skip (redraw).
+      std::size_t pick = hubs.size();
+      for (std::size_t i = 0; i < hubs.size(); ++i) {
+        if (i == h) continue;
+        if (geo::road_distance_km(base.location, hubs[i].location) < 150.0) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == hubs.size()) {
+        const std::size_t n = ++pop_counter[h];
+        geo::GeoPoint p = base.location;
+        p.lat_deg =
+            std::clamp(p.lat_deg + rng.uniform(-0.9, 0.9), 18.0, 71.0);
+        p.lon_deg =
+            geo::normalize_longitude(p.lon_deg + rng.uniform(-0.9, 0.9));
+        other = builder.node(base.name + " PoP " + std::to_string(n), p,
+                             topo::NodeKind::kCity, "US");
+      } else {
+        other = hub_node(hubs[pick]);
+      }
+    }
+    if (other == hub_id) continue;
+    const double len = rng.uniform(20.0, 148.0);
+    ++made;
+    builder.cable("Lateral " + std::to_string(made), hub_id, other,
+                  topo::CableKind::kLandLongHaul, len);
+    --links_left;
+  }
+
+  return builder.take();
+}
+
+topo::InfrastructureNetwork make_itu_network(const ItuConfig& config) {
+  util::Rng rng(config.seed);
+  topo::NetworkBuilder builder("itu");
+  const auto& cities = world_cities();
+
+  // Node budget per city cluster, proportional to sqrt(population).
+  std::vector<double> weights;
+  weights.reserve(cities.size());
+  double weight_total = 0.0;
+  for (const City& c : cities) {
+    const double w = 0.2 + std::sqrt(c.population_m);
+    weights.push_back(w);
+    weight_total += w;
+  }
+
+  const double short_share =
+      static_cast<double>(config.short_links) /
+      static_cast<double>(std::max<std::size_t>(config.total_links, 1));
+
+  auto draw_link_length = [&]() {
+    if (rng.bernoulli(short_share)) return rng.uniform(12.0, 148.0);
+    // Long-haul tail, calibrated to ~0.63 repeaters per link at 150 km.
+    const double len = 330.0 * std::exp(0.6 * rng.normal());
+    return std::clamp(len, 150.0, 2500.0);
+  };
+
+  std::size_t links_left = config.total_links;
+  std::size_t cluster_round = 0;
+  // Remember one representative node per cluster for inter-cluster links.
+  std::vector<topo::NodeId> cluster_roots;
+
+  // Grow clusters until the node budget is spent; each new node links to a
+  // random earlier node of its cluster (random-tree growth), which yields
+  // nodes ~= links + cluster_count, matching the dataset's near-tree shape.
+  while (links_left > 0 &&
+         builder.network().node_count() < config.target_nodes) {
+    ++cluster_round;
+    const std::size_t ci = rng.weighted_index(weights);
+    const City& seed = cities[ci];
+    const std::size_t budget = std::min<std::size_t>(
+        links_left,
+        3 + static_cast<std::size_t>(weights[ci] / weight_total * 2.2 *
+                                     static_cast<double>(config.total_links)));
+
+    std::vector<topo::NodeId> cluster;
+    geo::GeoPoint p = seed.location;
+    cluster.push_back(builder.node(
+        seed.country_code + " " + seed.name + " #" +
+            std::to_string(cluster_round),
+        p, topo::NodeKind::kCity, seed.country_code,
+        /*coords_authoritative=*/false));
+    cluster_roots.push_back(cluster.front());
+
+    for (std::size_t k = 1;
+         k < budget && links_left > 0 &&
+         builder.network().node_count() < config.target_nodes;
+         ++k) {
+      const topo::NodeId parent = cluster[rng.uniform_below(cluster.size())];
+      const double len = draw_link_length();
+      // Place the node roughly len away from its parent (coordinates are
+      // synthetic anyway — flagged non-authoritative).
+      const geo::GeoPoint pp = builder.network().node(parent).location;
+      const double bearing = rng.uniform(0.0, 360.0);
+      const geo::GeoPoint q = geo::destination(pp, bearing, len);
+      const topo::NodeId child = builder.node(
+          seed.country_code + " " + seed.name + " #" +
+              std::to_string(cluster_round) + "." + std::to_string(k),
+          q, topo::NodeKind::kCity, seed.country_code,
+          /*coords_authoritative=*/false);
+      builder.cable("ITU link " +
+                        std::to_string(config.total_links - links_left + 1),
+                    parent, child, topo::CableKind::kLandRegional, len);
+      cluster.push_back(child);
+      --links_left;
+    }
+  }
+
+  // Spend any remaining link budget on inter-cluster long-haul links.
+  while (links_left > 0 && cluster_roots.size() >= 2) {
+    const topo::NodeId a =
+        cluster_roots[rng.uniform_below(cluster_roots.size())];
+    const topo::NodeId b =
+        cluster_roots[rng.uniform_below(cluster_roots.size())];
+    if (a == b) continue;
+    const double len = std::clamp(330.0 * std::exp(0.6 * rng.normal()),
+                                  150.0, 2500.0);
+    builder.cable("ITU link " +
+                      std::to_string(config.total_links - links_left + 1),
+                  a, b, topo::CableKind::kLandRegional, len);
+    --links_left;
+  }
+
+  return builder.take();
+}
+
+}  // namespace solarnet::datasets

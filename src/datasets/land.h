@@ -1,0 +1,52 @@
+// Land fiber networks.
+//
+// * Intertubes — the US long-haul fiber map (Durairajan et al., SIGCOMM'15)
+//   the paper uses: 273 nodes, 542 links, link lengths measured as driving
+//   distance because US long-haul fiber follows the road system. 258 of
+//   the 542 links are shorter than 150 km (no repeater needed); the
+//   average link carries 1.7 repeaters at 150 km spacing.
+//
+// * ITU — the (private) TIES transmission map: 11,737 fiber links over
+//   11,314 nodes worldwide, mixing long- and short-haul; 8,443 links are
+//   shorter than 150 km, average 0.63 repeaters per link at 150 km. The
+//   ITU map publishes node names but not coordinates, which is why the
+//   paper's latitude-dependent analyses skip it; our generator mirrors
+//   that by marking coordinates non-authoritative.
+//
+// Both generators are calibrated to those published statistics; real
+// exports can be loaded via datasets/loaders.h instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/network.h"
+
+namespace solarnet::datasets {
+
+struct IntertubesConfig {
+  std::size_t total_links = 542;
+  std::size_t target_nodes = 273;
+  std::size_t short_links = 258;  // links under 150 km (repeaterless)
+  std::uint64_t seed = 1921;      // default: the NY Railroad storm year
+};
+
+// Curated long-haul backbone adjacency (city-name pairs along the major
+// US fiber corridors); exposed for tests/documentation.
+const std::vector<std::pair<std::string, std::string>>& us_backbone_pairs();
+
+topo::InfrastructureNetwork make_intertubes_network(
+    const IntertubesConfig& config = {});
+
+struct ItuConfig {
+  std::size_t total_links = 11737;
+  std::size_t target_nodes = 11314;
+  std::size_t short_links = 8443;  // links under 150 km
+  std::uint64_t seed = 1989;       // default: the Quebec storm year
+};
+
+topo::InfrastructureNetwork make_itu_network(const ItuConfig& config = {});
+
+}  // namespace solarnet::datasets

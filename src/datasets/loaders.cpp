@@ -1,0 +1,204 @@
+#include "datasets/loaders.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace solarnet::datasets {
+
+namespace {
+
+std::string bool_to_csv(bool b) { return b ? "1" : "0"; }
+
+bool csv_to_bool(const std::string& s) {
+  if (s == "1" || util::iequals(s, "true")) return true;
+  if (s == "0" || util::iequals(s, "false")) return false;
+  throw std::invalid_argument("loaders: malformed boolean '" + s + "'");
+}
+
+}  // namespace
+
+topo::NodeKind parse_node_kind(const std::string& s) {
+  for (const auto kind :
+       {topo::NodeKind::kLandingPoint, topo::NodeKind::kCity,
+        topo::NodeKind::kRouter, topo::NodeKind::kIxp,
+        topo::NodeKind::kDnsRoot, topo::NodeKind::kDataCenter}) {
+    if (s == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_node_kind: unknown kind '" + s + "'");
+}
+
+topo::CableKind parse_cable_kind(const std::string& s) {
+  for (const auto kind :
+       {topo::CableKind::kSubmarine, topo::CableKind::kLandLongHaul,
+        topo::CableKind::kLandRegional}) {
+    if (s == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_cable_kind: unknown kind '" + s + "'");
+}
+
+topo::InfrastructureNetwork load_network_csv(const std::string& network_name,
+                                             const std::string& nodes_path,
+                                             const std::string& cables_path) {
+  topo::InfrastructureNetwork net(network_name);
+
+  const util::CsvTable nodes(util::read_csv_file(nodes_path));
+  for (std::size_t r = 0; r < nodes.row_count(); ++r) {
+    topo::Node n;
+    n.name = nodes.cell(r, "name");
+    n.location = {nodes.cell_double(r, "lat"), nodes.cell_double(r, "lon")};
+    n.country_code = nodes.cell(r, "country");
+    n.kind = parse_node_kind(nodes.cell(r, "kind"));
+    n.coords_authoritative =
+        csv_to_bool(nodes.cell(r, "coords_authoritative"));
+    net.add_node(std::move(n));
+  }
+
+  const util::CsvTable cables(util::read_csv_file(cables_path));
+  // Group consecutive rows by cable name.
+  topo::Cable current;
+  bool have_current = false;
+  auto flush = [&] {
+    if (have_current) net.add_cable(std::move(current));
+    current = topo::Cable{};
+    have_current = false;
+  };
+  for (std::size_t r = 0; r < cables.row_count(); ++r) {
+    const std::string& name = cables.cell(r, "cable");
+    if (!have_current || current.name != name) {
+      flush();
+      current.name = name;
+      current.kind = parse_cable_kind(cables.cell(r, "kind"));
+      current.length_known = csv_to_bool(cables.cell(r, "length_known"));
+      have_current = true;
+    }
+    const auto a = net.find_node(cables.cell(r, "node_a"));
+    const auto b = net.find_node(cables.cell(r, "node_b"));
+    if (!a || !b) {
+      throw std::runtime_error("load_network_csv: cable '" + name +
+                               "' references unknown node");
+    }
+    current.segments.push_back(
+        {*a, *b, cables.cell_double(r, "length_km")});
+  }
+  flush();
+  return net;
+}
+
+void write_network_csv(const topo::InfrastructureNetwork& net,
+                       const std::string& nodes_path,
+                       const std::string& cables_path) {
+  std::vector<util::CsvRow> node_rows;
+  node_rows.push_back(
+      {"name", "lat", "lon", "country", "kind", "coords_authoritative"});
+  for (const topo::Node& n : net.nodes()) {
+    node_rows.push_back({n.name, util::format_fixed(n.location.lat_deg, 6),
+                         util::format_fixed(n.location.lon_deg, 6),
+                         n.country_code, std::string(to_string(n.kind)),
+                         bool_to_csv(n.coords_authoritative)});
+  }
+  util::write_csv_file(nodes_path, node_rows);
+
+  std::vector<util::CsvRow> cable_rows;
+  cable_rows.push_back(
+      {"cable", "kind", "node_a", "node_b", "length_km", "length_known"});
+  for (const topo::Cable& c : net.cables()) {
+    for (const topo::CableSegment& s : c.segments) {
+      // Six decimals (~1 mm) so repeater counts never shift across a
+      // round-trip from floor(length/spacing) boundary effects.
+      cable_rows.push_back({c.name, std::string(to_string(c.kind)),
+                            net.node(s.a).name, net.node(s.b).name,
+                            util::format_fixed(s.length_km, 6),
+                            bool_to_csv(c.length_known)});
+    }
+  }
+  util::write_csv_file(cables_path, cable_rows);
+}
+
+RouterDataset load_router_csv(const std::string& path) {
+  const util::CsvTable table(util::read_csv_file(path));
+  std::vector<RouterRecord> routers;
+  routers.reserve(table.row_count());
+  AsId max_as = 0;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    RouterRecord rec;
+    rec.location = geo::validated(
+        {table.cell_double(r, "lat"), table.cell_double(r, "lon")});
+    rec.as_id = static_cast<AsId>(table.cell_int(r, "as_id"));
+    max_as = std::max(max_as, rec.as_id);
+    routers.push_back(rec);
+  }
+  return RouterDataset(std::move(routers), max_as + 1);
+}
+
+void write_router_csv(const RouterDataset& ds, const std::string& path) {
+  std::vector<util::CsvRow> rows;
+  rows.push_back({"lat", "lon", "as_id"});
+  for (const RouterRecord& r : ds.routers()) {
+    rows.push_back({util::format_fixed(r.location.lat_deg, 6),
+                    util::format_fixed(r.location.lon_deg, 6),
+                    std::to_string(r.as_id)});
+  }
+  util::write_csv_file(path, rows);
+}
+
+std::vector<InfraPoint> load_points_csv(const std::string& path) {
+  const util::CsvTable table(util::read_csv_file(path));
+  std::vector<InfraPoint> out;
+  out.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    out.push_back({table.cell(r, "name"),
+                   geo::validated({table.cell_double(r, "lat"),
+                                   table.cell_double(r, "lon")}),
+                   table.cell(r, "country")});
+  }
+  return out;
+}
+
+void write_points_csv(const std::vector<InfraPoint>& points,
+                      const std::string& path) {
+  std::vector<util::CsvRow> rows;
+  rows.push_back({"name", "lat", "lon", "country"});
+  for (const InfraPoint& p : points) {
+    rows.push_back({p.name, util::format_fixed(p.location.lat_deg, 6),
+                    util::format_fixed(p.location.lon_deg, 6),
+                    p.country_code});
+  }
+  util::write_csv_file(path, rows);
+}
+
+std::vector<DnsRootInstance> load_dns_csv(const std::string& path) {
+  const util::CsvTable table(util::read_csv_file(path));
+  std::vector<DnsRootInstance> out;
+  out.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    const std::string& letter = table.cell(r, "letter");
+    if (letter.size() != 1 || letter[0] < 'a' || letter[0] > 'm') {
+      throw std::invalid_argument("load_dns_csv: bad root letter '" + letter +
+                                  "'");
+    }
+    const geo::GeoPoint loc = geo::validated(
+        {table.cell_double(r, "lat"), table.cell_double(r, "lon")});
+    out.push_back(
+        {letter[0], loc, table.cell(r, "country"), geo::continent_at(loc)});
+  }
+  return out;
+}
+
+void write_dns_csv(const std::vector<DnsRootInstance>& instances,
+                   const std::string& path) {
+  std::vector<util::CsvRow> rows;
+  rows.push_back({"letter", "lat", "lon", "country"});
+  for (const DnsRootInstance& d : instances) {
+    rows.push_back({std::string(1, d.root_letter),
+                    util::format_fixed(d.location.lat_deg, 6),
+                    util::format_fixed(d.location.lon_deg, 6),
+                    d.country_code});
+  }
+  util::write_csv_file(path, rows);
+}
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,27 @@
+// World population model in the shape of NASA SEDAC GPWv4 (the gridded
+// population dataset the paper uses for Figures 3 and 4). We encode the
+// well-known latitude marginal of world population (peaks in the 20-40N
+// band; ~16% above |40 deg|) in 5-degree bands and spread each band's mass
+// across that band's populated longitudes using the curated city table plus
+// continental land boxes.
+#pragma once
+
+#include <array>
+
+#include "geo/grid.h"
+
+namespace solarnet::datasets {
+
+struct PopulationConfig {
+  double cell_deg = 1.0;
+  double total_population = 7.8e9;  // ~2020 world population
+};
+
+// Share of world population per 5-degree latitude band, south to north
+// (index 0 = [-90,-85), index 35 = [85,90)). Sums to 1.
+const std::array<double, 36>& population_latitude_shares();
+
+// Builds the gridded population field.
+geo::LatLonGrid make_population_grid(const PopulationConfig& config = {});
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,171 @@
+#include "datasets/routers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "datasets/cities.h"
+#include "util/rng.h"
+
+namespace solarnet::datasets {
+
+RouterDataset::RouterDataset(std::vector<RouterRecord> routers,
+                             std::size_t as_count)
+    : routers_(std::move(routers)) {
+  std::unordered_map<AsId, AsSummary> acc;
+  acc.reserve(as_count);
+  for (const RouterRecord& r : routers_) {
+    auto [it, inserted] = acc.try_emplace(r.as_id);
+    AsSummary& s = it->second;
+    const double lat = r.location.lat_deg;
+    if (inserted) {
+      s.as_id = r.as_id;
+      s.min_lat = lat;
+      s.max_lat = lat;
+      s.max_abs_lat = std::abs(lat);
+    } else {
+      s.min_lat = std::min(s.min_lat, lat);
+      s.max_lat = std::max(s.max_lat, lat);
+      s.max_abs_lat = std::max(s.max_abs_lat, std::abs(lat));
+    }
+    ++s.router_count;
+  }
+  summaries_.reserve(acc.size());
+  for (auto& [id, s] : acc) summaries_.push_back(s);
+  std::sort(summaries_.begin(), summaries_.end(),
+            [](const AsSummary& a, const AsSummary& b) {
+              return a.as_id < b.as_id;
+            });
+}
+
+double RouterDataset::router_fraction_above(double abs_lat_threshold) const {
+  if (routers_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const RouterRecord& r : routers_) {
+    if (std::abs(r.location.lat_deg) > abs_lat_threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(routers_.size());
+}
+
+double RouterDataset::as_fraction_with_presence_above(
+    double abs_lat_threshold) const {
+  if (summaries_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const AsSummary& s : summaries_) {
+    if (s.presence_above(abs_lat_threshold)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(summaries_.size());
+}
+
+std::vector<double> RouterDataset::as_spreads() const {
+  std::vector<double> out;
+  out.reserve(summaries_.size());
+  for (const AsSummary& s : summaries_) out.push_back(s.latitude_spread());
+  return out;
+}
+
+RouterDataset make_router_dataset(const RouterConfig& config) {
+  if (config.as_count == 0 || config.router_count < config.as_count) {
+    throw std::invalid_argument(
+        "make_router_dataset: need router_count >= as_count >= 1");
+  }
+  util::Rng rng(config.seed);
+  const auto& cities = world_cities();
+
+  // Home-city weights: population-weighted with a northern tilt. Small ASes
+  // (regional ISPs, universities) are disproportionately in Europe / North
+  // America — strongly tilted — while hyperscale ASes place routers where
+  // the users are; the two tilts jointly calibrate the AS-presence share
+  // (57% above 40) and the router share (38% above 40).
+  std::vector<double> home_weights_small;
+  std::vector<double> home_weights_large;
+  home_weights_small.reserve(cities.size());
+  home_weights_large.reserve(cities.size());
+  for (const City& c : cities) {
+    const bool north = c.location.abs_lat() > 40.0;
+    const double base = 0.15 + std::sqrt(c.population_m);
+    home_weights_small.push_back((north ? 2.9 : 1.0) * base);
+    home_weights_large.push_back((north ? 0.28 : 1.0) * base);
+  }
+  constexpr std::size_t kLargeAsRouterCount = 60;
+
+  // Per-AS router counts: Zipf-like tail normalized to router_count.
+  std::vector<double> raw_counts(config.as_count);
+  double raw_total = 0.0;
+  for (double& rc : raw_counts) {
+    rc = std::pow(rng.uniform(1e-4, 1.0), -0.55);  // heavy tail
+    raw_total += rc;
+  }
+  std::vector<std::size_t> counts(config.as_count, 1);
+  std::size_t assigned = config.as_count;
+  for (std::size_t i = 0; i < config.as_count; ++i) {
+    const auto extra = static_cast<std::size_t>(
+        raw_counts[i] / raw_total *
+        static_cast<double>(config.router_count - config.as_count));
+    counts[i] += extra;
+    assigned += extra;
+  }
+  // Distribute the rounding remainder one router at a time.
+  std::size_t i = 0;
+  while (assigned < config.router_count) {
+    ++counts[i % config.as_count];
+    ++assigned;
+    ++i;
+  }
+
+  // Latitude-spread distribution: lognormal calibrated so that, with ~20%
+  // single-router ASes (spread 0), the aggregate spread distribution has
+  // median 1.723 deg and p90 18.263 deg.
+  auto draw_spread = [&]() {
+    return std::min(120.0, 1.74 * std::exp(1.86 * rng.normal()));
+  };
+
+  std::vector<RouterRecord> routers;
+  routers.reserve(config.router_count);
+  for (AsId as = 0; as < config.as_count; ++as) {
+    const std::size_t n = counts[as];
+    const auto& weights = n >= kLargeAsRouterCount ? home_weights_large
+                                                   : home_weights_small;
+    const City& home = cities[rng.weighted_index(weights)];
+    const double home_lat = home.location.lat_deg;
+    const double home_lon = home.location.lon_deg;
+
+    if (n == 1) {
+      routers.push_back({geo::validated({home_lat, home_lon}), as});
+      continue;
+    }
+    const double spread = draw_spread();
+    // Keep the band inside [-85, 85] so validation never clips the extremes
+    // (clipping would shrink the realized spread).
+    double lo = home_lat - spread / 2.0;
+    double hi = home_lat + spread / 2.0;
+    if (lo < -85.0) {
+      hi += -85.0 - lo;
+      lo = -85.0;
+    }
+    if (hi > 85.0) {
+      lo -= hi - 85.0;
+      hi = 85.0;
+    }
+    lo = std::max(lo, -85.0);
+    // Pin the realized spread: first two routers sit at the band edges.
+    routers.push_back(
+        {geo::validated({lo, home_lon + rng.uniform(-1.0, 1.0)}), as});
+    routers.push_back(
+        {geo::validated({hi, home_lon + rng.uniform(-1.0, 1.0)}), as});
+    // The bulk of an AS's routers cluster near headquarters; the band
+    // extremes above are remote PoPs.
+    const double anchor = std::clamp(home_lat, lo, hi);
+    for (std::size_t k = 2; k < n; ++k) {
+      const double lat =
+          std::clamp(anchor + rng.normal(0.0, spread / 6.0), lo, hi);
+      const double lon = home_lon + rng.uniform(-1.5, 1.5) * (1.0 + spread);
+      routers.push_back({geo::validated({lat, lon}), as});
+    }
+  }
+
+  return RouterDataset(std::move(routers), config.as_count);
+}
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,72 @@
+// Router & Autonomous-System dataset in the shape of the CAIDA ITDK the
+// paper uses (46M routers, 61,448 ASes with router-to-AS mapping and
+// geolocation). We generate a scaled population (default 200k routers,
+// 12k ASes) from a mixture model calibrated to the quantities Figure 9 and
+// §4.4.1 report:
+//   * 38% of routers above |40 deg| latitude,
+//   * 57% of ASes with at least one router above |40 deg|,
+//   * AS latitude-spread median 1.723 deg and 90th percentile 18.263 deg.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace solarnet::datasets {
+
+using AsId = std::uint32_t;
+
+struct RouterRecord {
+  geo::GeoPoint location;
+  AsId as_id = 0;
+};
+
+struct AsSummary {
+  AsId as_id = 0;
+  std::size_t router_count = 0;
+  double min_lat = 0.0;
+  double max_lat = 0.0;
+  double max_abs_lat = 0.0;
+
+  // The paper's AS "spread": highest minus lowest router latitude.
+  double latitude_spread() const noexcept { return max_lat - min_lat; }
+  bool presence_above(double abs_lat_threshold) const noexcept {
+    return max_abs_lat > abs_lat_threshold;
+  }
+};
+
+class RouterDataset {
+ public:
+  RouterDataset(std::vector<RouterRecord> routers, std::size_t as_count);
+
+  const std::vector<RouterRecord>& routers() const noexcept {
+    return routers_;
+  }
+  const std::vector<AsSummary>& as_summaries() const noexcept {
+    return summaries_;
+  }
+  std::size_t router_count() const noexcept { return routers_.size(); }
+  std::size_t as_count() const noexcept { return summaries_.size(); }
+
+  // Fraction of routers with |lat| strictly above the threshold.
+  double router_fraction_above(double abs_lat_threshold) const;
+  // Fraction of ASes with at least one router above the threshold (Fig 9a).
+  double as_fraction_with_presence_above(double abs_lat_threshold) const;
+  // All AS latitude spreads (Fig 9b input).
+  std::vector<double> as_spreads() const;
+
+ private:
+  std::vector<RouterRecord> routers_;
+  std::vector<AsSummary> summaries_;
+};
+
+struct RouterConfig {
+  std::size_t router_count = 200000;
+  std::size_t as_count = 12000;
+  std::uint64_t seed = 2012;  // default: the 2012 near-miss CME
+};
+
+RouterDataset make_router_dataset(const RouterConfig& config = {});
+
+}  // namespace solarnet::datasets

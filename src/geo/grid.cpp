@@ -1,0 +1,106 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace solarnet::geo {
+
+LatLonGrid::LatLonGrid(double cell_deg) : cell_deg_(cell_deg) {
+  if (cell_deg <= 0.0 ||
+      std::abs(std::round(180.0 / cell_deg) - 180.0 / cell_deg) > 1e-9) {
+    throw std::invalid_argument("LatLonGrid: cell_deg must divide 180");
+  }
+  rows_ = static_cast<std::size_t>(std::lround(180.0 / cell_deg));
+  cols_ = static_cast<std::size_t>(std::lround(360.0 / cell_deg));
+  values_.assign(rows_ * cols_, 0.0);
+}
+
+std::size_t LatLonGrid::row_of(double lat_deg) const noexcept {
+  const double idx = (lat_deg + 90.0) / cell_deg_;
+  const auto row = static_cast<long>(idx);
+  return static_cast<std::size_t>(
+      std::clamp<long>(row, 0, static_cast<long>(rows_) - 1));
+}
+
+std::size_t LatLonGrid::col_of(double lon_deg) const noexcept {
+  const double idx = (normalize_longitude(lon_deg) + 180.0) / cell_deg_;
+  const auto col = static_cast<long>(idx);
+  return static_cast<std::size_t>(
+      std::clamp<long>(col, 0, static_cast<long>(cols_) - 1));
+}
+
+void LatLonGrid::add(const GeoPoint& p, double weight) {
+  const GeoPoint v = validated(p);
+  if (!std::isfinite(weight) || weight < 0.0) {
+    throw std::invalid_argument("LatLonGrid::add: invalid weight");
+  }
+  values_[row_of(v.lat_deg) * cols_ + col_of(v.lon_deg)] += weight;
+  total_ += weight;
+}
+
+double LatLonGrid::at(const GeoPoint& p) const {
+  const GeoPoint v = validated(p);
+  return values_[row_of(v.lat_deg) * cols_ + col_of(v.lon_deg)];
+}
+
+double LatLonGrid::cell(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("LatLonGrid::cell");
+  }
+  return values_[row * cols_ + col];
+}
+
+void LatLonGrid::set_cell(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("LatLonGrid::set_cell");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument("LatLonGrid::set_cell: invalid value");
+  }
+  total_ += value - values_[row * cols_ + col];
+  values_[row * cols_ + col] = value;
+}
+
+GeoPoint LatLonGrid::cell_center(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("LatLonGrid::cell_center");
+  }
+  return {-90.0 + (static_cast<double>(row) + 0.5) * cell_deg_,
+          -180.0 + (static_cast<double>(col) + 0.5) * cell_deg_};
+}
+
+double LatLonGrid::latitude_band_total(double lat_lo, double lat_hi) const {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double center = -90.0 + (static_cast<double>(r) + 0.5) * cell_deg_;
+    if (center < lat_lo || center >= lat_hi) continue;
+    for (std::size_t c = 0; c < cols_; ++c) sum += values_[r * cols_ + c];
+  }
+  return sum;
+}
+
+double LatLonGrid::fraction_above_abs_latitude(double threshold_deg) const {
+  if (total_ <= 0.0) return 0.0;
+  double above = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double center = -90.0 + (static_cast<double>(r) + 0.5) * cell_deg_;
+    if (std::abs(center) <= threshold_deg) continue;
+    for (std::size_t c = 0; c < cols_; ++c) above += values_[r * cols_ + c];
+  }
+  return above / total_;
+}
+
+std::vector<std::pair<double, double>> LatLonGrid::latitude_samples() const {
+  std::vector<std::pair<double, double>> samples;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double center = -90.0 + (static_cast<double>(r) + 0.5) * cell_deg_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = values_[r * cols_ + c];
+      if (v > 0.0) samples.emplace_back(center, v);
+    }
+  }
+  return samples;
+}
+
+}  // namespace solarnet::geo

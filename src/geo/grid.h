@@ -1,0 +1,59 @@
+// A gridded scalar field over the globe (the shape of NASA SEDAC's GPWv4
+// gridded population product the paper uses). Cells are cell_deg × cell_deg;
+// the library uses it to hold population mass and to compute per-latitude
+// aggregates for the Figure 3/4 distributions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace solarnet::geo {
+
+class LatLonGrid {
+ public:
+  // cell_deg must evenly divide 180; throws std::invalid_argument otherwise.
+  explicit LatLonGrid(double cell_deg = 1.0);
+
+  double cell_deg() const noexcept { return cell_deg_; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  // Adds `weight` to the cell containing p.
+  void add(const GeoPoint& p, double weight);
+
+  // Value of the cell containing p.
+  double at(const GeoPoint& p) const;
+  // Direct cell access; row 0 is the southernmost band.
+  double cell(std::size_t row, std::size_t col) const;
+  void set_cell(std::size_t row, std::size_t col, double value);
+
+  // Center coordinates of a cell.
+  GeoPoint cell_center(std::size_t row, std::size_t col) const;
+
+  double total() const noexcept { return total_; }
+
+  // Sum over all cells whose centers fall in [lat_lo, lat_hi).
+  double latitude_band_total(double lat_lo, double lat_hi) const;
+
+  // Total mass with |cell-center latitude| strictly above the threshold,
+  // as a fraction of the grid total (0 when the grid is empty).
+  double fraction_above_abs_latitude(double threshold_deg) const;
+
+  // One weighted latitude sample per non-empty cell (cell-center latitude,
+  // weight); used to build latitude PDFs.
+  std::vector<std::pair<double, double>> latitude_samples() const;
+
+ private:
+  std::size_t row_of(double lat_deg) const noexcept;
+  std::size_t col_of(double lon_deg) const noexcept;
+
+  double cell_deg_;
+  std::size_t rows_;
+  std::size_t cols_;
+  double total_ = 0.0;
+  std::vector<double> values_;  // row-major, row 0 = south
+};
+
+}  // namespace solarnet::geo

@@ -1,0 +1,42 @@
+// Geoelectric field model: maps a storm scenario to an induced surface
+// field magnitude at any point on the earth. The latitude profile is a
+// logistic ramp around the storm's auroral boundary with a small equatorial
+// floor; ocean cells get a conductance boost (seawater over resistive rock
+// increases total surface conductance — §3.1 cites 100-24,000 S offshore
+// New Zealand vs 1-500 S on land).
+#pragma once
+
+#include "geo/coords.h"
+#include "gic/storm.h"
+
+namespace solarnet::gic {
+
+struct FieldModelParams {
+  // Multiplier applied to the field over ocean (seawater conductance).
+  double ocean_boost = 1.8;
+  // Treat points with no country-box match as ocean.
+  bool classify_ocean_by_country_box = true;
+};
+
+class GeoelectricFieldModel {
+ public:
+  explicit GeoelectricFieldModel(StormScenario storm,
+                                 FieldModelParams params = {});
+
+  const StormScenario& storm() const noexcept { return storm_; }
+
+  // Latitude attenuation factor in [equatorial_floor, 1].
+  double latitude_factor(double lat_deg) const noexcept;
+
+  // Field magnitude (V/km) at a point, including the ocean boost.
+  double field_v_per_km(const geo::GeoPoint& p) const;
+
+  // Field magnitude ignoring land/ocean classification.
+  double field_v_per_km_land(const geo::GeoPoint& p) const noexcept;
+
+ private:
+  StormScenario storm_;
+  FieldModelParams params_;
+};
+
+}  // namespace solarnet::gic

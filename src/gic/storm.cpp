@@ -1,0 +1,28 @@
+#include "gic/storm.h"
+
+namespace solarnet::gic {
+
+StormScenario StormScenario::scaled(double factor) const {
+  StormScenario s = *this;
+  s.peak_field_v_per_km *= factor;
+  s.name += " x" + std::to_string(factor);
+  return s;
+}
+
+StormScenario carrington_1859() {
+  return {"Carrington 1859", 16.0, 20.0, 8.0, 0.03};
+}
+
+StormScenario ny_railroad_1921() {
+  return {"NY Railroad 1921", 14.0, 24.0, 7.0, 0.03};
+}
+
+StormScenario quebec_1989() {
+  return {"Quebec 1989", 1.6, 40.0, 5.0, 0.01};
+}
+
+StormScenario moderate_storm() {
+  return {"Moderate", 0.5, 55.0, 5.0, 0.005};
+}
+
+}  // namespace solarnet::gic

@@ -1,0 +1,40 @@
+// Storm scenarios. A CME event is parameterized by the peak induced
+// geoelectric field and how far equatorward the strong-field region
+// extends — the two quantities §3.1 of the paper identifies as controlling
+// GIC strength (intensity, and the latitude dependence with thresholds
+// around 40 deg; the Carrington event pushed strong fields as low as
+// 20 deg, while the moderate 1989 storm's fields dropped an order of
+// magnitude below 40 deg).
+#pragma once
+
+#include <string>
+
+namespace solarnet::gic {
+
+struct StormScenario {
+  std::string name;
+  // Peak geoelectric field at high latitudes, V/km. Extreme-event analyses
+  // (Pulkkinen et al. 2012's 100-year scenarios) put this in the
+  // 5-20 V/km range; the Carrington event is estimated near the top.
+  double peak_field_v_per_km = 8.0;
+  // Auroral/GIC boundary: |latitude| above which the field is near peak.
+  double boundary_deg = 40.0;
+  // Transition width of the equatorward falloff, degrees.
+  double falloff_width_deg = 6.0;
+  // Floor as a fraction of peak: equatorial GIC is small but non-zero
+  // (Carter et al. 2016; Yamazaki & Kosch 2015).
+  double equatorial_floor = 0.02;
+
+  // Scales the scenario's field by `factor` (name annotated).
+  StormScenario scaled(double factor) const;
+};
+
+// Presets (values chosen to mirror the relative strengths the paper cites:
+// 1989 was roughly one-tenth of the 1921 storm; 1859 ~ 1921).
+StormScenario carrington_1859();
+StormScenario ny_railroad_1921();
+StormScenario quebec_1989();
+// A moderate storm that stresses only high latitudes.
+StormScenario moderate_storm();
+
+}  // namespace solarnet::gic

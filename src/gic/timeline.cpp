@@ -1,0 +1,87 @@
+#include "gic/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace solarnet::gic {
+
+namespace {
+
+void validate(const StormPhaseProfile& p) {
+  if (p.onset_hours < 0.0 || p.main_phase_hours < 0.0 ||
+      p.recovery_tau_hours <= 0.0 || p.total_hours <= 0.0) {
+    throw std::invalid_argument("StormPhaseProfile: invalid values");
+  }
+}
+
+}  // namespace
+
+double storm_intensity_at(const StormPhaseProfile& profile, double hours) {
+  validate(profile);
+  if (hours < 0.0 || hours > profile.total_hours) return 0.0;
+  if (hours < profile.onset_hours) {
+    return profile.onset_hours > 0.0 ? hours / profile.onset_hours : 1.0;
+  }
+  const double main_end = profile.onset_hours + profile.main_phase_hours;
+  if (hours <= main_end) return 1.0;
+  return std::exp(-(hours - main_end) / profile.recovery_tau_hours);
+}
+
+double storm_dose_hours(const StormPhaseProfile& profile, double hours) {
+  validate(profile);
+  hours = std::clamp(hours, 0.0, profile.total_hours);
+  double dose = 0.0;
+  // Onset triangle.
+  const double onset = std::min(hours, profile.onset_hours);
+  if (profile.onset_hours > 0.0) {
+    dose += 0.5 * onset * onset / profile.onset_hours;
+  }
+  if (hours <= profile.onset_hours) return dose;
+  // Main phase plateau.
+  const double main_end = profile.onset_hours + profile.main_phase_hours;
+  dose += std::min(hours, main_end) - profile.onset_hours;
+  if (hours <= main_end) return dose;
+  // Recovery exponential.
+  dose += profile.recovery_tau_hours *
+          (1.0 - std::exp(-(hours - main_end) / profile.recovery_tau_hours));
+  return dose;
+}
+
+double damage_fraction_by(const StormPhaseProfile& profile, double hours) {
+  const double total = storm_dose_hours(profile, profile.total_hours);
+  if (total <= 0.0) return 0.0;
+  return storm_dose_hours(profile, hours) / total;
+}
+
+std::vector<FailureTimePoint> failure_time_series(
+    const sim::FailureSimulator& simulator, const RepeaterFailureModel& model,
+    const StormPhaseProfile& profile, double step_hours) {
+  validate(profile);
+  if (step_hours <= 0.0) {
+    throw std::invalid_argument("failure_time_series: bad step");
+  }
+  const topo::InfrastructureNetwork& net = simulator.network();
+  std::vector<double> survival(net.cable_count(), 1.0);
+  double final_expected = 0.0;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    const double p = simulator.cable_death_probability(c, model);
+    survival[c] = 1.0 - p;
+    final_expected += p;
+  }
+
+  std::vector<FailureTimePoint> series;
+  for (double h = 0.0; h <= profile.total_hours + 1e-9; h += step_hours) {
+    const double share = damage_fraction_by(profile, h);
+    double expected = 0.0;
+    for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+      // Proportional hazard: survival^share.
+      expected += 1.0 - std::pow(survival[c], share);
+    }
+    series.push_back({h, expected,
+                      final_expected > 0.0 ? expected / final_expected : 0.0});
+  }
+  return series;
+}
+
+}  // namespace solarnet::gic

@@ -1,0 +1,57 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace solarnet::graph {
+
+std::size_t ComponentResult::largest_component_size() const noexcept {
+  if (component_sizes.empty()) return 0;
+  return *std::max_element(component_sizes.begin(), component_sizes.end());
+}
+
+bool ComponentResult::same_component(VertexId a, VertexId b) const {
+  if (a >= component.size() || b >= component.size()) return false;
+  if (component[a] == kNoComponent || component[b] == kNoComponent) {
+    return false;
+  }
+  return component[a] == component[b];
+}
+
+ComponentResult connected_components(const Graph& g) {
+  return connected_components(g, AliveMask::all_alive(g));
+}
+
+ComponentResult connected_components(const Graph& g, const AliveMask& mask) {
+  const std::size_t n = g.vertex_count();
+  UnionFind uf(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!mask.traversable(g, e)) continue;
+    const Edge& ed = g.edge(e);
+    uf.unite(ed.u, ed.v);
+  }
+
+  ComponentResult result;
+  result.component.assign(n, ComponentResult::kNoComponent);
+  std::vector<std::uint32_t> root_to_dense(n, ComponentResult::kNoComponent);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v >= mask.vertex_alive.size() || !mask.vertex_alive[v]) continue;
+    const std::size_t root = uf.find(v);
+    if (root_to_dense[root] == ComponentResult::kNoComponent) {
+      root_to_dense[root] =
+          static_cast<std::uint32_t>(result.component_sizes.size());
+      result.component_sizes.push_back(0);
+    }
+    result.component[v] = root_to_dense[root];
+    ++result.component_sizes[root_to_dense[root]];
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g, const AliveMask& mask) {
+  const ComponentResult cc = connected_components(g, mask);
+  return cc.component_count() <= 1;
+}
+
+}  // namespace solarnet::graph

@@ -1,0 +1,35 @@
+// Connected-component decomposition over (optionally masked) graphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace solarnet::graph {
+
+struct ComponentResult {
+  // component[v] = dense component index, or kNoComponent for dead vertices.
+  std::vector<std::uint32_t> component;
+  std::vector<std::size_t> component_sizes;
+
+  static constexpr std::uint32_t kNoComponent = ~std::uint32_t{0};
+
+  std::size_t component_count() const noexcept {
+    return component_sizes.size();
+  }
+  std::size_t largest_component_size() const noexcept;
+  bool same_component(VertexId a, VertexId b) const;
+};
+
+// Components of the full graph.
+ComponentResult connected_components(const Graph& g);
+
+// Components of the masked subgraph: dead vertices get kNoComponent; dead
+// edges (and edges touching dead vertices) are ignored.
+ComponentResult connected_components(const Graph& g, const AliveMask& mask);
+
+// True when every alive vertex lies in one component (vacuously true when
+// fewer than two vertices are alive).
+bool is_connected(const Graph& g, const AliveMask& mask);
+
+}  // namespace solarnet::graph

@@ -1,0 +1,83 @@
+#include "graph/cut.h"
+
+#include <algorithm>
+
+namespace solarnet::graph {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+struct Frame {
+  VertexId vertex;
+  EdgeId via_edge;        // edge used to enter this vertex (kInvalidEdge at root)
+  std::size_t next_child; // index into incident list
+  std::size_t tree_children = 0;
+};
+
+}  // namespace
+
+CutResult find_cuts(const Graph& g, const AliveMask& mask) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<bool> is_articulation(n, false);
+  CutResult result;
+  std::uint32_t timer = 0;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    if (root >= mask.vertex_alive.size() || !mask.vertex_alive[root]) continue;
+
+    std::vector<Frame> stack;
+    stack.push_back({root, kInvalidEdge, 0});
+    disc[root] = low[root] = timer++;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const VertexId v = frame.vertex;
+      const auto incident = g.incident(v);
+      if (frame.next_child < incident.size()) {
+        const auto [neighbor, edge] = incident[frame.next_child++];
+        if (!mask.traversable(g, edge) || edge == frame.via_edge) continue;
+        if (neighbor == v) continue;  // self-loop
+        if (disc[neighbor] == kUnvisited) {
+          ++frame.tree_children;
+          disc[neighbor] = low[neighbor] = timer++;
+          stack.push_back({neighbor, edge, 0});
+        } else {
+          low[v] = std::min(low[v], disc[neighbor]);
+        }
+      } else {
+        // Post-order: propagate low-link to the parent and classify.
+        const Frame done = frame;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.vertex] = std::min(low[parent.vertex], low[v]);
+          if (low[v] > disc[parent.vertex]) {
+            result.bridges.push_back(done.via_edge);
+          }
+          if (low[v] >= disc[parent.vertex] &&
+              parent.via_edge != kInvalidEdge) {
+            is_articulation[parent.vertex] = true;
+          }
+        } else if (done.tree_children >= 2) {
+          is_articulation[v] = true;  // root with >= 2 DFS subtrees
+        }
+      }
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_articulation[v]) result.articulation_points.push_back(v);
+  }
+  std::sort(result.bridges.begin(), result.bridges.end());
+  return result;
+}
+
+CutResult find_cuts(const Graph& g) {
+  return find_cuts(g, AliveMask::all_alive(g));
+}
+
+}  // namespace solarnet::graph

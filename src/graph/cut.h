@@ -1,0 +1,24 @@
+// Structural fragility: bridges and articulation points. The planner uses
+// these to find single points of failure in the cable graph (a bridge cable
+// is one whose loss partitions a region), and the resilience report counts
+// them as a robustness metric.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace solarnet::graph {
+
+struct CutResult {
+  std::vector<EdgeId> bridges;
+  std::vector<VertexId> articulation_points;
+};
+
+// Tarjan's low-link algorithm (iterative, so deep paths don't overflow the
+// stack) over the masked subgraph. Parallel edges between the same vertex
+// pair are correctly never reported as bridges.
+CutResult find_cuts(const Graph& g, const AliveMask& mask);
+CutResult find_cuts(const Graph& g);
+
+}  // namespace solarnet::graph

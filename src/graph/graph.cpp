@@ -1,0 +1,50 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+namespace solarnet::graph {
+
+VertexId Graph::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+void Graph::add_vertices(std::size_t n) {
+  adjacency_.resize(adjacency_.size() + n);
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, double weight) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  }
+  if (!std::isfinite(weight) || weight < 0.0) {
+    throw std::invalid_argument("Graph::add_edge: invalid weight");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, weight});
+  adjacency_[u].push_back({v, id});
+  if (u != v) adjacency_[v].push_back({u, id});
+  return id;
+}
+
+VertexId Graph::opposite(EdgeId e, VertexId from) const {
+  const Edge& ed = edge(e);
+  if (ed.u == from) return ed.v;
+  if (ed.v == from) return ed.u;
+  throw std::invalid_argument("Graph::opposite: vertex not on edge");
+}
+
+AliveMask AliveMask::all_alive(const Graph& g) {
+  AliveMask mask;
+  mask.vertex_alive.assign(g.vertex_count(), true);
+  mask.edge_alive.assign(g.edge_count(), true);
+  return mask;
+}
+
+bool AliveMask::traversable(const Graph& g, EdgeId e) const {
+  if (e >= edge_alive.size() || !edge_alive[e]) return false;
+  const Edge& ed = g.edge(e);
+  return vertex_alive[ed.u] && vertex_alive[ed.v];
+}
+
+}  // namespace solarnet::graph

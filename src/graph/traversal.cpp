@@ -1,0 +1,100 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace solarnet::graph {
+
+std::vector<bool> reachable_from(const Graph& g, const AliveMask& mask,
+                                 VertexId source) {
+  std::vector<bool> visited(g.vertex_count(), false);
+  if (source >= g.vertex_count() || source >= mask.vertex_alive.size() ||
+      !mask.vertex_alive[source]) {
+    return visited;
+  }
+  std::vector<VertexId> stack{source};
+  visited[source] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const auto& [neighbor, edge] : g.incident(v)) {
+      if (visited[neighbor] || !mask.traversable(g, edge)) continue;
+      visited[neighbor] = true;
+      stack.push_back(neighbor);
+    }
+  }
+  return visited;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, const AliveMask& mask,
+                                    VertexId source) {
+  std::vector<std::uint32_t> hops(g.vertex_count(), kUnreachableHops);
+  if (source >= g.vertex_count() || source >= mask.vertex_alive.size() ||
+      !mask.vertex_alive[source]) {
+    return hops;
+  }
+  std::queue<VertexId> queue;
+  queue.push(source);
+  hops[source] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    for (const auto& [neighbor, edge] : g.incident(v)) {
+      if (hops[neighbor] != kUnreachableHops || !mask.traversable(g, edge)) {
+        continue;
+      }
+      hops[neighbor] = hops[v] + 1;
+      queue.push(neighbor);
+    }
+  }
+  return hops;
+}
+
+std::vector<VertexId> ShortestPaths::path_to(VertexId target) const {
+  std::vector<VertexId> path;
+  if (target >= distance.size() || distance[target] == kUnreachable) {
+    return path;
+  }
+  for (VertexId v = target; v != kInvalidVertex; v = parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, const AliveMask& mask,
+                       VertexId source) {
+  if (source >= g.vertex_count()) {
+    throw std::invalid_argument("dijkstra: source out of range");
+  }
+  ShortestPaths sp;
+  sp.distance.assign(g.vertex_count(), kUnreachable);
+  sp.parent_edge.assign(g.vertex_count(), kInvalidEdge);
+  sp.parent.assign(g.vertex_count(), kInvalidVertex);
+  if (source >= mask.vertex_alive.size() || !mask.vertex_alive[source]) {
+    return sp;
+  }
+
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  sp.distance[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > sp.distance[v]) continue;  // stale entry
+    for (const auto& [neighbor, edge] : g.incident(v)) {
+      if (!mask.traversable(g, edge)) continue;
+      const double next = dist + g.edge(edge).weight;
+      if (next < sp.distance[neighbor]) {
+        sp.distance[neighbor] = next;
+        sp.parent[neighbor] = v;
+        sp.parent_edge[neighbor] = edge;
+        heap.push({next, neighbor});
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace solarnet::graph

@@ -1,0 +1,38 @@
+// BFS reachability and Dijkstra shortest paths over masked graphs.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace solarnet::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+// Vertices reachable from `source` in the masked subgraph (including the
+// source itself when alive). Returns an empty set if the source is dead.
+std::vector<bool> reachable_from(const Graph& g, const AliveMask& mask,
+                                 VertexId source);
+
+// Hop distances (edge counts) from source; kUnreachableHops when not
+// reachable or dead.
+inline constexpr std::uint32_t kUnreachableHops = ~std::uint32_t{0};
+std::vector<std::uint32_t> bfs_hops(const Graph& g, const AliveMask& mask,
+                                    VertexId source);
+
+struct ShortestPaths {
+  std::vector<double> distance;       // kUnreachable when not reachable
+  std::vector<EdgeId> parent_edge;    // kInvalidEdge at source/unreachable
+  std::vector<VertexId> parent;       // kInvalidVertex at source/unreachable
+
+  // Reconstructs the vertex sequence source..target, or empty when target
+  // is unreachable.
+  std::vector<VertexId> path_to(VertexId target) const;
+};
+
+// Dijkstra using edge weights (lengths). Throws std::invalid_argument if
+// the source is out of range.
+ShortestPaths dijkstra(const Graph& g, const AliveMask& mask, VertexId source);
+
+}  // namespace solarnet::graph

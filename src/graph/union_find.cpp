@@ -1,0 +1,39 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace solarnet::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  if (x >= parent_.size()) throw std::out_of_range("UnionFind::find");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+bool UnionFind::connected(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+std::size_t UnionFind::set_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace solarnet::graph

@@ -1,0 +1,28 @@
+// Disjoint-set forest with union by size and path halving. Used for fast
+// connected-component queries inside Monte-Carlo trials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace solarnet::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  // Returns true if the sets were distinct (a merge happened).
+  bool unite(std::size_t a, std::size_t b);
+  bool connected(std::size_t a, std::size_t b);
+  std::size_t set_size(std::size_t x);
+  std::size_t set_count() const noexcept { return sets_; }
+  std::size_t element_count() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace solarnet::graph

@@ -1,0 +1,176 @@
+#include "recovery/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "topology/repeater.h"
+
+namespace solarnet::recovery {
+
+double RecoveryTimeline::days_to_restore_fraction(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("days_to_restore_fraction: bad fraction");
+  }
+  if (jobs.empty()) return 0.0;
+  std::vector<double> completions;
+  completions.reserve(jobs.size());
+  for (const CableRepairJob& j : jobs) completions.push_back(j.completion_day);
+  std::sort(completions.begin(), completions.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(completions.size())));
+  if (idx == 0) return 0.0;
+  return completions[idx - 1];
+}
+
+std::vector<std::pair<double, double>> RecoveryTimeline::restoration_curve(
+    double step_days) const {
+  std::vector<std::pair<double, double>> curve;
+  if (step_days <= 0.0) {
+    throw std::invalid_argument("restoration_curve: bad step");
+  }
+  if (jobs.empty()) {
+    curve.push_back({0.0, 1.0});
+    return curve;
+  }
+  const double end = days_to_restore_fraction(1.0);
+  const auto total = static_cast<double>(jobs.size());
+  for (double day = 0.0; day <= end + step_days; day += step_days) {
+    std::size_t done = 0;
+    for (const CableRepairJob& j : jobs) {
+      if (j.completion_day <= day) ++done;
+    }
+    curve.push_back({day, static_cast<double>(done) / total});
+    if (done == jobs.size()) break;
+  }
+  return curve;
+}
+
+std::vector<std::size_t> sample_fault_counts(
+    const sim::FailureSimulator& simulator,
+    const gic::RepeaterFailureModel& model,
+    const std::vector<bool>& cable_dead, util::Rng& rng) {
+  const topo::InfrastructureNetwork& net = simulator.network();
+  if (cable_dead.size() != net.cable_count()) {
+    throw std::invalid_argument("sample_fault_counts: size mismatch");
+  }
+  std::vector<std::size_t> faults(net.cable_count(), 0);
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    if (!cable_dead[c]) continue;
+    const std::size_t repeaters = topo::cable_repeater_count(
+        net.cable(c), simulator.config().repeater_spacing_km);
+    if (repeaters == 0) {
+      faults[c] = 1;  // defensive: a dead repeaterless cable has one fault
+      continue;
+    }
+    // Conditioned on death (>= 1 failure), the remaining repeaters fail
+    // independently. Use the cable's single-repeater probability by
+    // inverting the cable death probability.
+    const double death = simulator.cable_death_probability(c, model);
+    const double per_repeater =
+        1.0 - std::pow(std::max(1e-12, 1.0 - death),
+                       1.0 / static_cast<double>(repeaters));
+    std::size_t extra = 0;
+    for (std::size_t r = 1; r < repeaters; ++r) {
+      if (rng.bernoulli(per_repeater)) ++extra;
+    }
+    faults[c] = 1 + extra;
+  }
+  return faults;
+}
+
+RecoveryTimeline schedule_repairs(const topo::InfrastructureNetwork& net,
+                                  const std::vector<bool>& cable_dead,
+                                  const std::vector<std::size_t>& faults,
+                                  const RepairFleetParams& params) {
+  if (cable_dead.size() != net.cable_count() ||
+      faults.size() != net.cable_count()) {
+    throw std::invalid_argument("schedule_repairs: size mismatch");
+  }
+  if (params.cable_ships == 0 || params.land_crews == 0) {
+    throw std::invalid_argument("schedule_repairs: empty fleet");
+  }
+
+  RecoveryTimeline timeline;
+  timeline.restore_day.assign(net.cable_count(), 0.0);
+
+  // Build jobs, submarine and land pools separately.
+  std::vector<CableRepairJob> submarine_jobs;
+  std::vector<CableRepairJob> land_jobs;
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    if (!cable_dead[c]) continue;
+    CableRepairJob job;
+    job.cable = c;
+    job.faults = std::max<std::size_t>(1, faults[c]);
+    if (net.cable(c).kind == topo::CableKind::kSubmarine) {
+      job.work_days = params.mobilization_days +
+                      params.repair_days_per_fault *
+                          static_cast<double>(job.faults);
+      submarine_jobs.push_back(job);
+    } else {
+      job.work_days =
+          params.land_repair_days * static_cast<double>(job.faults);
+      land_jobs.push_back(job);
+    }
+  }
+
+  // Priority: cables touching more landing points restore more
+  // connectivity per ship-day.
+  auto priority = [&](const CableRepairJob& j) {
+    return net.cable(j.cable).endpoints().size();
+  };
+  auto schedule_pool = [&](std::vector<CableRepairJob>& jobs,
+                           std::size_t workers) {
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [&](const CableRepairJob& a, const CableRepairJob& b) {
+                       return priority(a) > priority(b);
+                     });
+    // Min-heap of worker free times.
+    std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+    for (std::size_t w = 0; w < workers; ++w) free_at.push(0.0);
+    for (CableRepairJob& job : jobs) {
+      const double start = free_at.top();
+      free_at.pop();
+      job.completion_day = start + job.work_days;
+      free_at.push(job.completion_day);
+      timeline.restore_day[job.cable] = job.completion_day;
+      timeline.jobs.push_back(job);
+    }
+  };
+  schedule_pool(submarine_jobs, params.cable_ships);
+  schedule_pool(land_jobs, params.land_crews);
+  return timeline;
+}
+
+std::vector<std::pair<double, double>> node_restoration_curve(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<bool>& cable_dead, const RecoveryTimeline& timeline,
+    double step_days) {
+  if (step_days <= 0.0) {
+    throw std::invalid_argument("node_restoration_curve: bad step");
+  }
+  const std::size_t connected = net.connected_node_count();
+  std::vector<std::pair<double, double>> curve;
+  if (connected == 0) {
+    curve.push_back({0.0, 1.0});
+    return curve;
+  }
+  double end = 0.0;
+  for (const CableRepairJob& j : timeline.jobs) {
+    end = std::max(end, j.completion_day);
+  }
+  for (double day = 0.0; day <= end + step_days; day += step_days) {
+    std::vector<bool> still_dead(net.cable_count(), false);
+    for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+      still_dead[c] = cable_dead[c] && timeline.restore_day[c] > day;
+    }
+    const std::size_t unreachable = net.unreachable_nodes(still_dead).size();
+    curve.push_back({day, 1.0 - static_cast<double>(unreachable) /
+                                    static_cast<double>(connected)});
+    if (unreachable == 0) break;
+  }
+  return curve;
+}
+
+}  // namespace solarnet::recovery

@@ -1,0 +1,151 @@
+#include "routing/assignment.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/traversal.h"
+
+namespace solarnet::routing {
+
+TrafficEngine::TrafficEngine(const topo::InfrastructureNetwork& net,
+                             std::vector<TrafficDemand> demands,
+                             CapacityModel capacity)
+    : net_(net), demands_(std::move(demands)), capacity_(capacity) {
+  for (const TrafficDemand& d : demands_) {
+    if (d.src >= net_.node_count() || d.dst >= net_.node_count()) {
+      throw std::out_of_range("TrafficEngine: demand endpoint out of range");
+    }
+    if (d.gbps < 0.0) {
+      throw std::invalid_argument("TrafficEngine: negative demand");
+    }
+  }
+}
+
+AssignmentResult TrafficEngine::assign(
+    const std::vector<bool>& cable_dead) const {
+  const graph::AliveMask mask = net_.mask_for_failures(cable_dead);
+
+  AssignmentResult result;
+  result.loads.resize(net_.cable_count());
+  for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+    result.loads[c].cable = c;
+    result.loads[c].capacity_gbps =
+        1000.0 * capacity_.capacity_tbps(net_.cable(c));
+  }
+
+  // One Dijkstra per distinct source.
+  std::map<topo::NodeId, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    by_source[demands_[i].src].push_back(i);
+  }
+
+  double weighted_km = 0.0;
+  for (const auto& [src, demand_indices] : by_source) {
+    const graph::ShortestPaths sp = graph::dijkstra(net_.graph(), mask, src);
+    for (std::size_t idx : demand_indices) {
+      const TrafficDemand& d = demands_[idx];
+      if (sp.distance[d.dst] == graph::kUnreachable) {
+        result.undeliverable_gbps += d.gbps;
+        continue;
+      }
+      result.delivered_gbps += d.gbps;
+      weighted_km += d.gbps * sp.distance[d.dst];
+      // Walk the parent chain, charging each traversed cable once per edge.
+      for (topo::NodeId v = d.dst; sp.parent_edge[v] != graph::kInvalidEdge;
+           v = sp.parent[v]) {
+        const topo::CableId cable = net_.cable_of_edge(sp.parent_edge[v]);
+        result.loads[cable].load_gbps += d.gbps;
+      }
+    }
+  }
+
+  for (const CableLoad& load : result.loads) {
+    result.max_utilization = std::max(result.max_utilization,
+                                      load.utilization());
+    if (load.utilization() > 1.0) ++result.overloaded_cables;
+  }
+  result.mean_path_km =
+      result.delivered_gbps > 0.0 ? weighted_km / result.delivered_gbps : 0.0;
+  return result;
+}
+
+AssignmentResult TrafficEngine::assign_baseline() const {
+  return assign(std::vector<bool>(net_.cable_count(), false));
+}
+
+AssignmentResult TrafficEngine::assign_capacity_aware(
+    const std::vector<bool>& cable_dead) const {
+  const graph::AliveMask base_mask = net_.mask_for_failures(cable_dead);
+
+  AssignmentResult result;
+  result.loads.resize(net_.cable_count());
+  std::vector<double> residual(net_.cable_count(), 0.0);
+  for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+    result.loads[c].cable = c;
+    result.loads[c].capacity_gbps =
+        1000.0 * capacity_.capacity_tbps(net_.cable(c));
+    residual[c] = result.loads[c].capacity_gbps;
+  }
+
+  // Largest demands first: they are hardest to place and dominate loads.
+  std::vector<std::size_t> order(demands_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands_[a].gbps > demands_[b].gbps;
+                   });
+
+  constexpr double kEps = 1e-9;
+  double weighted_km = 0.0;
+  graph::AliveMask mask = base_mask;
+  for (std::size_t idx : order) {
+    const TrafficDemand& d = demands_[idx];
+    // Per-demand fit mask: only cables that can absorb this whole demand.
+    // (One Dijkstra per demand — the mask is demand-specific.)
+    mask.edge_alive = base_mask.edge_alive;
+    for (graph::EdgeId e = 0; e < net_.graph().edge_count(); ++e) {
+      if (!mask.edge_alive[e]) continue;
+      if (residual[net_.cable_of_edge(e)] + kEps < d.gbps) {
+        mask.edge_alive[e] = false;
+      }
+    }
+    const graph::ShortestPaths sp =
+        graph::dijkstra(net_.graph(), mask, d.src);
+    if (sp.distance[d.dst] == graph::kUnreachable) {
+      result.undeliverable_gbps += d.gbps;
+      continue;
+    }
+    result.delivered_gbps += d.gbps;
+    weighted_km += d.gbps * sp.distance[d.dst];
+    for (topo::NodeId v = d.dst; sp.parent_edge[v] != graph::kInvalidEdge;
+         v = sp.parent[v]) {
+      const topo::CableId cable = net_.cable_of_edge(sp.parent_edge[v]);
+      result.loads[cable].load_gbps += d.gbps;
+      residual[cable] -= d.gbps;
+    }
+  }
+
+  for (const CableLoad& load : result.loads) {
+    result.max_utilization =
+        std::max(result.max_utilization, load.utilization());
+    if (load.utilization() > 1.0 + kEps) ++result.overloaded_cables;
+  }
+  result.mean_path_km =
+      result.delivered_gbps > 0.0 ? weighted_km / result.delivered_gbps : 0.0;
+  return result;
+}
+
+std::vector<double> TrafficEngine::load_shift(
+    const AssignmentResult& baseline, const AssignmentResult& after) {
+  if (baseline.loads.size() != after.loads.size()) {
+    throw std::invalid_argument("load_shift: result size mismatch");
+  }
+  std::vector<double> shift(baseline.loads.size(), 0.0);
+  for (std::size_t c = 0; c < shift.size(); ++c) {
+    shift[c] = after.loads[c].load_gbps - baseline.loads[c].load_gbps;
+  }
+  return shift;
+}
+
+}  // namespace solarnet::routing

@@ -1,0 +1,75 @@
+// Traffic assignment: shortest-path routing of the demand matrix over the
+// (possibly failure-masked) network, producing per-cable loads and
+// utilizations. This quantifies §5.5's observation that cable failures in
+// one region shift load onto surviving cables elsewhere ("when all
+// submarine cables connecting to NY fail, there will be significant shifts
+// in BGP paths and potential overload in Internet cables in California").
+#pragma once
+
+#include <vector>
+
+#include "routing/capacity.h"
+#include "routing/demand.h"
+#include "topology/network.h"
+
+namespace solarnet::routing {
+
+struct CableLoad {
+  topo::CableId cable = topo::kInvalidCable;
+  double load_gbps = 0.0;
+  double capacity_gbps = 0.0;
+  double utilization() const noexcept {
+    return capacity_gbps > 0.0 ? load_gbps / capacity_gbps : 0.0;
+  }
+};
+
+struct AssignmentResult {
+  std::vector<CableLoad> loads;  // indexed by cable id
+  double delivered_gbps = 0.0;
+  double undeliverable_gbps = 0.0;  // demand between disconnected gateways
+  double max_utilization = 0.0;
+  std::size_t overloaded_cables = 0;  // utilization > 1
+  double mean_path_km = 0.0;          // over delivered demand (load-weighted)
+
+  double delivered_fraction() const noexcept {
+    const double total = delivered_gbps + undeliverable_gbps;
+    return total > 0.0 ? delivered_gbps / total : 1.0;
+  }
+};
+
+class TrafficEngine {
+ public:
+  // The network must outlive the engine.
+  TrafficEngine(const topo::InfrastructureNetwork& net,
+                std::vector<TrafficDemand> demands,
+                CapacityModel capacity = {});
+
+  const std::vector<TrafficDemand>& demands() const noexcept {
+    return demands_;
+  }
+
+  // Routes every demand on the shortest surviving path (by km).
+  AssignmentResult assign(const std::vector<bool>& cable_dead) const;
+  AssignmentResult assign_baseline() const;  // no failures
+
+  // Capacity-aware variant: demands are routed largest-first, each on the
+  // shortest path whose every cable still has residual capacity for the
+  // whole demand; later demands therefore spill onto longer routes as the
+  // short ones fill. Demand with no fitting path is blocked (counted in
+  // undeliverable_gbps — the congestion analogue of disconnection).
+  // Utilization never exceeds 1.
+  AssignmentResult assign_capacity_aware(
+      const std::vector<bool>& cable_dead) const;
+
+  // Load shifted onto each cable relative to a baseline (positive =
+  // gained load after the event). Indexed by cable id.
+  static std::vector<double> load_shift(const AssignmentResult& baseline,
+                                        const AssignmentResult& after);
+
+ private:
+  const topo::InfrastructureNetwork& net_;
+  std::vector<TrafficDemand> demands_;
+  CapacityModel capacity_;
+};
+
+}  // namespace solarnet::routing

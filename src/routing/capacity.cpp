@@ -1,0 +1,23 @@
+#include "routing/capacity.h"
+
+#include <cmath>
+
+namespace solarnet::routing {
+
+double CapacityModel::capacity_tbps(const topo::Cable& cable) const {
+  switch (cable.kind) {
+    case topo::CableKind::kLandLongHaul:
+      return land_long_haul_tbps;
+    case topo::CableKind::kLandRegional:
+      return land_regional_tbps;
+    case topo::CableKind::kSubmarine:
+      break;
+  }
+  const double length = cable.total_length_km();
+  const double capacity =
+      submarine_base_tbps *
+      std::pow(0.5, length / submarine_halving_length_km);
+  return std::max(submarine_floor_tbps, capacity);
+}
+
+}  // namespace solarnet::routing

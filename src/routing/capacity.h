@@ -1,0 +1,25 @@
+// Cable capacity model. TeleGeography-style lit capacity is not public per
+// cable, so we estimate design capacity from cable kind and length: modern
+// long-haul systems carry more fiber pairs but older/longer systems carry
+// less per pair; land conduits bundle many fibers. The absolute scale is a
+// knob — the traffic analyses only consume utilization ratios.
+#pragma once
+
+#include "topology/cable.h"
+
+namespace solarnet::routing {
+
+struct CapacityModel {
+  // Submarine: base capacity for a short regional system, decaying with
+  // length (longer systems are older on average and carry fewer pairs).
+  double submarine_base_tbps = 160.0;
+  double submarine_halving_length_km = 9000.0;
+  double submarine_floor_tbps = 8.0;
+  // Land long-haul conduits and regional links.
+  double land_long_haul_tbps = 240.0;
+  double land_regional_tbps = 60.0;
+
+  double capacity_tbps(const topo::Cable& cable) const;
+};
+
+}  // namespace solarnet::routing

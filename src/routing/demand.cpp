@@ -1,0 +1,61 @@
+#include "routing/demand.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geo/distance.h"
+#include "geo/regions.h"
+
+namespace solarnet::routing {
+
+std::vector<TrafficDemand> gravity_demands(
+    const topo::InfrastructureNetwork& net, const DemandModelParams& params) {
+  // 1. Pick gateways: per continent, the landing points with the most
+  // cables.
+  std::map<geo::Continent, std::vector<topo::NodeId>> by_continent;
+  for (topo::NodeId n = 0; n < net.node_count(); ++n) {
+    if (net.cables_at(n).empty()) continue;
+    by_continent[geo::continent_at(net.node(n).location)].push_back(n);
+  }
+  std::vector<topo::NodeId> gateways;
+  std::vector<double> weight;  // cable degree as gateway mass
+  for (auto& [continent, nodes] : by_continent) {
+    std::sort(nodes.begin(), nodes.end(),
+              [&](topo::NodeId a, topo::NodeId b) {
+                const auto da = net.cables_at(a).size();
+                const auto db = net.cables_at(b).size();
+                return da != db ? da > db : a < b;
+              });
+    const std::size_t take =
+        std::min(params.gateways_per_continent, nodes.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      gateways.push_back(nodes[i]);
+      weight.push_back(static_cast<double>(net.cables_at(nodes[i]).size()));
+    }
+  }
+
+  // 2. Gravity demands between all gateway pairs.
+  std::vector<TrafficDemand> demands;
+  double gravity_total = 0.0;
+  for (std::size_t i = 0; i < gateways.size(); ++i) {
+    for (std::size_t j = i + 1; j < gateways.size(); ++j) {
+      const double d = geo::haversine_km(net.node(gateways[i]).location,
+                                         net.node(gateways[j]).location);
+      const double deterrence =
+          std::pow(std::max(d, 100.0), -params.distance_exponent);
+      const double g = weight[i] * weight[j] * deterrence;
+      demands.push_back({gateways[i], gateways[j], g});
+      gravity_total += g;
+    }
+  }
+  // 3. Normalize to the offered load.
+  if (gravity_total > 0.0) {
+    const double scale =
+        params.total_offered_tbps * 1000.0 / gravity_total;  // Tbps -> Gbps
+    for (TrafficDemand& t : demands) t.gbps *= scale;
+  }
+  return demands;
+}
+
+}  // namespace solarnet::routing

@@ -1,0 +1,36 @@
+// Inter-region traffic demand: a gravity model over the network's landing
+// points. Each continent contributes gateway nodes (its best-connected
+// landing stations); demand between two gateways is proportional to the
+// product of their gateway weights with a mild distance deterrence. This
+// gives the traffic engine a realistic offered load without needing any
+// proprietary traffic matrix.
+#pragma once
+
+#include <vector>
+
+#include "topology/network.h"
+
+namespace solarnet::routing {
+
+struct TrafficDemand {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  double gbps = 0.0;
+};
+
+struct DemandModelParams {
+  // Gateways per continent (the most cable-rich landing points).
+  std::size_t gateways_per_continent = 6;
+  // Total offered inter-gateway load.
+  double total_offered_tbps = 400.0;
+  // Gravity deterrence exponent on great-circle distance.
+  double distance_exponent = 0.5;
+};
+
+// Builds the demand matrix. Deterministic (no RNG): gateways are chosen by
+// descending cable degree (ties by node id).
+std::vector<TrafficDemand> gravity_demands(
+    const topo::InfrastructureNetwork& net,
+    const DemandModelParams& params = {});
+
+}  // namespace solarnet::routing

@@ -1,0 +1,161 @@
+#include "services/availability.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "geo/distance.h"
+#include "graph/components.h"
+
+namespace solarnet::services {
+
+namespace {
+
+// Continent "client anchors": a representative populous coastal location
+// per continent, mapped to the nearest landing point.
+const std::vector<std::pair<geo::Continent, geo::GeoPoint>>&
+continent_anchors() {
+  static const std::vector<std::pair<geo::Continent, geo::GeoPoint>> anchors =
+      {
+          {geo::Continent::kNorthAmerica, {40.7, -74.0}},   // New York
+          {geo::Continent::kSouthAmerica, {-23.5, -46.6}},  // Sao Paulo
+          {geo::Continent::kEurope, {50.1, 8.7}},           // Frankfurt
+          {geo::Continent::kAfrica, {6.5, 3.4}},            // Lagos
+          {geo::Continent::kAsia, {1.35, 103.8}},           // Singapore
+          {geo::Continent::kOceania, {-33.9, 151.2}},       // Sydney
+      };
+  return anchors;
+}
+
+// Clients and replicas reach the submarine plant through terrestrial
+// networks, so they attach to the best-connected landing station in their
+// area, not literally the closest beach: among nodes within the attachment
+// radius, prefer the highest cable degree (nearest wins ties); with no
+// node in range, fall back to the globally nearest.
+topo::NodeId nearest_connected_node(const topo::InfrastructureNetwork& net,
+                                    const geo::GeoPoint& p) {
+  constexpr double kAttachmentRadiusKm = 1500.0;
+  topo::NodeId best_in_range = topo::kInvalidNode;
+  std::size_t best_degree = 0;
+  double best_in_range_d = std::numeric_limits<double>::infinity();
+  topo::NodeId nearest = topo::kInvalidNode;
+  double nearest_d = std::numeric_limits<double>::infinity();
+  for (topo::NodeId n = 0; n < net.node_count(); ++n) {
+    const std::size_t degree = net.cables_at(n).size();
+    if (degree == 0) continue;
+    const double d = geo::haversine_km(p, net.node(n).location);
+    if (d < nearest_d) {
+      nearest_d = d;
+      nearest = n;
+    }
+    if (d <= kAttachmentRadiusKm &&
+        (degree > best_degree ||
+         (degree == best_degree && d < best_in_range_d))) {
+      best_degree = degree;
+      best_in_range_d = d;
+      best_in_range = n;
+    }
+  }
+  return best_in_range != topo::kInvalidNode ? best_in_range : nearest;
+}
+
+}  // namespace
+
+ServiceSpec service_from_datacenters(const std::string& name,
+                                     const std::vector<geo::GeoPoint>& sites,
+                                     std::size_t write_quorum) {
+  ServiceSpec spec;
+  spec.name = name;
+  spec.replicas = sites;
+  spec.write_quorum = write_quorum;
+  return spec;
+}
+
+const std::vector<std::pair<geo::Continent, double>>&
+continent_population_shares() {
+  static const std::vector<std::pair<geo::Continent, double>> shares = {
+      {geo::Continent::kAsia, 0.585},
+      {geo::Continent::kAfrica, 0.18},
+      {geo::Continent::kEurope, 0.10},
+      {geo::Continent::kNorthAmerica, 0.075},
+      {geo::Continent::kSouthAmerica, 0.055},
+      {geo::Continent::kOceania, 0.005},
+  };
+  return shares;
+}
+
+AvailabilityReport evaluate_service(const topo::InfrastructureNetwork& net,
+                                    const std::vector<bool>& cable_dead,
+                                    const ServiceSpec& service) {
+  if (service.replicas.empty() || service.write_quorum == 0 ||
+      service.write_quorum > service.replicas.size()) {
+    throw std::invalid_argument("evaluate_service: bad service spec");
+  }
+  const graph::AliveMask mask = net.mask_for_failures(cable_dead);
+  const graph::ComponentResult cc =
+      graph::connected_components(net.graph(), mask);
+  // A node that lost every cable is not "nowhere" — it is its own island
+  // partition: parties attached to the same dark landing station can still
+  // talk over the local terrestrial network. Give each dark node a unique
+  // synthetic component id so co-located client/replica pairs match.
+  const auto unreachable = net.unreachable_nodes(cable_dead);
+  std::vector<bool> dark(net.node_count(), false);
+  for (topo::NodeId n : unreachable) dark[n] = true;
+  constexpr std::uint32_t kIslandBase = 0x80000000u;
+
+  auto component_of = [&](const geo::GeoPoint& p) -> std::uint32_t {
+    const topo::NodeId n = nearest_connected_node(net, p);
+    if (n == topo::kInvalidNode) return graph::ComponentResult::kNoComponent;
+    if (dark[n]) return kIslandBase + n;
+    return cc.component[n];
+  };
+
+  std::vector<std::uint32_t> replica_components;
+  replica_components.reserve(service.replicas.size());
+  for (const geo::GeoPoint& r : service.replicas) {
+    replica_components.push_back(component_of(r));
+  }
+
+  AvailabilityReport report;
+  report.service = service.name;
+  for (const auto& [continent, anchor] : continent_anchors()) {
+    ContinentAvailability avail;
+    avail.continent = continent;
+    const std::uint32_t client = component_of(anchor);
+    if (client != graph::ComponentResult::kNoComponent) {
+      std::size_t reachable = 0;
+      for (std::uint32_t rc : replica_components) {
+        if (rc == client) ++reachable;
+      }
+      avail.read_available = reachable >= 1;
+      // Replicas reachable from the client are in the same component, so
+      // they are mutually connected: quorum is just a count.
+      avail.write_available = reachable >= service.write_quorum;
+    }
+    report.per_continent.push_back(avail);
+  }
+
+  for (const auto& [continent, share] : continent_population_shares()) {
+    for (const ContinentAvailability& avail : report.per_continent) {
+      if (avail.continent != continent) continue;
+      if (avail.read_available) report.read_availability += share;
+      if (avail.write_available) report.write_availability += share;
+    }
+  }
+  return report;
+}
+
+std::vector<AvailabilityReport> evaluate_services(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<bool>& cable_dead,
+    const std::vector<ServiceSpec>& services) {
+  std::vector<AvailabilityReport> out;
+  out.reserve(services.size());
+  for (const ServiceSpec& s : services) {
+    out.push_back(evaluate_service(net, cable_dead, s));
+  }
+  return out;
+}
+
+}  // namespace solarnet::services

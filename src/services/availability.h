@@ -1,0 +1,65 @@
+// Resilience testing for geo-distributed services (§5.4: "we need to
+// devise standard practices in resilience testing involving large-scale
+// failures", §5.2: "search engines, financial services, etc. should
+// geo-distribute critical data ... so that each partition can function
+// independently"). A service is a replica set with a quorum requirement;
+// this module evaluates read/write availability for clients on every
+// continent under a cable-failure draw, using the surviving submarine
+// topology to decide who can reach whom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+#include "geo/regions.h"
+#include "topology/network.h"
+
+namespace solarnet::services {
+
+struct ServiceSpec {
+  std::string name;
+  std::vector<geo::GeoPoint> replicas;
+  // Replicas that must be mutually reachable (and reachable from the
+  // client) for writes; 1 replica suffices for reads.
+  std::size_t write_quorum = 1;
+};
+
+// Builds a replica set from an operator's data-center footprint.
+ServiceSpec service_from_datacenters(const std::string& name,
+                                     const std::vector<geo::GeoPoint>& sites,
+                                     std::size_t write_quorum);
+
+struct ContinentAvailability {
+  geo::Continent continent;
+  bool read_available = false;
+  bool write_available = false;
+};
+
+struct AvailabilityReport {
+  std::string service;
+  std::vector<ContinentAvailability> per_continent;
+  // Population-weighted availability over continents.
+  double read_availability = 0.0;
+  double write_availability = 0.0;
+};
+
+// The continent population shares used for weighting (sums to 1).
+const std::vector<std::pair<geo::Continent, double>>&
+continent_population_shares();
+
+// Evaluates one service against a failure draw. Every replica and client
+// continent is mapped to its nearest cable-bearing landing point; two
+// parties can communicate when those landing points share a surviving
+// component. A client's continent gets read availability when >= 1
+// replica is reachable, write availability when >= write_quorum replicas
+// are reachable AND mutually connected.
+AvailabilityReport evaluate_service(const topo::InfrastructureNetwork& net,
+                                    const std::vector<bool>& cable_dead,
+                                    const ServiceSpec& service);
+
+std::vector<AvailabilityReport> evaluate_services(
+    const topo::InfrastructureNetwork& net, const std::vector<bool>& cable_dead,
+    const std::vector<ServiceSpec>& services);
+
+}  // namespace solarnet::services

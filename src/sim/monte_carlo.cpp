@@ -1,0 +1,116 @@
+#include "sim/monte_carlo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "topology/repeater.h"
+
+namespace solarnet::sim {
+
+FailureSimulator::FailureSimulator(const topo::InfrastructureNetwork& net,
+                                   TrialConfig config)
+    : net_(net), config_(config) {
+  if (config_.repeater_spacing_km <= 0.0) {
+    throw std::invalid_argument("FailureSimulator: spacing must be positive");
+  }
+  if (config_.death_fraction <= 0.0 || config_.death_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FailureSimulator: death_fraction must be in (0, 1]");
+  }
+  cable_offset_.reserve(net.cable_count() + 1);
+  cable_offset_.push_back(0);
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    const double max_abs_lat = net.cable_max_abs_latitude(c);
+    const auto positions = topo::repeater_positions(
+        net.cable(c), c, net.nodes(), config_.repeater_spacing_km);
+    for (const topo::Repeater& r : positions) {
+      repeaters_.push_back({r.location, max_abs_lat});
+    }
+    if (positions.empty()) ++repeaterless_cables_;
+    total_repeaters_ += positions.size();
+    cable_offset_.push_back(repeaters_.size());
+  }
+  connected_nodes_ = net.connected_node_count();
+}
+
+double FailureSimulator::average_repeaters_per_cable() const noexcept {
+  if (net_.cable_count() == 0) return 0.0;
+  return static_cast<double>(total_repeaters_) /
+         static_cast<double>(net_.cable_count());
+}
+
+double FailureSimulator::cable_death_probability(
+    topo::CableId cable, const gic::RepeaterFailureModel& model) const {
+  if (cable + 1 >= cable_offset_.size()) {
+    throw std::out_of_range("cable_death_probability: cable id");
+  }
+  double survive = 1.0;
+  for (std::size_t i = cable_offset_[cable]; i < cable_offset_[cable + 1];
+       ++i) {
+    survive *= 1.0 - model.failure_probability(repeaters_[i]);
+    if (survive == 0.0) break;
+  }
+  return 1.0 - survive;
+}
+
+std::vector<bool> FailureSimulator::sample_cable_failures(
+    const gic::RepeaterFailureModel& model, util::Rng& rng) const {
+  std::vector<bool> dead(net_.cable_count(), false);
+  for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+    const std::size_t begin = cable_offset_[c];
+    const std::size_t end = cable_offset_[c + 1];
+    if (begin == end) continue;  // repeaterless cables never die of GIC
+    if (config_.rule == CableDeathRule::kAnyRepeaterFails) {
+      dead[c] = rng.bernoulli(cable_death_probability(c, model));
+    } else {
+      std::size_t failed = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (rng.bernoulli(model.failure_probability(repeaters_[i]))) {
+          ++failed;
+        }
+      }
+      const double fraction = static_cast<double>(failed) /
+                              static_cast<double>(end - begin);
+      dead[c] = fraction >= config_.death_fraction;
+    }
+  }
+  return dead;
+}
+
+TrialResult FailureSimulator::run_trial(const gic::RepeaterFailureModel& model,
+                                        util::Rng& rng) const {
+  TrialResult result;
+  result.cable_dead = sample_cable_failures(model, rng);
+  for (bool d : result.cable_dead) {
+    if (d) ++result.cables_failed;
+  }
+  result.nodes_unreachable = net_.unreachable_nodes(result.cable_dead).size();
+  result.cables_failed_pct =
+      net_.cable_count() > 0
+          ? 100.0 * static_cast<double>(result.cables_failed) /
+                static_cast<double>(net_.cable_count())
+          : 0.0;
+  result.nodes_unreachable_pct =
+      connected_nodes_ > 0
+          ? 100.0 * static_cast<double>(result.nodes_unreachable) /
+                static_cast<double>(connected_nodes_)
+          : 0.0;
+  return result;
+}
+
+AggregateResult FailureSimulator::run_trials(
+    const gic::RepeaterFailureModel& model, std::size_t trials,
+    std::uint64_t seed) const {
+  AggregateResult agg;
+  util::Rng base(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Rng rng = base.split(t);
+    const TrialResult r = run_trial(model, rng);
+    agg.cables_failed_pct.add(r.cables_failed_pct);
+    agg.nodes_unreachable_pct.add(r.nodes_unreachable_pct);
+  }
+  agg.trials = trials;
+  return agg;
+}
+
+}  // namespace solarnet::sim

@@ -1,0 +1,80 @@
+// Monte-Carlo failure simulation (§4.3 of the paper).
+//
+// The experiment: place repeaters on every cable at a fixed spacing, let
+// each repeater fail according to a RepeaterFailureModel, kill a cable when
+// its repeaters fail (by default: any single failure kills the cable — "even
+// a single repeater failure can leave all parallel fibers in the cable
+// unusable"), then measure the share of failed cables and of nodes that
+// lost all their cables. Repeat and aggregate.
+//
+// FailureSimulator precomputes the repeater layout (positions and the
+// per-cable max-endpoint latitude) once per (network, spacing), so a trial
+// is O(cables) under the any-failure rule and O(repeaters) otherwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gic/failure_model.h"
+#include "sim/outcome.h"
+#include "topology/network.h"
+#include "util/rng.h"
+
+namespace solarnet::sim {
+
+enum class CableDeathRule {
+  kAnyRepeaterFails,  // the paper's rule
+  kFractionFails,     // extension: dies when >= death_fraction of repeaters fail
+};
+
+struct TrialConfig {
+  double repeater_spacing_km = 150.0;
+  CableDeathRule rule = CableDeathRule::kAnyRepeaterFails;
+  double death_fraction = 0.5;  // only used by kFractionFails
+};
+
+class FailureSimulator {
+ public:
+  // Builds the repeater layout for `net` at the config's spacing. The
+  // network must outlive the simulator.
+  FailureSimulator(const topo::InfrastructureNetwork& net, TrialConfig config);
+
+  const topo::InfrastructureNetwork& network() const noexcept { return net_; }
+  const TrialConfig& config() const noexcept { return config_; }
+
+  std::size_t total_repeaters() const noexcept { return total_repeaters_; }
+  std::size_t repeaterless_cables() const noexcept {
+    return repeaterless_cables_;
+  }
+  double average_repeaters_per_cable() const noexcept;
+
+  // Exact per-cable death probability under the any-failure rule:
+  // 1 - prod(1 - p_i) over the cable's repeaters.
+  double cable_death_probability(topo::CableId cable,
+                                 const gic::RepeaterFailureModel& model) const;
+
+  // Samples which cables die in one event draw.
+  std::vector<bool> sample_cable_failures(
+      const gic::RepeaterFailureModel& model, util::Rng& rng) const;
+
+  TrialResult run_trial(const gic::RepeaterFailureModel& model,
+                        util::Rng& rng) const;
+
+  // `trials` independent draws; trial t uses a child stream of `seed` so
+  // results are reproducible and order-independent.
+  AggregateResult run_trials(const gic::RepeaterFailureModel& model,
+                             std::size_t trials, std::uint64_t seed) const;
+
+ private:
+  const topo::InfrastructureNetwork& net_;
+  TrialConfig config_;
+  // Flattened repeater contexts: per cable, [offset, offset+count).
+  std::vector<gic::RepeaterContext> repeaters_;
+  std::vector<std::size_t> cable_offset_;  // size cables+1
+  std::size_t total_repeaters_ = 0;
+  std::size_t repeaterless_cables_ = 0;
+  std::size_t connected_nodes_ = 0;
+};
+
+}  // namespace solarnet::sim

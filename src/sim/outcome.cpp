@@ -1,0 +1,6 @@
+#include "sim/outcome.h"
+
+// Currently header-only data types; the translation unit exists so the
+// module has a stable home for future out-of-line helpers.
+
+namespace solarnet::sim {}  // namespace solarnet::sim

@@ -1,0 +1,67 @@
+#include "topology/builders.h"
+
+#include <stdexcept>
+
+namespace solarnet::topo {
+
+NodeId NetworkBuilder::node(const std::string& name, geo::GeoPoint location,
+                            NodeKind kind, std::string country_code,
+                            bool coords_authoritative) {
+  if (auto existing = net_.find_node(name)) return *existing;
+  return net_.add_node(Node{name, location, std::move(country_code), kind,
+                            coords_authoritative});
+}
+
+CableId NetworkBuilder::cable(const std::string& name, NodeId a, NodeId b,
+                              CableKind kind, double length_km) {
+  Cable c;
+  c.name = name;
+  c.kind = kind;
+  c.segments.push_back({a, b, length_km});
+  return net_.add_cable(std::move(c));
+}
+
+CableId NetworkBuilder::trunk_cable(const std::string& name,
+                                    const std::vector<NodeId>& path,
+                                    CableKind kind,
+                                    const std::vector<double>& segment_lengths) {
+  if (path.size() < 2) {
+    throw std::invalid_argument("trunk_cable: need at least two nodes");
+  }
+  if (!segment_lengths.empty() && segment_lengths.size() != path.size() - 1) {
+    throw std::invalid_argument(
+        "trunk_cable: segment_lengths must have path.size()-1 entries");
+  }
+  Cable c;
+  c.name = name;
+  c.kind = kind;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const double len = segment_lengths.empty() ? 0.0 : segment_lengths[i - 1];
+    c.segments.push_back({path[i - 1], path[i], len});
+  }
+  return net_.add_cable(std::move(c));
+}
+
+CableId NetworkBuilder::branched_cable(
+    const std::string& name, const std::vector<NodeId>& trunk,
+    const std::vector<CableSegment>& branches, CableKind kind,
+    const std::vector<double>& trunk_lengths) {
+  if (trunk.size() < 2) {
+    throw std::invalid_argument("branched_cable: need at least two trunk nodes");
+  }
+  if (!trunk_lengths.empty() && trunk_lengths.size() != trunk.size() - 1) {
+    throw std::invalid_argument(
+        "branched_cable: trunk_lengths must have trunk.size()-1 entries");
+  }
+  Cable c;
+  c.name = name;
+  c.kind = kind;
+  for (std::size_t i = 1; i < trunk.size(); ++i) {
+    const double len = trunk_lengths.empty() ? 0.0 : trunk_lengths[i - 1];
+    c.segments.push_back({trunk[i - 1], trunk[i], len});
+  }
+  for (const CableSegment& b : branches) c.segments.push_back(b);
+  return net_.add_cable(std::move(c));
+}
+
+}  // namespace solarnet::topo

@@ -1,0 +1,53 @@
+// NetworkBuilder: get-or-create ergonomics on top of InfrastructureNetwork,
+// used by both the synthetic dataset generators and the CSV loaders. Also
+// provides the common cable shapes (point-to-point, multi-city trunk,
+// trunk-with-branches) that real submarine systems take.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/network.h"
+
+namespace solarnet::topo {
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string network_name)
+      : net_(std::move(network_name)) {}
+
+  // Returns the existing node with this name, or creates it. If the node
+  // exists, its stored attributes win (first writer wins); coordinates are
+  // NOT updated, so datasets with conflicting coordinates stay consistent.
+  NodeId node(const std::string& name, geo::GeoPoint location,
+              NodeKind kind = NodeKind::kLandingPoint,
+              std::string country_code = {}, bool coords_authoritative = true);
+
+  // Point-to-point cable between two existing nodes. length_km == 0 means
+  // "compute the great-circle length".
+  CableId cable(const std::string& name, NodeId a, NodeId b, CableKind kind,
+                double length_km = 0.0);
+
+  // A trunk visiting the node sequence in order (one segment per hop).
+  // segment_lengths may be empty (compute) or one length per hop.
+  CableId trunk_cable(const std::string& name, const std::vector<NodeId>& path,
+                      CableKind kind,
+                      const std::vector<double>& segment_lengths = {});
+
+  // A trunk plus branch segments (branch.a must be on the trunk or a prior
+  // branch — not enforced, but that is the physical shape).
+  CableId branched_cable(const std::string& name,
+                         const std::vector<NodeId>& trunk,
+                         const std::vector<CableSegment>& branches,
+                         CableKind kind,
+                         const std::vector<double>& trunk_lengths = {});
+
+  InfrastructureNetwork& network() noexcept { return net_; }
+  // Finalizes and moves the network out; the builder must not be used after.
+  InfrastructureNetwork take() { return std::move(net_); }
+
+ private:
+  InfrastructureNetwork net_;
+};
+
+}  // namespace solarnet::topo

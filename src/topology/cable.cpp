@@ -1,0 +1,52 @@
+#include "topology/cable.h"
+
+#include <algorithm>
+
+namespace solarnet::topo {
+
+std::string_view to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kLandingPoint:
+      return "landing-point";
+    case NodeKind::kCity:
+      return "city";
+    case NodeKind::kRouter:
+      return "router";
+    case NodeKind::kIxp:
+      return "ixp";
+    case NodeKind::kDnsRoot:
+      return "dns-root";
+    case NodeKind::kDataCenter:
+      return "data-center";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(CableKind kind) noexcept {
+  switch (kind) {
+    case CableKind::kSubmarine:
+      return "submarine";
+    case CableKind::kLandLongHaul:
+      return "land-long-haul";
+    case CableKind::kLandRegional:
+      return "land-regional";
+  }
+  return "unknown";
+}
+
+double Cable::total_length_km() const noexcept {
+  double total = 0.0;
+  for (const CableSegment& s : segments) total += s.length_km;
+  return total;
+}
+
+std::vector<NodeId> Cable::endpoints() const {
+  std::vector<NodeId> out;
+  for (const CableSegment& s : segments) {
+    if (std::find(out.begin(), out.end(), s.a) == out.end()) out.push_back(s.a);
+    if (std::find(out.begin(), out.end(), s.b) == out.end()) out.push_back(s.b);
+  }
+  return out;
+}
+
+}  // namespace solarnet::topo

@@ -1,0 +1,45 @@
+// Cables: the unit of GIC failure. A cable is an ordered collection of
+// segments (trunk legs and branches); the paper's failure rule is
+// cable-granular — one destroyed repeater anywhere on the cable makes every
+// fiber pair in it unusable — so segments share their cable's fate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/node.h"
+
+namespace solarnet::topo {
+
+using CableId = std::uint32_t;
+inline constexpr CableId kInvalidCable = ~CableId{0};
+
+enum class CableKind {
+  kSubmarine,
+  kLandLongHaul,  // Intertubes-style long-haul fiber
+  kLandRegional,  // ITU-style mixed long/short-haul fiber
+};
+
+std::string_view to_string(CableKind kind) noexcept;
+
+struct CableSegment {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double length_km = 0.0;
+};
+
+struct Cable {
+  std::string name;
+  CableKind kind = CableKind::kSubmarine;
+  std::vector<CableSegment> segments;
+  // Some real datasets (29 of the 470 TeleGeography cables) lack a length;
+  // the paper drops those from length-based analyses. false mirrors that.
+  bool length_known = true;
+
+  double total_length_km() const noexcept;
+  // All distinct node ids touched by any segment, in first-seen order.
+  std::vector<NodeId> endpoints() const;
+};
+
+}  // namespace solarnet::topo

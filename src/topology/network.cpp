@@ -1,0 +1,169 @@
+#include "topology/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/distance.h"
+
+namespace solarnet::topo {
+
+NodeId InfrastructureNetwork::add_node(Node node) {
+  node.location = geo::validated(node.location);
+  if (node.name.empty()) {
+    throw std::invalid_argument("add_node: empty node name");
+  }
+  const auto [it, inserted] = node_by_name_.try_emplace(
+      node.name, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) {
+    throw std::invalid_argument("add_node: duplicate node name '" +
+                                node.name + "'");
+  }
+  nodes_.push_back(std::move(node));
+  cables_at_node_.emplace_back();
+  graph_.add_vertex();
+  return it->second;
+}
+
+CableId InfrastructureNetwork::add_cable(Cable cable) {
+  if (cable.segments.empty()) {
+    throw std::invalid_argument("add_cable: cable '" + cable.name +
+                                "' has no segments");
+  }
+  for (CableSegment& s : cable.segments) {
+    if (s.a >= nodes_.size() || s.b >= nodes_.size()) {
+      throw std::out_of_range("add_cable: segment references unknown node");
+    }
+    if (s.length_km < 0.0) {
+      throw std::invalid_argument("add_cable: negative segment length");
+    }
+    if (s.length_km == 0.0) {
+      s.length_km =
+          geo::haversine_km(nodes_[s.a].location, nodes_[s.b].location);
+    }
+  }
+
+  const auto id = static_cast<CableId>(cables_.size());
+  cable_to_edges_.emplace_back();
+  for (const CableSegment& s : cable.segments) {
+    const graph::EdgeId e = graph_.add_edge(s.a, s.b, s.length_km);
+    edge_to_cable_.push_back(id);
+    cable_to_edges_[id].push_back(e);
+  }
+  for (NodeId n : cable.endpoints()) {
+    cables_at_node_[n].push_back(id);
+  }
+  cables_.push_back(std::move(cable));
+  return id;
+}
+
+void InfrastructureNetwork::set_cable_length_known(CableId id, bool known) {
+  if (id >= cables_.size()) {
+    throw std::out_of_range("network: set_cable_length_known");
+  }
+  cables_[id].length_known = known;
+}
+
+const Node& InfrastructureNetwork::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("network: node id");
+  return nodes_[id];
+}
+
+const Cable& InfrastructureNetwork::cable(CableId id) const {
+  if (id >= cables_.size()) throw std::out_of_range("network: cable id");
+  return cables_[id];
+}
+
+std::optional<NodeId> InfrastructureNetwork::find_node(
+    std::string_view name) const {
+  const auto it = node_by_name_.find(std::string(name));
+  if (it == node_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<CableId>& InfrastructureNetwork::cables_at(NodeId id) const {
+  if (id >= cables_at_node_.size()) {
+    throw std::out_of_range("network: cables_at");
+  }
+  return cables_at_node_[id];
+}
+
+CableId InfrastructureNetwork::cable_of_edge(graph::EdgeId e) const {
+  if (e >= edge_to_cable_.size()) {
+    throw std::out_of_range("network: cable_of_edge");
+  }
+  return edge_to_cable_[e];
+}
+
+const std::vector<graph::EdgeId>& InfrastructureNetwork::edges_of_cable(
+    CableId c) const {
+  if (c >= cable_to_edges_.size()) {
+    throw std::out_of_range("network: edges_of_cable");
+  }
+  return cable_to_edges_[c];
+}
+
+graph::AliveMask InfrastructureNetwork::mask_for_failures(
+    const std::vector<bool>& cable_dead) const {
+  if (cable_dead.size() != cables_.size()) {
+    throw std::invalid_argument("mask_for_failures: size mismatch");
+  }
+  graph::AliveMask mask = graph::AliveMask::all_alive(graph_);
+  for (graph::EdgeId e = 0; e < edge_to_cable_.size(); ++e) {
+    if (cable_dead[edge_to_cable_[e]]) mask.edge_alive[e] = false;
+  }
+  return mask;
+}
+
+std::vector<NodeId> InfrastructureNetwork::unreachable_nodes(
+    const std::vector<bool>& cable_dead) const {
+  if (cable_dead.size() != cables_.size()) {
+    throw std::invalid_argument("unreachable_nodes: size mismatch");
+  }
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const auto& incident = cables_at_node_[n];
+    if (incident.empty()) continue;
+    const bool all_dead =
+        std::all_of(incident.begin(), incident.end(),
+                    [&](CableId c) { return cable_dead[c]; });
+    if (all_dead) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t InfrastructureNetwork::connected_node_count() const {
+  std::size_t count = 0;
+  for (const auto& incident : cables_at_node_) {
+    if (!incident.empty()) ++count;
+  }
+  return count;
+}
+
+std::vector<double> InfrastructureNetwork::node_latitudes() const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    if (n.coords_authoritative) out.push_back(n.location.lat_deg);
+  }
+  return out;
+}
+
+std::vector<double> InfrastructureNetwork::cable_lengths() const {
+  std::vector<double> out;
+  out.reserve(cables_.size());
+  for (const Cable& c : cables_) {
+    if (c.length_known) out.push_back(c.total_length_km());
+  }
+  return out;
+}
+
+double InfrastructureNetwork::cable_max_abs_latitude(CableId id) const {
+  const Cable& c = cable(id);
+  double max_abs = 0.0;
+  for (NodeId n : c.endpoints()) {
+    max_abs = std::max(max_abs, nodes_[n].location.abs_lat());
+  }
+  return max_abs;
+}
+
+}  // namespace solarnet::topo

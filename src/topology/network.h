@@ -1,0 +1,88 @@
+// InfrastructureNetwork: a set of nodes plus cables, with a graph view for
+// connectivity analysis. This is the common in-memory model every dataset
+// (submarine map, Intertubes, ITU) loads into and every failure experiment
+// operates on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/cable.h"
+#include "topology/node.h"
+
+namespace solarnet::topo {
+
+class InfrastructureNetwork {
+ public:
+  explicit InfrastructureNetwork(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- construction -------------------------------------------------------
+  // Adds a node; names must be unique within a network (throws on
+  // duplicates — datasets key landing points by name).
+  NodeId add_node(Node node);
+  // Adds a cable; every referenced node must already exist. Segments with
+  // length 0 get their great-circle length computed from node coordinates.
+  CableId add_cable(Cable cable);
+  // Marks whether a cable's length figure is authoritative (datasets flag
+  // entries whose source publishes no length).
+  void set_cable_length_known(CableId id, bool known);
+
+  // --- access -------------------------------------------------------------
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t cable_count() const noexcept { return cables_.size(); }
+  const Node& node(NodeId id) const;
+  const Cable& cable(CableId id) const;
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const std::vector<Cable>& cables() const noexcept { return cables_; }
+  std::optional<NodeId> find_node(std::string_view name) const;
+
+  // Cables incident to a node.
+  const std::vector<CableId>& cables_at(NodeId id) const;
+  // True when the node has at least one cable.
+  bool has_cables(NodeId id) const { return !cables_at(id).empty(); }
+
+  // --- graph view ---------------------------------------------------------
+  // One graph edge per cable segment, weighted by segment length.
+  const graph::Graph& graph() const noexcept { return graph_; }
+  CableId cable_of_edge(graph::EdgeId e) const;
+  const std::vector<graph::EdgeId>& edges_of_cable(CableId c) const;
+
+  // Mask for the subgraph that survives when `cable_dead[c]` cables fail.
+  // All vertices stay alive (a node with no surviving cable is detected via
+  // unreachable_nodes below, matching the paper's definition).
+  graph::AliveMask mask_for_failures(const std::vector<bool>& cable_dead) const;
+
+  // Paper §4.3.1: "a node is unreachable when all its connected links have
+  // failed". Returns ids of nodes that had >= 1 cable and lost all of them.
+  std::vector<NodeId> unreachable_nodes(const std::vector<bool>& cable_dead) const;
+
+  // Nodes with at least one cable (the denominator of "% unreachable").
+  std::size_t connected_node_count() const;
+
+  // --- derived views used by the analyses ---------------------------------
+  // Latitudes (degrees) of all nodes with authoritative coordinates.
+  std::vector<double> node_latitudes() const;
+  // Total lengths of all cables with known length.
+  std::vector<double> cable_lengths() const;
+  // Highest |latitude| over a cable's endpoints — the quantity the paper's
+  // non-uniform model keys failure probability on.
+  double cable_max_abs_latitude(CableId id) const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Cable> cables_;
+  std::unordered_map<std::string, NodeId> node_by_name_;
+  std::vector<std::vector<CableId>> cables_at_node_;
+  graph::Graph graph_;
+  std::vector<CableId> edge_to_cable_;
+  std::vector<std::vector<graph::EdgeId>> cable_to_edges_;
+};
+
+}  // namespace solarnet::topo

@@ -1,0 +1,37 @@
+// Infrastructure node types shared by every network dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "geo/coords.h"
+
+namespace solarnet::topo {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+enum class NodeKind {
+  kLandingPoint,  // submarine cable landing station
+  kCity,          // land-network PoP / city node
+  kRouter,
+  kIxp,
+  kDnsRoot,
+  kDataCenter,
+};
+
+std::string_view to_string(NodeKind kind) noexcept;
+
+struct Node {
+  std::string name;
+  geo::GeoPoint location;
+  std::string country_code;  // ISO alpha-2; empty when unknown
+  NodeKind kind = NodeKind::kCity;
+  // The ITU dataset publishes node names but not coordinates; generators
+  // mirror that by synthesizing coordinates and clearing this flag so
+  // latitude-dependent analyses can skip them exactly as the paper does.
+  bool coords_authoritative = true;
+};
+
+}  // namespace solarnet::topo

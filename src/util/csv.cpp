@@ -1,0 +1,174 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace solarnet::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string quote_field(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    const bool blank = row.size() == 1 && row[0].empty() && !row_has_content;
+    if (!blank || !options.skip_blank_lines) rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == options.delimiter) {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      // CRLF line ending: drop the CR here; the LF ends the row on the
+      // next iteration. (A CR inside a quoted field never reaches this
+      // branch, so quoted "\r" content survives round-trips.)
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quote");
+  // Final record without trailing newline.
+  if (!field.empty() || !row.empty() || row_has_content) {
+    end_row();
+  }
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path,
+                                  CsvOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), options);
+}
+
+std::string to_csv(const std::vector<CsvRow>& rows, CsvOptions options) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += options.delimiter;
+      if (needs_quoting(row[i], options.delimiter)) {
+        out += quote_field(row[i]);
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
+                    CsvOptions options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  out << to_csv(rows, options);
+  if (!out) throw std::runtime_error("write_csv_file: write failed " + path);
+}
+
+CsvTable::CsvTable(std::vector<CsvRow> rows) {
+  if (rows.empty()) throw std::runtime_error("CsvTable: no header row");
+  header_ = std::move(rows.front());
+  rows_.assign(std::make_move_iterator(rows.begin() + 1),
+               std::make_move_iterator(rows.end()));
+  std::unordered_map<std::string, int> seen;
+  for (const std::string& name : header_) {
+    if (++seen[name] > 1) {
+      throw std::runtime_error("CsvTable: duplicate column '" + name + "'");
+    }
+  }
+}
+
+bool CsvTable::has_column(std::string_view name) const {
+  for (const std::string& h : header_) {
+    if (h == name) return true;
+  }
+  return false;
+}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: unknown column '" + std::string(name) +
+                          "'");
+}
+
+const std::string& CsvTable::cell(std::size_t row,
+                                  std::string_view column) const {
+  if (row >= rows_.size()) throw std::out_of_range("CsvTable: row index");
+  const std::size_t col = column_index(column);
+  if (col >= rows_[row].size()) {
+    throw std::out_of_range("CsvTable: row " + std::to_string(row) +
+                            " is missing column '" + std::string(column) +
+                            "'");
+  }
+  return rows_[row][col];
+}
+
+double CsvTable::cell_double(std::size_t row, std::string_view column) const {
+  return parse_double(cell(row, column));
+}
+
+long long CsvTable::cell_int(std::size_t row, std::string_view column) const {
+  return parse_int(cell(row, column));
+}
+
+}  // namespace solarnet::util

@@ -1,0 +1,63 @@
+// Minimal RFC-4180-style CSV reader/writer. Used by the dataset loaders so
+// that real TeleGeography / Intertubes / CAIDA exports can be plugged in
+// place of the synthetic generators, and by benches to dump figure data.
+//
+// Supported: quoted fields, embedded delimiters/newlines inside quotes,
+// doubled-quote escaping, CRLF and LF line endings, configurable delimiter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace solarnet::util {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool skip_blank_lines = true;
+};
+
+// One parsed record (row) of fields.
+using CsvRow = std::vector<std::string>;
+
+// Parses an entire CSV document from a string. Throws std::runtime_error on
+// structurally invalid input (unterminated quote).
+std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options = {});
+
+// Parses a CSV file from disk. Throws std::runtime_error if the file cannot
+// be opened or is malformed.
+std::vector<CsvRow> read_csv_file(const std::string& path,
+                                  CsvOptions options = {});
+
+// Serializes rows, quoting fields only when needed (delimiter, quote, CR or
+// LF present). Rows are terminated with '\n'.
+std::string to_csv(const std::vector<CsvRow>& rows, CsvOptions options = {});
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
+                    CsvOptions options = {});
+
+// Header-aware view over parsed rows: resolves column names to indices once
+// and provides typed access. The first row is the header.
+class CsvTable {
+ public:
+  // Throws std::runtime_error on empty input or duplicate header names.
+  explicit CsvTable(std::vector<CsvRow> rows);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+
+  bool has_column(std::string_view name) const;
+  // Throws std::out_of_range for unknown columns or row index.
+  std::size_t column_index(std::string_view name) const;
+  const std::string& cell(std::size_t row, std::string_view column) const;
+  double cell_double(std::size_t row, std::string_view column) const;
+  long long cell_int(std::size_t row, std::string_view column) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<CsvRow> rows_;
+};
+
+}  // namespace solarnet::util

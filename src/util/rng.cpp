@@ -1,0 +1,34 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace solarnet::util {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("Rng::weighted_index: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("Rng::weighted_index: invalid weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_index: all weights zero");
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point round-off can leave target marginally >= 0 after the
+  // last subtraction; return the last index with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace solarnet::util

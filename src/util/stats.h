@@ -1,0 +1,102 @@
+// Descriptive statistics used across the analysis layer: running moments,
+// quantiles, histograms, and empirical PDF/CDF construction. These are the
+// numeric primitives behind every figure the library regenerates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace solarnet::util {
+
+// Welford online mean/variance accumulator. Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance (divide by n). Zero when fewer than two samples.
+  double variance() const noexcept;
+  // Sample variance (divide by n-1). Zero when fewer than two samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double sample_stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  // Merges another accumulator (parallel Welford/Chan formula).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile with linear interpolation between order statistics (the common
+// "type 7" definition, matching numpy's default). `q` in [0, 1].
+// Throws std::invalid_argument on empty input or q outside [0, 1].
+double quantile(std::span<const double> sorted_values, double q);
+
+// Convenience: copies, sorts, then computes the quantile.
+double quantile_unsorted(std::span<const double> values, double q);
+
+double mean(std::span<const double> values);
+double median(std::span<const double> values);
+
+// A fixed-width binned histogram over [lo, hi). Values outside the range are
+// clamped into the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  // Requires hi > lo and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const;
+  double total() const noexcept { return total_; }
+  double bin_width() const noexcept { return width_; }
+
+  // Probability density per bin: share of total mass divided by bin width.
+  // Zero everywhere when no mass has been added.
+  std::vector<double> density() const;
+  // Share of total mass per bin (sums to 1 when total > 0).
+  std::vector<double> normalized() const;
+
+ private:
+  std::size_t bin_index(double x) const noexcept;
+
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+// One point of an empirical CDF: P(X <= value) = cum_fraction.
+struct CdfPoint {
+  double value;
+  double cum_fraction;
+};
+
+// Builds the empirical CDF of `values` (every distinct value becomes a
+// step). Returns an empty vector for empty input.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values);
+
+// Evaluates an empirical CDF (as returned above) at `x`.
+double cdf_at(std::span<const CdfPoint> cdf, double x);
+
+// Fraction of values strictly greater than / at least `threshold`.
+double fraction_above(std::span<const double> values, double threshold);
+double fraction_at_least(std::span<const double> values, double threshold);
+
+}  // namespace solarnet::util

@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace solarnet::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+  alignment_.assign(header_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width " +
+                                std::to_string(cells.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::string& label,
+                                const std::vector<double>& values,
+                                int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+void TextTable::set_alignment(std::size_t column, Align align) {
+  if (column >= alignment_.size()) {
+    throw std::out_of_range("TextTable::set_alignment");
+  }
+  alignment_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t width, Align align) {
+    std::string out;
+    const std::size_t fill = width > s.size() ? width - s.size() : 0;
+    if (align == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << pad(row[c], widths[c], alignment_[c]);
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace solarnet::util

@@ -1,0 +1,63 @@
+#include "analysis/as_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::analysis {
+namespace {
+
+datasets::RouterDataset small_dataset() {
+  using datasets::RouterRecord;
+  std::vector<RouterRecord> records = {
+      {{50.0, 0.0}, 0}, {{45.0, 1.0}, 0},   // AS0: spread 5, above 40
+      {{10.0, 0.0}, 1},                     // AS1: single router, low
+      {{-60.0, 0.0}, 2}, {{-20.0, 0.0}, 2}, // AS2: spread 40, above 40 (south)
+      {{35.0, 0.0}, 3}, {{38.0, 0.0}, 3},   // AS3: spread 3, below 40
+  };
+  return datasets::RouterDataset(std::move(records), 4);
+}
+
+TEST(AsReachCurve, MatchesHandCount) {
+  const auto ds = small_dataset();
+  const std::vector<double> thresholds = {0.0, 40.0, 55.0, 90.0};
+  const auto curve = as_reach_curve(ds, thresholds);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 100.0);   // everyone has |lat| > 0
+  EXPECT_DOUBLE_EQ(curve[1], 50.0);    // AS0 and AS2
+  EXPECT_DOUBLE_EQ(curve[2], 25.0);    // AS2 only (60S)
+  EXPECT_DOUBLE_EQ(curve[3], 0.0);
+}
+
+TEST(AsSpreadCdf, StepsAtSpreads) {
+  const auto ds = small_dataset();
+  const auto cdf = as_spread_cdf(ds);
+  ASSERT_FALSE(cdf.empty());
+  // Spreads: 5, 0, 40, 3 -> sorted 0,3,5,40
+  EXPECT_DOUBLE_EQ(cdf.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.front().cum_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 40.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cum_fraction, 1.0);
+}
+
+TEST(AsSummaryStats, ComputesQuantiles) {
+  const auto ds = small_dataset();
+  const AsSummaryStats s = summarize_as_stats(ds);
+  EXPECT_EQ(s.as_count, 4u);
+  // Sorted spreads 0,3,5,40: median (type-7) = 4.0, p90 = 29.5.
+  EXPECT_NEAR(s.spread_median_deg, 4.0, 1e-9);
+  EXPECT_NEAR(s.spread_p90_deg, 29.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.fraction_with_presence_above_40, 0.5);
+  EXPECT_NEAR(s.router_fraction_above_40, 3.0 / 7.0, 1e-12);
+}
+
+TEST(AsAnalysis, DefaultDatasetReproducesFigure9) {
+  const auto ds = datasets::make_router_dataset({});
+  const AsSummaryStats s = summarize_as_stats(ds);
+  // Figure 9(a): 57% of ASes above 40; Figure 9(b): median 1.723,
+  // p90 18.263.
+  EXPECT_NEAR(s.fraction_with_presence_above_40, 0.57, 0.06);
+  EXPECT_NEAR(s.spread_median_deg, 1.723, 0.5);
+  EXPECT_NEAR(s.spread_p90_deg, 18.263, 4.0);
+}
+
+}  // namespace
+}  // namespace solarnet::analysis

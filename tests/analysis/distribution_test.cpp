@@ -1,0 +1,133 @@
+#include "analysis/distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::analysis {
+namespace {
+
+TEST(LatitudePdf, IntegratesToOne) {
+  const std::vector<double> lats = {-50.0, 0.0, 10.0, 45.0, 45.5, 80.0};
+  const auto pdf = latitude_pdf(lats, 2.0);
+  ASSERT_EQ(pdf.size(), 90u);
+  double integral = 0.0;
+  for (const PdfPoint& p : pdf) integral += p.density_pct / 100.0 * 2.0;
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(LatitudePdf, MassInRightBins) {
+  const std::vector<double> lats = {41.0, 41.5};  // both in [40,42)
+  const auto pdf = latitude_pdf(lats, 2.0);
+  for (const PdfPoint& p : pdf) {
+    if (p.latitude_center == 41.0) {
+      EXPECT_GT(p.density_pct, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(p.density_pct, 0.0);
+    }
+  }
+}
+
+TEST(LatitudePdf, WeightedSamples) {
+  const std::vector<std::pair<double, double>> w = {{10.0, 3.0}, {50.0, 1.0}};
+  const auto pdf = latitude_pdf(std::span<const std::pair<double, double>>(w),
+                                2.0);
+  double at10 = 0.0;
+  double at50 = 0.0;
+  for (const PdfPoint& p : pdf) {
+    if (p.latitude_center == 11.0) at10 = p.density_pct;
+    if (p.latitude_center == 51.0) at50 = p.density_pct;
+  }
+  EXPECT_NEAR(at10 / at50, 3.0, 1e-9);
+}
+
+TEST(LatitudePdf, GridOverload) {
+  geo::LatLonGrid grid(1.0);
+  grid.add({20.5, 0.0}, 10.0);
+  grid.add({-30.5, 0.0}, 10.0);
+  const auto pdf = latitude_pdf(grid, 2.0);
+  double total = 0.0;
+  for (const PdfPoint& p : pdf) total += p.density_pct / 100.0 * 2.0;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PercentAbove, KnownFractions) {
+  const std::vector<double> lats = {-50.0, -10.0, 10.0, 30.0, 50.0, 70.0};
+  const std::vector<double> thresholds = {0.0, 40.0, 60.0, 90.0};
+  const auto pct = percent_above_thresholds(lats, thresholds);
+  ASSERT_EQ(pct.size(), 4u);
+  EXPECT_DOUBLE_EQ(pct[0], 100.0);
+  EXPECT_DOUBLE_EQ(pct[1], 50.0);
+  EXPECT_DOUBLE_EQ(pct[2], 100.0 / 6.0);
+  EXPECT_DOUBLE_EQ(pct[3], 0.0);
+}
+
+TEST(PercentAbove, WeightedVariant) {
+  const std::vector<std::pair<double, double>> w = {{50.0, 1.0}, {10.0, 3.0}};
+  const std::vector<double> thresholds = {40.0};
+  const auto pct = percent_above_thresholds(
+      std::span<const std::pair<double, double>>(w), thresholds);
+  EXPECT_DOUBLE_EQ(pct[0], 25.0);
+}
+
+TEST(PercentAbove, EmptyInputIsZero) {
+  const std::vector<double> thresholds = {0.0, 40.0};
+  const auto pct =
+      percent_above_thresholds(std::span<const double>{}, thresholds);
+  EXPECT_DOUBLE_EQ(pct[0], 0.0);
+}
+
+class OneHopTest : public ::testing::Test {
+ protected:
+  OneHopTest() : net_("t") {
+    // high (50N) -- mid (30N) via cable 1; mid -- low (10N) via cable 2;
+    // far (5N) isolated from the high node by two hops.
+    high_ = net_.add_node(
+        {"high", {50.0, 0.0}, "", topo::NodeKind::kLandingPoint, true});
+    mid_ = net_.add_node(
+        {"mid", {30.0, 0.0}, "", topo::NodeKind::kLandingPoint, true});
+    low_ = net_.add_node(
+        {"low", {10.0, 0.0}, "", topo::NodeKind::kLandingPoint, true});
+    topo::Cable c1;
+    c1.name = "c1";
+    c1.segments = {{high_, mid_, 2500.0}};
+    net_.add_cable(std::move(c1));
+    topo::Cable c2;
+    c2.name = "c2";
+    c2.segments = {{mid_, low_, 2500.0}};
+    net_.add_cable(std::move(c2));
+  }
+  topo::InfrastructureNetwork net_;
+  topo::NodeId high_{}, mid_{}, low_{};
+};
+
+TEST_F(OneHopTest, ClosureIsExactlyOneHop) {
+  // Threshold 40: high is above; mid shares a cable with high; low does not.
+  EXPECT_NEAR(one_hop_fraction_above(net_, 40.0), 2.0 / 3.0, 1e-12);
+  // Threshold 25: high+mid above, low shares cable with mid -> all 3.
+  EXPECT_NEAR(one_hop_fraction_above(net_, 25.0), 1.0, 1e-12);
+  // Threshold 60: nothing above, closure empty.
+  EXPECT_NEAR(one_hop_fraction_above(net_, 60.0), 0.0, 1e-12);
+}
+
+TEST_F(OneHopTest, CurveIsMonotoneDecreasing) {
+  const auto thresholds = default_thresholds();
+  const auto curve = one_hop_percent_above_thresholds(net_, thresholds);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+  }
+}
+
+TEST(DefaultThresholds, ZeroToNinetyByFive) {
+  const auto t = default_thresholds();
+  ASSERT_EQ(t.size(), 19u);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t.back(), 90.0);
+  EXPECT_DOUBLE_EQ(t[1], 5.0);
+}
+
+TEST(OneHop, EmptyNetwork) {
+  const topo::InfrastructureNetwork empty("e");
+  EXPECT_DOUBLE_EQ(one_hop_fraction_above(empty, 40.0), 0.0);
+}
+
+}  // namespace
+}  // namespace solarnet::analysis

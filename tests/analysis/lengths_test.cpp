@@ -1,0 +1,75 @@
+#include "analysis/lengths.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::analysis {
+namespace {
+
+topo::InfrastructureNetwork make_net() {
+  topo::InfrastructureNetwork net("lengths");
+  std::vector<topo::NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(net.add_node({"N" + std::to_string(i),
+                                  {0.0, static_cast<double>(i)},
+                                  "",
+                                  topo::NodeKind::kLandingPoint,
+                                  true}));
+  }
+  auto add = [&](const char* name, topo::NodeId a, topo::NodeId b,
+                 double len, bool known = true) {
+    topo::Cable c;
+    c.name = name;
+    c.segments = {{a, b, len}};
+    c.length_known = known;
+    return net.add_cable(std::move(c));
+  };
+  add("c100", nodes[0], nodes[1], 100.0);
+  add("c200", nodes[1], nodes[2], 200.0);
+  add("c400", nodes[2], nodes[3], 400.0);
+  add("c1000", nodes[3], nodes[4], 1000.0);
+  add("unknown", nodes[4], nodes[5], 9999.0, false);
+  return net;
+}
+
+TEST(LengthCdf, ExcludesUnknownLengths) {
+  const auto net = make_net();
+  const auto cdf = length_cdf(net);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 1000.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cum_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.front().cum_fraction, 0.25);
+}
+
+TEST(LengthSummary, ComputesAllFields) {
+  const auto net = make_net();
+  const LengthSummary s = summarize_lengths(net, 150.0);
+  EXPECT_EQ(s.network, "lengths");
+  EXPECT_EQ(s.cables_with_length, 4u);
+  EXPECT_DOUBLE_EQ(s.min_km, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_km, 1000.0);
+  EXPECT_DOUBLE_EQ(s.median_km, 300.0);
+  EXPECT_DOUBLE_EQ(s.mean_km, 425.0);
+  // Repeaters: 0 + 1 + 2 + 6 + 66(unknown cable still has segments) at 150.
+  EXPECT_EQ(s.cables_without_repeater, 1u);
+  EXPECT_NEAR(s.avg_repeaters_per_cable, (0 + 1 + 2 + 6 + 66) / 5.0, 1e-9);
+}
+
+TEST(LengthSummary, SpacingAffectsRepeaterFields) {
+  const auto net = make_net();
+  const LengthSummary s50 = summarize_lengths(net, 50.0);
+  const LengthSummary s150 = summarize_lengths(net, 150.0);
+  EXPECT_GT(s50.avg_repeaters_per_cable, s150.avg_repeaters_per_cable);
+  EXPECT_LE(s50.cables_without_repeater, s150.cables_without_repeater);
+}
+
+TEST(LengthSummary, EmptyNetwork) {
+  const topo::InfrastructureNetwork empty("empty");
+  const LengthSummary s = summarize_lengths(empty);
+  EXPECT_EQ(s.cables_with_length, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_repeaters_per_cable, 0.0);
+  EXPECT_TRUE(length_cdf(empty).empty());
+}
+
+}  // namespace
+}  // namespace solarnet::analysis

@@ -1,0 +1,57 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::analysis {
+namespace {
+
+TEST(ResilienceReport, EmptyReportRendersTitleOnly) {
+  ResilienceReport r;
+  r.title = "empty-report";
+  const std::string text = r.render();
+  EXPECT_NE(text.find("empty-report"), std::string::npos);
+  EXPECT_EQ(text.find("Country connectivity"), std::string::npos);
+  EXPECT_EQ(text.find("DNS"), std::string::npos);
+}
+
+TEST(ResilienceReport, AllSectionsRendered) {
+  ResilienceReport r;
+  r.title = "full";
+  LengthSummary ls;
+  ls.network = "submarine-x";
+  ls.cables_with_length = 10;
+  ls.median_km = 775.0;
+  r.length_summaries.push_back(ls);
+  r.failure_results.push_back(
+      {"S1-model", 150.0, 43.0, 1.0, 20.0, 0.5});
+  CountryConnectivity cc;
+  cc.country = "US";
+  cc.international_cable_count = 5;
+  cc.all_fail_probability = 0.8;
+  cc.expected_surviving_cables = 1.2;
+  r.countries.push_back(cc);
+  r.datacenter_footprints.push_back(
+      summarize_datacenters(datasets::DataCenterOperator::kGoogle));
+  r.dns = summarize_dns(datasets::make_dns_dataset({}));
+  r.has_dns = true;
+
+  const std::string text = r.render();
+  EXPECT_NE(text.find("submarine-x"), std::string::npos);
+  EXPECT_NE(text.find("S1-model"), std::string::npos);
+  EXPECT_NE(text.find("US"), std::string::npos);
+  EXPECT_NE(text.find("0.800"), std::string::npos);
+  EXPECT_NE(text.find("Google"), std::string::npos);
+  EXPECT_NE(text.find("root letters: 13"), std::string::npos);
+}
+
+TEST(ResilienceReport, NumbersFormattedWithExpectedPrecision) {
+  ResilienceReport r;
+  r.title = "t";
+  r.failure_results.push_back({"m", 150.0, 14.86, 0.123, 11.71, 0.456});
+  const std::string text = r.render();
+  EXPECT_NE(text.find("14.9"), std::string::npos);  // 1 decimal
+  EXPECT_NE(text.find("11.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solarnet::analysis

@@ -1,0 +1,90 @@
+#include "analysis/systems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace solarnet::analysis {
+namespace {
+
+TEST(DataCenterFootprints, GoogleBeatsFacebook) {
+  // §4.4.2's conclusion: "Google data centers have a better spread ...
+  // Facebook is more vulnerable."
+  const FootprintSummary google =
+      summarize_datacenters(datasets::DataCenterOperator::kGoogle);
+  const FootprintSummary facebook =
+      summarize_datacenters(datasets::DataCenterOperator::kFacebook);
+  EXPECT_GT(google.continents_covered, facebook.continents_covered);
+  EXPECT_GT(footprint_resilience_score(google),
+            footprint_resilience_score(facebook));
+}
+
+TEST(DataCenterFootprints, FieldsPopulated) {
+  const FootprintSummary g =
+      summarize_datacenters(datasets::DataCenterOperator::kGoogle);
+  EXPECT_EQ(g.label, "Google");
+  EXPECT_GT(g.site_count, 0u);
+  EXPECT_EQ(g.site_count,
+            g.low_risk_sites +
+                static_cast<std::size_t>(
+                    std::lround(g.fraction_above_40 *
+                                static_cast<double>(g.site_count))));
+  EXPECT_GT(g.latitude_spread_deg, 50.0);  // Hamina to Chile
+  std::size_t per_continent_total = 0;
+  for (const auto& [cont, n] : g.per_continent) per_continent_total += n;
+  EXPECT_EQ(per_continent_total, g.site_count);
+}
+
+TEST(ResilienceScore, EmptyFootprintIsZero) {
+  EXPECT_DOUBLE_EQ(footprint_resilience_score(FootprintSummary{}), 0.0);
+}
+
+TEST(ResilienceScore, RewardsContinentsAndLowRisk) {
+  FootprintSummary a;
+  a.site_count = 10;
+  a.continents_covered = 6;
+  a.low_risk_sites = 10;
+  EXPECT_DOUBLE_EQ(footprint_resilience_score(a), 1.0);
+  FootprintSummary b;
+  b.site_count = 10;
+  b.continents_covered = 1;
+  b.low_risk_sites = 0;
+  EXPECT_NEAR(footprint_resilience_score(b), 1.0 / 12.0, 1e-12);
+}
+
+TEST(DnsSummary, DefaultDatasetIsResilient) {
+  const auto roots = datasets::make_dns_dataset({});
+  const DnsSummary s = summarize_dns(roots);
+  EXPECT_EQ(s.instance_count, 1076u);
+  EXPECT_EQ(s.root_letters, 13u);
+  EXPECT_GE(s.continents_covered, 6u);
+  // §4.4.3: DNS root servers are resilient — every letter survives a
+  // |40 deg| cutoff thanks to geographic distribution.
+  EXPECT_EQ(s.letters_surviving_40_cutoff, 13u);
+  EXPECT_NEAR(s.fraction_above_40, 0.39, 0.08);
+}
+
+TEST(DnsSummary, HandBuiltCutoffBehaviour) {
+  using datasets::DnsRootInstance;
+  const std::vector<DnsRootInstance> roots = {
+      {'a', {50.0, 0.0}, "GB", geo::Continent::kEurope},
+      {'a', {10.0, 0.0}, "NG", geo::Continent::kAfrica},
+      {'b', {60.0, 0.0}, "SE", geo::Continent::kEurope},
+  };
+  const DnsSummary s = summarize_dns(roots);
+  EXPECT_EQ(s.instance_count, 3u);
+  EXPECT_EQ(s.root_letters, 2u);
+  // Letter 'b' only exists above 40 -> does not survive the cutoff.
+  EXPECT_EQ(s.letters_surviving_40_cutoff, 1u);
+  EXPECT_NEAR(s.fraction_above_40, 2.0 / 3.0, 1e-12);
+}
+
+TEST(DnsSummary, EmptyInput) {
+  const DnsSummary s = summarize_dns({});
+  EXPECT_EQ(s.instance_count, 0u);
+  EXPECT_EQ(s.root_letters, 0u);
+  EXPECT_DOUBLE_EQ(s.fraction_above_40, 0.0);
+}
+
+}  // namespace
+}  // namespace solarnet::analysis

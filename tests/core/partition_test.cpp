@@ -1,0 +1,107 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::core {
+namespace {
+
+// NY (NA) -- Bude (EU) -- Lisbon (EU) -- Fortaleza (SA) with three cables.
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest() : net_("p") {
+    ny_ = net_.add_node(
+        {"NY", {40.7, -74.0}, "US", topo::NodeKind::kLandingPoint, true});
+    bude_ = net_.add_node(
+        {"Bude", {50.8, -4.5}, "GB", topo::NodeKind::kLandingPoint, true});
+    lisbon_ = net_.add_node(
+        {"Lisbon", {38.7, -9.1}, "PT", topo::NodeKind::kLandingPoint, true});
+    fortaleza_ = net_.add_node({"Fortaleza",
+                                {-3.7, -38.5},
+                                "BR",
+                                topo::NodeKind::kLandingPoint,
+                                true});
+    atlantic_ = add_cable("atlantic", ny_, bude_);
+    europe_ = add_cable("europe", bude_, lisbon_);
+    south_ = add_cable("south", lisbon_, fortaleza_);
+  }
+
+  topo::CableId add_cable(const char* name, topo::NodeId a, topo::NodeId b) {
+    topo::Cable c;
+    c.name = name;
+    c.segments = {{a, b, 5000.0}};
+    return net_.add_cable(std::move(c));
+  }
+
+  topo::InfrastructureNetwork net_;
+  topo::NodeId ny_{}, bude_{}, lisbon_{}, fortaleza_{};
+  topo::CableId atlantic_{}, europe_{}, south_{};
+};
+
+TEST_F(PartitionTest, NoFailuresIsFullyConnected) {
+  const PartitionReport r =
+      analyze_partition(net_, std::vector<bool>(3, false));
+  EXPECT_EQ(r.components, 1u);
+  EXPECT_EQ(r.isolated_nodes, 0u);
+  EXPECT_DOUBLE_EQ(r.largest_component_share, 1.0);
+  EXPECT_TRUE(r.continents_linked(geo::Continent::kNorthAmerica,
+                                  geo::Continent::kEurope));
+  EXPECT_TRUE(r.continents_linked(geo::Continent::kNorthAmerica,
+                                  geo::Continent::kSouthAmerica));
+}
+
+TEST_F(PartitionTest, AtlanticCutSplitsNorthAmerica) {
+  std::vector<bool> dead(3, false);
+  dead[atlantic_] = true;
+  const PartitionReport r = analyze_partition(net_, dead);
+  // NY lost its only cable -> isolated; the rest stay connected.
+  EXPECT_EQ(r.isolated_nodes, 1u);
+  EXPECT_EQ(r.components, 1u);
+  EXPECT_FALSE(r.continents_linked(geo::Continent::kNorthAmerica,
+                                   geo::Continent::kEurope));
+  EXPECT_TRUE(r.continents_linked(geo::Continent::kEurope,
+                                  geo::Continent::kSouthAmerica));
+}
+
+TEST_F(PartitionTest, MiddleCutCreatesTwoComponents) {
+  std::vector<bool> dead(3, false);
+  dead[europe_] = true;
+  const PartitionReport r = analyze_partition(net_, dead);
+  EXPECT_EQ(r.components, 2u);
+  EXPECT_EQ(r.isolated_nodes, 0u);
+  EXPECT_DOUBLE_EQ(r.largest_component_share, 0.5);
+  EXPECT_TRUE(r.continents_linked(geo::Continent::kNorthAmerica,
+                                  geo::Continent::kEurope));
+  EXPECT_FALSE(r.continents_linked(geo::Continent::kNorthAmerica,
+                                   geo::Continent::kSouthAmerica));
+  // Lisbon (EU) and Fortaleza (SA) remain linked.
+  EXPECT_TRUE(r.continents_linked(geo::Continent::kEurope,
+                                  geo::Continent::kSouthAmerica));
+}
+
+TEST_F(PartitionTest, TotalCollapse) {
+  const PartitionReport r =
+      analyze_partition(net_, std::vector<bool>(3, true));
+  EXPECT_EQ(r.components, 0u);
+  EXPECT_EQ(r.isolated_nodes, 4u);
+  EXPECT_DOUBLE_EQ(r.largest_component_share, 0.0);
+  EXPECT_FALSE(r.continents_linked(geo::Continent::kEurope,
+                                   geo::Continent::kEurope));
+}
+
+TEST_F(PartitionTest, RenderContainsMatrix) {
+  const PartitionReport r =
+      analyze_partition(net_, std::vector<bool>(3, false));
+  const std::string text = render_partition(r);
+  EXPECT_NE(text.find("components: 1"), std::string::npos);
+  EXPECT_NE(text.find("North"), std::string::npos);
+}
+
+TEST_F(PartitionTest, SameContinentDiagonal) {
+  std::vector<bool> dead(3, false);
+  const PartitionReport r = analyze_partition(net_, dead);
+  EXPECT_TRUE(
+      r.continents_linked(geo::Continent::kEurope, geo::Continent::kEurope));
+}
+
+}  // namespace
+}  // namespace solarnet::core

@@ -1,0 +1,124 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::core {
+namespace {
+
+const World& light_world() {
+  static const World w = [] {
+    WorldConfig cfg;
+    cfg.submarine.total_cables = 150;
+    cfg.submarine.target_landing_points = 350;
+    cfg.submarine.cables_without_length = 5;
+    cfg.intertubes.total_links = 120;
+    cfg.intertubes.target_nodes = 70;
+    cfg.intertubes.short_links = 55;
+    cfg.build_itu = false;
+    cfg.build_routers = false;
+    cfg.build_population = false;
+    cfg.dns.instance_count = 120;
+    cfg.ixps.count = 50;
+    return World::generate(cfg);
+  }();
+  return w;
+}
+
+TEST(ScenarioRunner, RunProducesFullReport) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 5;
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const analysis::ResilienceReport report = runner.run(s1, opts);
+
+  EXPECT_NE(report.title.find("S1"), std::string::npos);
+  EXPECT_EQ(report.length_summaries.size(), 2u);  // no ITU in light world
+  EXPECT_EQ(report.failure_results.size(), 2u);
+  EXPECT_EQ(report.countries.size(), opts.countries.size());
+  EXPECT_EQ(report.datacenter_footprints.size(), 2u);
+  EXPECT_TRUE(report.has_dns);
+  EXPECT_FALSE(report.render().empty());
+}
+
+TEST(ScenarioRunner, SubmarineSuffersMoreThanLand) {
+  // The paper's core claim, via the façade: submarine cable failures exceed
+  // land failures under the same model.
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 20;
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const auto report = runner.run(s1, opts);
+  double submarine = -1.0;
+  double land = -1.0;
+  for (const auto& r : report.failure_results) {
+    if (r.model_name.find("[submarine]") != std::string::npos) {
+      submarine = r.cables_failed_mean_pct;
+    }
+    if (r.model_name.find("[intertubes]") != std::string::npos) {
+      land = r.cables_failed_mean_pct;
+    }
+  }
+  ASSERT_GE(submarine, 0.0);
+  ASSERT_GE(land, 0.0);
+  EXPECT_GT(submarine, land);
+}
+
+TEST(ScenarioRunner, StormVariant) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 5;
+  const auto report = runner.run_storm(gic::carrington_1859(), opts);
+  EXPECT_NE(report.title.find("Carrington"), std::string::npos);
+  EXPECT_FALSE(report.failure_results.empty());
+}
+
+TEST(ScenarioRunner, StrongerStormDoesMoreDamage) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 10;
+  const auto strong = runner.run_storm(gic::carrington_1859(), opts);
+  const auto weak = runner.run_storm(gic::moderate_storm(), opts);
+  EXPECT_GE(strong.failure_results[0].cables_failed_mean_pct,
+            weak.failure_results[0].cables_failed_mean_pct);
+}
+
+TEST(ScenarioRunner, RenderedReportContainsEverySection) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 3;
+  const std::string text =
+      runner.run(gic::LatitudeBandFailureModel::s2(), opts).render();
+  for (const char* section :
+       {"Cable length / repeater inventory", "Failure simulation",
+        "Country connectivity", "Hyperscale data center footprints",
+        "DNS root servers"}) {
+    EXPECT_NE(text.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(ScenarioRunner, SpacingFlowsThroughToSummaries) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions wide;
+  wide.trials = 2;
+  wide.repeater_spacing_km = 150.0;
+  ScenarioOptions tight = wide;
+  tight.repeater_spacing_km = 50.0;
+  const auto m = gic::UniformFailureModel(0.01);
+  const auto r_wide = runner.run(m, wide);
+  const auto r_tight = runner.run(m, tight);
+  EXPECT_GT(r_tight.length_summaries[0].avg_repeaters_per_cable,
+            r_wide.length_summaries[0].avg_repeaters_per_cable);
+}
+
+TEST(ScenarioRunner, CustomCountryList) {
+  const ScenarioRunner runner(light_world());
+  ScenarioOptions opts;
+  opts.trials = 2;
+  opts.countries = {"SG"};
+  const auto report = runner.run(gic::UniformFailureModel(0.01), opts);
+  ASSERT_EQ(report.countries.size(), 1u);
+  EXPECT_EQ(report.countries[0].country, "SG");
+}
+
+}  // namespace
+}  // namespace solarnet::core

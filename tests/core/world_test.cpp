@@ -1,0 +1,63 @@
+#include "core/world.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::core {
+namespace {
+
+WorldConfig light_config() {
+  WorldConfig cfg;
+  cfg.submarine.total_cables = 120;
+  cfg.submarine.target_landing_points = 300;
+  cfg.submarine.cables_without_length = 5;
+  cfg.intertubes.total_links = 100;
+  cfg.intertubes.target_nodes = 60;
+  cfg.intertubes.short_links = 45;
+  cfg.itu.total_links = 300;
+  cfg.itu.target_nodes = 290;
+  cfg.itu.short_links = 210;
+  cfg.routers.router_count = 3000;
+  cfg.routers.as_count = 300;
+  cfg.ixps.count = 60;
+  cfg.dns.instance_count = 80;
+  cfg.population.cell_deg = 5.0;
+  return cfg;
+}
+
+TEST(World, GeneratesAllDatasets) {
+  const World w = World::generate(light_config());
+  EXPECT_EQ(w.submarine().cable_count(), 120u);
+  EXPECT_EQ(w.intertubes().cable_count(), 100u);
+  ASSERT_TRUE(w.has_itu());
+  EXPECT_EQ(w.itu().cable_count(), 300u);
+  ASSERT_TRUE(w.has_routers());
+  EXPECT_EQ(w.routers().router_count(), 3000u);
+  EXPECT_EQ(w.ixps().size(), 60u);
+  EXPECT_EQ(w.dns_roots().size(), 80u);
+  ASSERT_TRUE(w.has_population());
+  EXPECT_GT(w.population().total(), 0.0);
+}
+
+TEST(World, OptionalPartsCanBeSkipped) {
+  WorldConfig cfg = light_config();
+  cfg.build_itu = false;
+  cfg.build_routers = false;
+  cfg.build_population = false;
+  const World w = World::generate(cfg);
+  EXPECT_FALSE(w.has_itu());
+  EXPECT_FALSE(w.has_routers());
+  EXPECT_FALSE(w.has_population());
+  EXPECT_THROW(w.itu(), std::logic_error);
+  EXPECT_THROW(w.routers(), std::logic_error);
+  EXPECT_THROW(w.population(), std::logic_error);
+}
+
+TEST(World, MoveSemantics) {
+  World w = World::generate(light_config());
+  const std::size_t cables = w.submarine().cable_count();
+  World moved = std::move(w);
+  EXPECT_EQ(moved.submarine().cable_count(), cables);
+}
+
+}  // namespace
+}  // namespace solarnet::core

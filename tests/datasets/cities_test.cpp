@@ -1,0 +1,89 @@
+#include "datasets/cities.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/coords.h"
+#include "geo/regions.h"
+
+namespace solarnet::datasets {
+namespace {
+
+TEST(WorldCities, HasSubstantialCoverage) {
+  EXPECT_GE(world_cities().size(), 200u);
+}
+
+TEST(WorldCities, AllCoordinatesValid) {
+  for (const City& c : world_cities()) {
+    EXPECT_TRUE(geo::is_valid(c.location)) << c.name;
+    EXPECT_GT(c.population_m, 0.0) << c.name;
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_EQ(c.country_code.size(), 2u) << c.name;
+  }
+}
+
+TEST(WorldCities, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const City& c : world_cities()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate: " << c.name;
+  }
+}
+
+TEST(WorldCities, CountryBoxesAgreeWithCityTags) {
+  // For cities in countries the registry knows, the box classifier should
+  // agree with the curated tag (sanity link between the two datasets).
+  std::size_t checked = 0;
+  std::size_t agreed = 0;
+  for (const City& c : world_cities()) {
+    const auto code = geo::country_code_at(c.location);
+    if (!code) continue;
+    ++checked;
+    if (*code == c.country_code) ++agreed;
+  }
+  ASSERT_GT(checked, 150u);
+  // Coarse boxes overlap at borders; demand 85% agreement.
+  EXPECT_GT(static_cast<double>(agreed) / static_cast<double>(checked), 0.85);
+}
+
+TEST(WorldCities, EveryContinentRepresented) {
+  std::set<geo::Continent> continents;
+  for (const City& c : world_cities()) {
+    continents.insert(geo::continent_at(c.location));
+  }
+  EXPECT_GE(continents.size(), 6u);
+}
+
+TEST(CoastalCities, SubsetAndNonEmpty) {
+  const auto coast = coastal_cities();
+  EXPECT_GE(coast.size(), 120u);
+  EXPECT_LT(coast.size(), world_cities().size());
+  for (const City& c : coast) EXPECT_TRUE(c.coastal);
+}
+
+TEST(CitiesInCountry, FiltersByCode) {
+  const auto us = cities_in_country("US");
+  EXPECT_GE(us.size(), 40u);
+  for (const City& c : us) EXPECT_EQ(c.country_code, "US");
+  EXPECT_TRUE(cities_in_country("XX").empty());
+}
+
+TEST(CityLookup, ByName) {
+  const City& sg = city("Singapore");
+  EXPECT_EQ(sg.country_code, "SG");
+  EXPECT_NEAR(sg.location.lat_deg, 1.35, 0.2);
+  EXPECT_THROW(city("Atlantis"), std::out_of_range);
+}
+
+TEST(CityLookup, PaperCountryCitiesExist) {
+  // Cities the §4.3.4 narrative depends on.
+  for (const char* name :
+       {"Shanghai", "Mumbai", "Chennai", "Singapore", "Perth", "Auckland",
+        "Fortaleza", "Lisbon", "Virginia Beach", "Honolulu", "Anchorage",
+        "Juneau", "Prince Rupert BC", "Melkbosstrand", "Mogadishu"}) {
+    EXPECT_NO_THROW(city(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

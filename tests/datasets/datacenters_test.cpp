@@ -1,0 +1,76 @@
+#include "datasets/datacenters.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace solarnet::datasets {
+namespace {
+
+TEST(DataCenters, BothOperatorsPresent) {
+  const auto google = datacenters_of(DataCenterOperator::kGoogle);
+  const auto facebook = datacenters_of(DataCenterOperator::kFacebook);
+  EXPECT_GE(google.size(), 15u);
+  EXPECT_GE(facebook.size(), 12u);
+}
+
+TEST(DataCenters, ValidLocations) {
+  for (const DataCenter& d : hyperscale_datacenters()) {
+    EXPECT_TRUE(geo::is_valid(d.location)) << d.site;
+    EXPECT_FALSE(d.site.empty());
+  }
+}
+
+TEST(DataCenters, GoogleCoversSouthAmericaAndAsia) {
+  // §4.4.2: Google has Chile (South America) and Singapore/Taiwan (Asia).
+  std::set<geo::Continent> continents;
+  for (const DataCenter& d : datacenters_of(DataCenterOperator::kGoogle)) {
+    continents.insert(geo::continent_at(d.location));
+  }
+  EXPECT_TRUE(continents.count(geo::Continent::kSouthAmerica));
+  EXPECT_TRUE(continents.count(geo::Continent::kAsia));
+  EXPECT_TRUE(continents.count(geo::Continent::kEurope));
+  EXPECT_TRUE(continents.count(geo::Continent::kNorthAmerica));
+}
+
+TEST(DataCenters, FacebookHasNoAfricaOrSouthAmerica) {
+  // §4.4.2: "Facebook does not operate any hyperscale data centers in
+  // Africa or South America, unlike Google."
+  for (const DataCenter& d : datacenters_of(DataCenterOperator::kFacebook)) {
+    const geo::Continent c = geo::continent_at(d.location);
+    EXPECT_NE(c, geo::Continent::kAfrica) << d.site;
+    EXPECT_NE(c, geo::Continent::kSouthAmerica) << d.site;
+  }
+}
+
+TEST(DataCenters, FacebookIsMoreNorthern) {
+  auto northern_share = [](DataCenterOperator op) {
+    const auto sites = datacenters_of(op);
+    std::size_t above = 0;
+    for (const DataCenter& d : sites) {
+      if (d.location.lat_deg > 40.0) ++above;
+    }
+    return static_cast<double>(above) / static_cast<double>(sites.size());
+  };
+  EXPECT_GT(northern_share(DataCenterOperator::kFacebook),
+            northern_share(DataCenterOperator::kGoogle));
+}
+
+TEST(DataCenters, OperatorToString) {
+  EXPECT_EQ(to_string(DataCenterOperator::kGoogle), "Google");
+  EXPECT_EQ(to_string(DataCenterOperator::kFacebook), "Facebook");
+}
+
+TEST(DataCenters, KnownSitesPresent) {
+  bool hamina = false;
+  bool lulea = false;
+  for (const DataCenter& d : hyperscale_datacenters()) {
+    if (d.site.find("Hamina") != std::string::npos) hamina = true;
+    if (d.site.find("Lulea") != std::string::npos) lulea = true;
+  }
+  EXPECT_TRUE(hamina);  // Google Finland (high latitude)
+  EXPECT_TRUE(lulea);   // Facebook Sweden (65.6N — the most exposed site)
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

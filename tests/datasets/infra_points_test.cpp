@@ -1,0 +1,122 @@
+#include "datasets/infra_points.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace solarnet::datasets {
+namespace {
+
+const std::vector<InfraPoint>& ixps() {
+  static const std::vector<InfraPoint> v = make_ixp_dataset({});
+  return v;
+}
+
+const std::vector<DnsRootInstance>& dns() {
+  static const std::vector<DnsRootInstance> v = make_dns_dataset({});
+  return v;
+}
+
+double fraction_above_40(const std::vector<InfraPoint>& pts) {
+  std::size_t n = 0;
+  for (const InfraPoint& p : pts) {
+    if (p.location.abs_lat() > 40.0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(pts.size());
+}
+
+TEST(Ixps, CountMatchesPch) {
+  EXPECT_EQ(ixps().size(), 1026u);  // PCH directory size
+}
+
+TEST(Ixps, LatitudeShareMatchesPaper) {
+  // Paper: 43% of IXPs above |40 deg|.
+  EXPECT_NEAR(fraction_above_40(ixps()), 0.43, 0.07);
+}
+
+TEST(Ixps, ValidPoints) {
+  for (const InfraPoint& p : ixps()) {
+    EXPECT_TRUE(geo::is_valid(p.location));
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_EQ(p.country_code.size(), 2u);
+  }
+}
+
+TEST(Ixps, Deterministic) {
+  const auto again = make_ixp_dataset({});
+  ASSERT_EQ(again.size(), ixps().size());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(again[i].name, ixps()[i].name);
+  }
+}
+
+TEST(Ixps, ConfigurableCount) {
+  IxpConfig cfg;
+  cfg.count = 100;
+  EXPECT_EQ(make_ixp_dataset(cfg).size(), 100u);
+}
+
+TEST(Dns, CountMatchesRootServerDirectory) {
+  EXPECT_EQ(dns().size(), 1076u);  // root-servers.org instance count
+}
+
+TEST(Dns, AllThirteenLettersPresent) {
+  std::set<char> letters;
+  for (const DnsRootInstance& d : dns()) {
+    EXPECT_GE(d.root_letter, 'a');
+    EXPECT_LE(d.root_letter, 'm');
+    letters.insert(d.root_letter);
+  }
+  EXPECT_EQ(letters.size(), 13u);
+}
+
+TEST(Dns, EveryMajorContinentCovered) {
+  std::set<geo::Continent> continents;
+  for (const DnsRootInstance& d : dns()) continents.insert(d.continent);
+  EXPECT_GE(continents.size(), 6u);
+}
+
+TEST(Dns, LatitudeShareMatchesPaper) {
+  // Paper: 39% of DNS root instances above |40 deg|.
+  std::size_t above = 0;
+  for (const DnsRootInstance& d : dns()) {
+    if (d.location.abs_lat() > 40.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / static_cast<double>(dns().size()),
+              0.39, 0.08);
+}
+
+TEST(Dns, AfricaHasRoughlyHalfOfNorthAmerica) {
+  // §4.4.3: Africa has nearly half the number of instances North America
+  // has despite more Internet users.
+  std::size_t africa = 0;
+  std::size_t north_america = 0;
+  for (const DnsRootInstance& d : dns()) {
+    if (d.continent == geo::Continent::kAfrica) ++africa;
+    if (d.continent == geo::Continent::kNorthAmerica) ++north_america;
+  }
+  EXPECT_GT(africa, 0u);
+  EXPECT_LT(static_cast<double>(africa),
+            0.75 * static_cast<double>(north_america));
+}
+
+TEST(Dns, ContinentSharesNormalized) {
+  double total = 0.0;
+  for (const auto& [cont, share] : dns_continent_shares()) {
+    EXPECT_GT(share, 0.0);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Dns, Deterministic) {
+  const auto again = make_dns_dataset({});
+  ASSERT_EQ(again.size(), dns().size());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(again[i].root_letter, dns()[i].root_letter);
+    EXPECT_DOUBLE_EQ(again[i].location.lat_deg, dns()[i].location.lat_deg);
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

@@ -1,0 +1,148 @@
+#include "datasets/land.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/cities.h"
+#include "topology/repeater.h"
+
+namespace solarnet::datasets {
+namespace {
+
+const topo::InfrastructureNetwork& intertubes() {
+  static const topo::InfrastructureNetwork net = make_intertubes_network({});
+  return net;
+}
+
+const topo::InfrastructureNetwork& itu() {
+  static const topo::InfrastructureNetwork net = make_itu_network({});
+  return net;
+}
+
+TEST(BackbonePairs, AllCitiesExist) {
+  for (const auto& [a, b] : us_backbone_pairs()) {
+    EXPECT_NO_THROW(city(a)) << a;
+    EXPECT_NO_THROW(city(b)) << b;
+    EXPECT_NE(a, b);
+  }
+  EXPECT_GE(us_backbone_pairs().size(), 60u);
+}
+
+TEST(Intertubes, MatchesPaperCounts) {
+  // Intertubes: 542 links; 258 need no repeater at 150 km.
+  EXPECT_EQ(intertubes().cable_count(), 542u);
+  std::size_t norep = 0;
+  for (const topo::Cable& c : intertubes().cables()) {
+    if (topo::cable_repeater_count(c, 150.0) == 0) ++norep;
+  }
+  EXPECT_NEAR(static_cast<double>(norep), 258.0, 20.0);
+}
+
+TEST(Intertubes, NodeCountNearTarget) {
+  EXPECT_NEAR(static_cast<double>(intertubes().node_count()), 273.0, 40.0);
+}
+
+TEST(Intertubes, AverageRepeatersMatchesPaper) {
+  // Paper: 1.7 repeaters per cable at 150 km.
+  std::size_t total = 0;
+  for (const topo::Cable& c : intertubes().cables()) {
+    total += topo::cable_repeater_count(c, 150.0);
+  }
+  EXPECT_NEAR(static_cast<double>(total) /
+                  static_cast<double>(intertubes().cable_count()),
+              1.7, 0.6);
+}
+
+TEST(Intertubes, LatitudeShareMatchesPaper) {
+  // Paper: 40% of Intertubes endpoints above 40 deg N.
+  const auto lats = intertubes().node_latitudes();
+  std::size_t above = 0;
+  for (double lat : lats) {
+    if (std::abs(lat) > 40.0) ++above;
+  }
+  const double frac =
+      static_cast<double>(above) / static_cast<double>(lats.size());
+  EXPECT_GT(frac, 0.32);
+  EXPECT_LT(frac, 0.48);
+}
+
+TEST(Intertubes, AllNodesInUs) {
+  for (const topo::Node& n : intertubes().nodes()) {
+    EXPECT_EQ(n.country_code, "US") << n.name;
+    EXPECT_TRUE(n.coords_authoritative);
+  }
+}
+
+TEST(Intertubes, AllCablesAreLandLongHaul) {
+  for (const topo::Cable& c : intertubes().cables()) {
+    EXPECT_EQ(c.kind, topo::CableKind::kLandLongHaul);
+  }
+}
+
+TEST(Intertubes, Deterministic) {
+  const auto n2 = make_intertubes_network({});
+  ASSERT_EQ(n2.node_count(), intertubes().node_count());
+  for (topo::NodeId i = 0; i < n2.node_count(); ++i) {
+    EXPECT_EQ(n2.node(i).name, intertubes().node(i).name);
+  }
+}
+
+TEST(Itu, MatchesPaperCounts) {
+  // ITU: 11,737 links, 11,314 nodes, 8,443 under 150 km.
+  EXPECT_EQ(itu().cable_count(), 11737u);
+  EXPECT_NEAR(static_cast<double>(itu().node_count()), 11314.0, 60.0);
+  std::size_t norep = 0;
+  for (const topo::Cable& c : itu().cables()) {
+    if (topo::cable_repeater_count(c, 150.0) == 0) ++norep;
+  }
+  EXPECT_NEAR(static_cast<double>(norep), 8443.0, 350.0);
+}
+
+TEST(Itu, AverageRepeatersMatchesPaper) {
+  // Paper: 0.63 repeaters per link at 150 km.
+  std::size_t total = 0;
+  for (const topo::Cable& c : itu().cables()) {
+    total += topo::cable_repeater_count(c, 150.0);
+  }
+  EXPECT_NEAR(static_cast<double>(total) /
+                  static_cast<double>(itu().cable_count()),
+              0.63, 0.2);
+}
+
+TEST(Itu, CoordinatesAreNonAuthoritative) {
+  // The ITU map has no public coordinates; the generator mirrors that.
+  EXPECT_TRUE(itu().node_latitudes().empty());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(itu().node(static_cast<topo::NodeId>(i)).coords_authoritative);
+  }
+}
+
+TEST(Itu, AllCablesAreRegionalKind) {
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(itu().cable(static_cast<topo::CableId>(i)).kind,
+              topo::CableKind::kLandRegional);
+  }
+}
+
+TEST(Itu, ConfigurableScale) {
+  ItuConfig cfg;
+  cfg.total_links = 500;
+  cfg.target_nodes = 480;
+  cfg.short_links = 350;
+  const auto net = make_itu_network(cfg);
+  EXPECT_EQ(net.cable_count(), 500u);
+  EXPECT_NEAR(static_cast<double>(net.node_count()), 480.0, 40.0);
+}
+
+TEST(Itu, LinkLengthsPositiveAndBounded) {
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double len =
+        itu().cable(static_cast<topo::CableId>(i)).total_length_km();
+    EXPECT_GT(len, 0.0);
+    EXPECT_LT(len, 3000.0);
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

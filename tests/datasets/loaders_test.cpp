@@ -1,0 +1,151 @@
+#include "datasets/loaders.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datasets/land.h"
+#include "datasets/submarine.h"
+#include "util/csv.h"
+
+namespace solarnet::datasets {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class LoadersTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(LoadersTest, NetworkRoundTrip) {
+  SubmarineConfig cfg;
+  cfg.total_cables = 60;
+  cfg.target_landing_points = 150;
+  cfg.cables_without_length = 3;
+  const auto original = make_submarine_network(cfg);
+
+  const std::string nodes = track(temp_path("solarnet_nodes.csv"));
+  const std::string cables = track(temp_path("solarnet_cables.csv"));
+  write_network_csv(original, nodes, cables);
+  const auto loaded = load_network_csv("submarine", nodes, cables);
+
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.cable_count(), original.cable_count());
+  for (topo::NodeId i = 0; i < loaded.node_count(); ++i) {
+    EXPECT_EQ(loaded.node(i).name, original.node(i).name);
+    EXPECT_NEAR(loaded.node(i).location.lat_deg,
+                original.node(i).location.lat_deg, 1e-5);
+    EXPECT_EQ(loaded.node(i).country_code, original.node(i).country_code);
+    EXPECT_EQ(loaded.node(i).kind, original.node(i).kind);
+  }
+  for (topo::CableId c = 0; c < loaded.cable_count(); ++c) {
+    EXPECT_EQ(loaded.cable(c).name, original.cable(c).name);
+    EXPECT_EQ(loaded.cable(c).segments.size(),
+              original.cable(c).segments.size());
+    EXPECT_EQ(loaded.cable(c).length_known, original.cable(c).length_known);
+    EXPECT_NEAR(loaded.cable(c).total_length_km(),
+                original.cable(c).total_length_km(), 0.1);
+  }
+}
+
+TEST_F(LoadersTest, IntertubesRoundTripPreservesKind) {
+  IntertubesConfig cfg;
+  cfg.total_links = 40;
+  cfg.target_nodes = 30;
+  cfg.short_links = 20;
+  const auto original = make_intertubes_network(cfg);
+  const std::string nodes = track(temp_path("solarnet_it_nodes.csv"));
+  const std::string cables = track(temp_path("solarnet_it_cables.csv"));
+  write_network_csv(original, nodes, cables);
+  const auto loaded = load_network_csv("intertubes", nodes, cables);
+  EXPECT_EQ(loaded.cable(0).kind, topo::CableKind::kLandLongHaul);
+}
+
+TEST_F(LoadersTest, NetworkLoadRejectsUnknownNode) {
+  const std::string nodes = track(temp_path("solarnet_badn.csv"));
+  const std::string cables = track(temp_path("solarnet_badc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "1"}});
+  util::write_csv_file(
+      cables, {{"cable", "kind", "node_a", "node_b", "length_km",
+                "length_known"},
+               {"X", "submarine", "A", "GHOST", "100", "1"}});
+  EXPECT_THROW(load_network_csv("bad", nodes, cables), std::runtime_error);
+}
+
+TEST_F(LoadersTest, ParseKindHelpers) {
+  EXPECT_EQ(parse_node_kind("landing-point"), topo::NodeKind::kLandingPoint);
+  EXPECT_EQ(parse_node_kind("dns-root"), topo::NodeKind::kDnsRoot);
+  EXPECT_THROW(parse_node_kind("wat"), std::invalid_argument);
+  EXPECT_EQ(parse_cable_kind("submarine"), topo::CableKind::kSubmarine);
+  EXPECT_THROW(parse_cable_kind("wat"), std::invalid_argument);
+}
+
+TEST_F(LoadersTest, RouterRoundTrip) {
+  RouterConfig cfg;
+  cfg.router_count = 500;
+  cfg.as_count = 50;
+  const RouterDataset original = make_router_dataset(cfg);
+  const std::string path = track(temp_path("solarnet_routers.csv"));
+  write_router_csv(original, path);
+  const RouterDataset loaded = load_router_csv(path);
+  ASSERT_EQ(loaded.router_count(), original.router_count());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(loaded.routers()[i].location.lat_deg,
+                original.routers()[i].location.lat_deg, 1e-5);
+    EXPECT_EQ(loaded.routers()[i].as_id, original.routers()[i].as_id);
+  }
+}
+
+TEST_F(LoadersTest, PointsRoundTrip) {
+  IxpConfig cfg;
+  cfg.count = 30;
+  const auto original = make_ixp_dataset(cfg);
+  const std::string path = track(temp_path("solarnet_points.csv"));
+  write_points_csv(original, path);
+  const auto loaded = load_points_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, original[i].name);
+    EXPECT_EQ(loaded[i].country_code, original[i].country_code);
+    EXPECT_NEAR(loaded[i].location.lon_deg, original[i].location.lon_deg,
+                1e-5);
+  }
+}
+
+TEST_F(LoadersTest, DnsRoundTrip) {
+  DnsConfig cfg;
+  cfg.instance_count = 40;
+  const auto original = make_dns_dataset(cfg);
+  const std::string path = track(temp_path("solarnet_dns.csv"));
+  write_dns_csv(original, path);
+  const auto loaded = load_dns_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].root_letter, original[i].root_letter);
+    EXPECT_EQ(loaded[i].country_code, original[i].country_code);
+  }
+}
+
+TEST_F(LoadersTest, DnsLoadRejectsBadLetter) {
+  const std::string path = track(temp_path("solarnet_dns_bad.csv"));
+  util::write_csv_file(path, {{"letter", "lat", "lon", "country"},
+                              {"z", "0", "0", "US"}});
+  EXPECT_THROW(load_dns_csv(path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

@@ -1,0 +1,90 @@
+#include "datasets/population.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace solarnet::datasets {
+namespace {
+
+const geo::LatLonGrid& default_grid() {
+  static const geo::LatLonGrid grid = make_population_grid({});
+  return grid;
+}
+
+TEST(PopulationShares, NormalizedAndShaped) {
+  const auto& shares = population_latitude_shares();
+  double total = 0.0;
+  for (double s : shares) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PopulationShares, PeaksInNorthernSubtropics) {
+  const auto& shares = population_latitude_shares();
+  // The densest 5-degree band must lie in 20N..40N.
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    if (shares[i] > shares[argmax]) argmax = i;
+  }
+  const double band_lo = -90.0 + 5.0 * static_cast<double>(argmax);
+  EXPECT_GE(band_lo, 20.0);
+  EXPECT_LT(band_lo, 40.0);
+}
+
+TEST(PopulationShares, PolesEmpty) {
+  const auto& shares = population_latitude_shares();
+  EXPECT_DOUBLE_EQ(shares.front(), 0.0);
+  EXPECT_DOUBLE_EQ(shares.back(), 0.0);
+}
+
+TEST(PopulationGrid, TotalMatchesConfig) {
+  EXPECT_NEAR(default_grid().total(), 7.8e9, 0.05e9);
+}
+
+TEST(PopulationGrid, PaperShareAbove40) {
+  // The paper: only 16% of the world population lives above |40 deg|.
+  EXPECT_NEAR(default_grid().fraction_above_abs_latitude(40.0), 0.16, 0.025);
+}
+
+TEST(PopulationGrid, MostPopulationInNorthernHemisphere) {
+  const double north = default_grid().latitude_band_total(0.0, 90.0);
+  EXPECT_GT(north / default_grid().total(), 0.80);
+}
+
+TEST(PopulationGrid, OceanMostlyEmpty) {
+  // Remote-ocean cells (beyond the 2,500 km city-gravity radius) carry no
+  // mass; near-coast ocean cells carry only a vanishing share.
+  EXPECT_DOUBLE_EQ(default_grid().at({-40.0, -120.0}), 0.0);  // S Pacific
+  EXPECT_DOUBLE_EQ(default_grid().at({-35.0, 80.0}), 0.0);    // S Indian
+  EXPECT_LT(default_grid().at({0.0, -35.0}),                  // mid-Atlantic
+            1e-4 * default_grid().total());
+}
+
+TEST(PopulationGrid, MajorMetrosPopulated) {
+  EXPECT_GT(default_grid().at({19.0, 72.8}), 0.0);    // Mumbai
+  EXPECT_GT(default_grid().at({40.7, -74.0}), 0.0);   // New York
+  EXPECT_GT(default_grid().at({31.2, 121.5}), 0.0);   // Shanghai
+}
+
+TEST(PopulationGrid, ConfigurableCellSize) {
+  PopulationConfig cfg;
+  cfg.cell_deg = 5.0;
+  cfg.total_population = 1000.0;
+  const auto grid = make_population_grid(cfg);
+  EXPECT_EQ(grid.rows(), 36u);
+  EXPECT_NEAR(grid.total(), 1000.0, 1.0);
+}
+
+TEST(PopulationGrid, LatitudeSamplesCoverMass) {
+  const auto samples = default_grid().latitude_samples();
+  const double mass = std::accumulate(
+      samples.begin(), samples.end(), 0.0,
+      [](double acc, const auto& p) { return acc + p.second; });
+  EXPECT_NEAR(mass, default_grid().total(), 1.0);
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

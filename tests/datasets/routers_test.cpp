@@ -1,0 +1,123 @@
+#include "datasets/routers.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace solarnet::datasets {
+namespace {
+
+const RouterDataset& default_ds() {
+  static const RouterDataset ds = make_router_dataset({});
+  return ds;
+}
+
+TEST(RouterDataset, CountsMatchConfig) {
+  EXPECT_EQ(default_ds().router_count(), 200000u);
+  EXPECT_EQ(default_ds().as_count(), 12000u);
+}
+
+TEST(RouterDataset, EveryAsHasAtLeastOneRouter) {
+  for (const AsSummary& s : default_ds().as_summaries()) {
+    EXPECT_GE(s.router_count, 1u);
+  }
+}
+
+TEST(RouterDataset, SummariesConsistentWithRecords) {
+  std::size_t total = 0;
+  for (const AsSummary& s : default_ds().as_summaries()) {
+    total += s.router_count;
+    EXPECT_LE(s.min_lat, s.max_lat);
+    EXPECT_GE(s.latitude_spread(), 0.0);
+  }
+  EXPECT_EQ(total, default_ds().router_count());
+}
+
+TEST(RouterDataset, SpreadQuantilesMatchPaper) {
+  // Paper (§4.4.1): median spread 1.723 deg, p90 18.263 deg.
+  const auto spreads = default_ds().as_spreads();
+  EXPECT_NEAR(util::quantile_unsorted(spreads, 0.5), 1.723, 0.5);
+  EXPECT_NEAR(util::quantile_unsorted(spreads, 0.9), 18.263, 4.0);
+}
+
+TEST(RouterDataset, AsPresenceMatchesPaper) {
+  // Paper: 57% of ASes have a router above |40 deg|.
+  EXPECT_NEAR(default_ds().as_fraction_with_presence_above(40.0), 0.57, 0.06);
+}
+
+TEST(RouterDataset, RouterShareAbove40NearPaper) {
+  // Paper: 38% of routers above |40 deg|. Generator lands within a few
+  // points (documented in EXPERIMENTS.md).
+  EXPECT_NEAR(default_ds().router_fraction_above(40.0), 0.38, 0.08);
+}
+
+TEST(RouterDataset, ReachCurveMonotone) {
+  double prev = 1.0;
+  for (double t = 0.0; t <= 90.0; t += 10.0) {
+    const double f = default_ds().as_fraction_with_presence_above(t);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+  EXPECT_NEAR(default_ds().as_fraction_with_presence_above(90.0), 0.0, 1e-9);
+}
+
+TEST(RouterDataset, ValidCoordinates) {
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(geo::is_valid(default_ds().routers()[i].location));
+  }
+}
+
+TEST(RouterDataset, Deterministic) {
+  const RouterDataset d2 = make_router_dataset({});
+  ASSERT_EQ(d2.router_count(), default_ds().router_count());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d2.routers()[i].location.lat_deg,
+                     default_ds().routers()[i].location.lat_deg);
+    EXPECT_EQ(d2.routers()[i].as_id, default_ds().routers()[i].as_id);
+  }
+}
+
+TEST(RouterDataset, ConfigurableScale) {
+  RouterConfig cfg;
+  cfg.router_count = 5000;
+  cfg.as_count = 500;
+  cfg.seed = 3;
+  const RouterDataset ds = make_router_dataset(cfg);
+  EXPECT_EQ(ds.router_count(), 5000u);
+  EXPECT_EQ(ds.as_count(), 500u);
+}
+
+TEST(RouterDataset, RejectsBadConfig) {
+  RouterConfig cfg;
+  cfg.router_count = 10;
+  cfg.as_count = 0;
+  EXPECT_THROW(make_router_dataset(cfg), std::invalid_argument);
+  cfg.as_count = 100;
+  EXPECT_THROW(make_router_dataset(cfg), std::invalid_argument);
+}
+
+TEST(RouterDataset, ConstructorComputesSummaries) {
+  std::vector<RouterRecord> records = {
+      {{10.0, 0.0}, 0}, {{20.0, 5.0}, 0}, {{-5.0, 0.0}, 1}};
+  const RouterDataset ds(std::move(records), 2);
+  ASSERT_EQ(ds.as_count(), 2u);
+  const AsSummary& as0 = ds.as_summaries()[0];
+  EXPECT_EQ(as0.router_count, 2u);
+  EXPECT_DOUBLE_EQ(as0.latitude_spread(), 10.0);
+  EXPECT_DOUBLE_EQ(as0.max_abs_lat, 20.0);
+  EXPECT_TRUE(as0.presence_above(15.0));
+  EXPECT_FALSE(as0.presence_above(25.0));
+  const AsSummary& as1 = ds.as_summaries()[1];
+  EXPECT_DOUBLE_EQ(as1.latitude_spread(), 0.0);
+}
+
+TEST(RouterDataset, FractionHelpersOnSmallData) {
+  std::vector<RouterRecord> records = {
+      {{50.0, 0.0}, 0}, {{-50.0, 0.0}, 1}, {{0.0, 0.0}, 2}, {{10.0, 0.0}, 2}};
+  const RouterDataset ds(std::move(records), 3);
+  EXPECT_DOUBLE_EQ(ds.router_fraction_above(40.0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.as_fraction_with_presence_above(40.0), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

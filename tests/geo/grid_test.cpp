@@ -1,0 +1,100 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::geo {
+namespace {
+
+TEST(LatLonGrid, DimensionsFollowCellSize) {
+  const LatLonGrid g1(1.0);
+  EXPECT_EQ(g1.rows(), 180u);
+  EXPECT_EQ(g1.cols(), 360u);
+  const LatLonGrid g5(5.0);
+  EXPECT_EQ(g5.rows(), 36u);
+  EXPECT_EQ(g5.cols(), 72u);
+}
+
+TEST(LatLonGrid, RejectsBadCellSize) {
+  EXPECT_THROW(LatLonGrid(0.0), std::invalid_argument);
+  EXPECT_THROW(LatLonGrid(-1.0), std::invalid_argument);
+  EXPECT_THROW(LatLonGrid(7.0), std::invalid_argument);  // doesn't divide 180
+}
+
+TEST(LatLonGrid, AddAndQuery) {
+  LatLonGrid g(1.0);
+  g.add({10.5, 20.5}, 3.0);
+  EXPECT_DOUBLE_EQ(g.at({10.5, 20.5}), 3.0);
+  EXPECT_DOUBLE_EQ(g.at({10.9, 20.1}), 3.0);  // same cell
+  EXPECT_DOUBLE_EQ(g.at({11.5, 20.5}), 0.0);  // next cell
+  EXPECT_DOUBLE_EQ(g.total(), 3.0);
+}
+
+TEST(LatLonGrid, AddAccumulates) {
+  LatLonGrid g(1.0);
+  g.add({0.5, 0.5}, 1.0);
+  g.add({0.5, 0.5}, 2.0);
+  EXPECT_DOUBLE_EQ(g.at({0.5, 0.5}), 3.0);
+}
+
+TEST(LatLonGrid, RejectsInvalidInput) {
+  LatLonGrid g(1.0);
+  EXPECT_THROW(g.add({95.0, 0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add({0.0, 0.0}, -1.0), std::invalid_argument);
+}
+
+TEST(LatLonGrid, PolesAndEdgesLandInGrid) {
+  LatLonGrid g(1.0);
+  EXPECT_NO_THROW(g.add({90.0, 0.0}, 1.0));
+  EXPECT_NO_THROW(g.add({-90.0, 0.0}, 1.0));
+  EXPECT_NO_THROW(g.add({0.0, -180.0}, 1.0));
+  EXPECT_NO_THROW(g.add({0.0, 179.99}, 1.0));
+  EXPECT_DOUBLE_EQ(g.total(), 4.0);
+}
+
+TEST(LatLonGrid, CellAccessAndCenter) {
+  LatLonGrid g(5.0);
+  g.set_cell(0, 0, 7.0);
+  EXPECT_DOUBLE_EQ(g.cell(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(g.total(), 7.0);
+  g.set_cell(0, 0, 3.0);  // overwrite adjusts total
+  EXPECT_DOUBLE_EQ(g.total(), 3.0);
+  const GeoPoint c = g.cell_center(0, 0);
+  EXPECT_DOUBLE_EQ(c.lat_deg, -87.5);
+  EXPECT_DOUBLE_EQ(c.lon_deg, -177.5);
+  EXPECT_THROW(g.cell(100, 0), std::out_of_range);
+  EXPECT_THROW(g.cell_center(0, 100), std::out_of_range);
+}
+
+TEST(LatLonGrid, LatitudeBandTotal) {
+  LatLonGrid g(1.0);
+  g.add({45.5, 0.0}, 2.0);
+  g.add({-45.5, 0.0}, 3.0);
+  g.add({10.5, 0.0}, 5.0);
+  EXPECT_DOUBLE_EQ(g.latitude_band_total(40.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(g.latitude_band_total(-50.0, -40.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.latitude_band_total(-90.0, 90.0), 10.0);
+}
+
+TEST(LatLonGrid, FractionAboveAbsLatitude) {
+  LatLonGrid g(1.0);
+  g.add({50.5, 0.0}, 1.0);
+  g.add({-50.5, 0.0}, 1.0);
+  g.add({0.5, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(g.fraction_above_abs_latitude(40.0), 0.5);
+  EXPECT_DOUBLE_EQ(g.fraction_above_abs_latitude(60.0), 0.0);
+  EXPECT_DOUBLE_EQ(LatLonGrid(1.0).fraction_above_abs_latitude(40.0), 0.0);
+}
+
+TEST(LatLonGrid, LatitudeSamplesMatchMass) {
+  LatLonGrid g(1.0);
+  g.add({10.5, 0.5}, 1.5);
+  g.add({20.5, 30.5}, 2.5);
+  const auto samples = g.latitude_samples();
+  ASSERT_EQ(samples.size(), 2u);
+  double mass = 0.0;
+  for (const auto& [lat, w] : samples) mass += w;
+  EXPECT_DOUBLE_EQ(mass, 4.0);
+}
+
+}  // namespace
+}  // namespace solarnet::geo

@@ -1,0 +1,54 @@
+#include "gic/storm.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::gic {
+namespace {
+
+TEST(StormPresets, RelativeStrengthsMatchHistory) {
+  const StormScenario carrington = carrington_1859();
+  const StormScenario railroad = ny_railroad_1921();
+  const StormScenario quebec = quebec_1989();
+  const StormScenario moderate = moderate_storm();
+
+  // 1989 was roughly one-tenth of the 1921 storm (§4.3.4 / §2.2).
+  EXPECT_NEAR(quebec.peak_field_v_per_km / railroad.peak_field_v_per_km, 0.1,
+              0.05);
+  // Carrington and 1921 are comparable, both far above 1989.
+  EXPECT_GT(carrington.peak_field_v_per_km,
+            5.0 * quebec.peak_field_v_per_km);
+  EXPECT_GT(quebec.peak_field_v_per_km, moderate.peak_field_v_per_km);
+}
+
+TEST(StormPresets, CarringtonReachesLowLatitudes) {
+  // §3.1: Carrington-strength fields extended as low as 20 deg; the 1989
+  // event dropped an order of magnitude below 40 deg.
+  EXPECT_NEAR(carrington_1859().boundary_deg, 20.0, 1.0);
+  EXPECT_GE(quebec_1989().boundary_deg, 40.0);
+}
+
+TEST(StormPresets, NamesAreSet) {
+  EXPECT_FALSE(carrington_1859().name.empty());
+  EXPECT_NE(carrington_1859().name, quebec_1989().name);
+}
+
+TEST(StormScaled, ScalesFieldOnly) {
+  const StormScenario base = quebec_1989();
+  const StormScenario twice = base.scaled(2.0);
+  EXPECT_DOUBLE_EQ(twice.peak_field_v_per_km, 2.0 * base.peak_field_v_per_km);
+  EXPECT_DOUBLE_EQ(twice.boundary_deg, base.boundary_deg);
+  EXPECT_NE(twice.name, base.name);
+}
+
+TEST(StormPresets, FloorsAreSmallFractions) {
+  for (const StormScenario& s :
+       {carrington_1859(), ny_railroad_1921(), quebec_1989(),
+        moderate_storm()}) {
+    EXPECT_GE(s.equatorial_floor, 0.0);
+    EXPECT_LT(s.equatorial_floor, 0.1);
+    EXPECT_GT(s.falloff_width_deg, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::gic

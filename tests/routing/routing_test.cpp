@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "datasets/submarine.h"
+#include "routing/assignment.h"
+#include "routing/capacity.h"
+#include "routing/demand.h"
+
+namespace solarnet::routing {
+namespace {
+
+topo::Cable make_cable(topo::CableKind kind, double length) {
+  topo::Cable c;
+  c.kind = kind;
+  c.segments = {{0, 1, length}};
+  return c;
+}
+
+TEST(CapacityModel, SubmarineDecaysWithLength) {
+  const CapacityModel m;
+  const double short_cap =
+      m.capacity_tbps(make_cable(topo::CableKind::kSubmarine, 500.0));
+  const double long_cap =
+      m.capacity_tbps(make_cable(topo::CableKind::kSubmarine, 20000.0));
+  EXPECT_GT(short_cap, long_cap);
+  EXPECT_GE(long_cap, m.submarine_floor_tbps);
+}
+
+TEST(CapacityModel, HalvingLength) {
+  const CapacityModel m;
+  const double c0 =
+      m.capacity_tbps(make_cable(topo::CableKind::kSubmarine, 0.0));
+  const double c9000 =
+      m.capacity_tbps(make_cable(topo::CableKind::kSubmarine, 9000.0));
+  EXPECT_NEAR(c9000 / c0, 0.5, 1e-9);
+}
+
+TEST(CapacityModel, LandKindsFixed) {
+  const CapacityModel m;
+  EXPECT_DOUBLE_EQ(
+      m.capacity_tbps(make_cable(topo::CableKind::kLandLongHaul, 5000.0)),
+      m.land_long_haul_tbps);
+  EXPECT_DOUBLE_EQ(
+      m.capacity_tbps(make_cable(topo::CableKind::kLandRegional, 100.0)),
+      m.land_regional_tbps);
+}
+
+// A 4-node world: NY(NA) - Bude(EU) - Singapore(AS) - Sydney(OC) line.
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest() : net_("routing") {
+    ny_ = add_node("NY", {40.7, -74.0}, "US");
+    bude_ = add_node("Bude", {50.8, -4.5}, "GB");
+    sg_ = add_node("Singapore", {1.35, 103.8}, "SG");
+    syd_ = add_node("Sydney", {-33.9, 151.2}, "AU");
+    atl_ = add_cable("atlantic", ny_, bude_, 6000.0);
+    eur_asia_ = add_cable("eur-asia", bude_, sg_, 11000.0);
+    asia_oc_ = add_cable("asia-oc", sg_, syd_, 6300.0);
+    pacific_ = add_cable("pacific", ny_, syd_, 15000.0);
+  }
+
+  topo::NodeId add_node(const char* name, geo::GeoPoint p, const char* cc) {
+    return net_.add_node({name, p, cc, topo::NodeKind::kLandingPoint, true});
+  }
+  topo::CableId add_cable(const char* name, topo::NodeId a, topo::NodeId b,
+                          double len) {
+    topo::Cable c;
+    c.name = name;
+    c.segments = {{a, b, len}};
+    return net_.add_cable(std::move(c));
+  }
+
+  topo::InfrastructureNetwork net_;
+  topo::NodeId ny_{}, bude_{}, sg_{}, syd_{};
+  topo::CableId atl_{}, eur_asia_{}, asia_oc_{}, pacific_{};
+};
+
+TEST_F(RoutingTest, GravityDemandsCoverGatewayPairs) {
+  DemandModelParams params;
+  params.gateways_per_continent = 2;
+  params.total_offered_tbps = 10.0;
+  const auto demands = gravity_demands(net_, params);
+  // 4 gateways (one per continent here) -> 6 pairs.
+  EXPECT_EQ(demands.size(), 6u);
+  double total = 0.0;
+  for (const TrafficDemand& d : demands) {
+    EXPECT_GT(d.gbps, 0.0);
+    total += d.gbps;
+  }
+  EXPECT_NEAR(total, 10000.0, 1e-6);  // Tbps -> Gbps
+}
+
+TEST_F(RoutingTest, BaselineDeliversEverything) {
+  const TrafficEngine engine(net_, gravity_demands(net_));
+  const AssignmentResult r = engine.assign_baseline();
+  EXPECT_DOUBLE_EQ(r.undeliverable_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction(), 1.0);
+  EXPECT_GT(r.delivered_gbps, 0.0);
+  EXPECT_GT(r.mean_path_km, 1000.0);
+}
+
+TEST_F(RoutingTest, ShortestPathsChosen) {
+  // One demand NY -> Singapore: via Bude (17,000 km) beats via Sydney
+  // (21,300 km).
+  const std::vector<TrafficDemand> demands = {{ny_, sg_, 100.0}};
+  const TrafficEngine engine(net_, demands);
+  const AssignmentResult r = engine.assign_baseline();
+  EXPECT_DOUBLE_EQ(r.loads[atl_].load_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(r.loads[eur_asia_].load_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(r.loads[pacific_].load_gbps, 0.0);
+  EXPECT_NEAR(r.mean_path_km, 17000.0, 1.0);
+}
+
+TEST_F(RoutingTest, FailureShiftsLoad) {
+  const std::vector<TrafficDemand> demands = {{ny_, sg_, 100.0}};
+  const TrafficEngine engine(net_, demands);
+  const AssignmentResult baseline = engine.assign_baseline();
+  std::vector<bool> dead(net_.cable_count(), false);
+  dead[atl_] = true;
+  const AssignmentResult after = engine.assign(dead);
+  // Traffic reroutes over the Pacific.
+  EXPECT_DOUBLE_EQ(after.loads[pacific_].load_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(after.loads[asia_oc_].load_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(after.undeliverable_gbps, 0.0);
+  EXPECT_GT(after.mean_path_km, baseline.mean_path_km);
+  const auto shift = TrafficEngine::load_shift(baseline, after);
+  EXPECT_DOUBLE_EQ(shift[pacific_], 100.0);
+  EXPECT_DOUBLE_EQ(shift[atl_], -100.0);
+}
+
+TEST_F(RoutingTest, DisconnectionIsUndeliverable) {
+  const std::vector<TrafficDemand> demands = {{ny_, sg_, 100.0}};
+  const TrafficEngine engine(net_, demands);
+  std::vector<bool> dead(net_.cable_count(), false);
+  dead[atl_] = true;
+  dead[pacific_] = true;
+  const AssignmentResult r = engine.assign(dead);
+  EXPECT_DOUBLE_EQ(r.delivered_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.undeliverable_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction(), 0.0);
+}
+
+TEST_F(RoutingTest, UtilizationAndOverload) {
+  // Push more than the long submarine cable's capacity through it.
+  const CapacityModel caps;
+  const double pac_cap_gbps =
+      1000.0 * caps.capacity_tbps(net_.cable(pacific_));
+  const std::vector<TrafficDemand> demands = {
+      {ny_, syd_, pac_cap_gbps * 1.5}};
+  const TrafficEngine engine(net_, demands);
+  const AssignmentResult r = engine.assign_baseline();
+  EXPECT_GT(r.max_utilization, 1.0);
+  EXPECT_EQ(r.overloaded_cables, 1u);
+  EXPECT_NEAR(r.loads[pacific_].utilization(), 1.5, 1e-9);
+}
+
+TEST_F(RoutingTest, EngineValidatesDemands) {
+  EXPECT_THROW(TrafficEngine(net_, {{99, sg_, 1.0}}), std::out_of_range);
+  EXPECT_THROW(TrafficEngine(net_, {{ny_, sg_, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST_F(RoutingTest, LoadShiftValidatesSizes) {
+  AssignmentResult a;
+  a.loads.resize(2);
+  AssignmentResult b;
+  b.loads.resize(3);
+  EXPECT_THROW(TrafficEngine::load_shift(a, b), std::invalid_argument);
+}
+
+TEST_F(RoutingTest, CapacityAwareSpillsOntoLongerPath) {
+  const CapacityModel caps;
+  const double atl_cap_gbps = 1000.0 * caps.capacity_tbps(net_.cable(atl_));
+  // Two NY->Bude demands that together exceed the Atlantic cable: the
+  // second (0.3 C, more than the 0.1 C residual) must spill onto the long
+  // route via Sydney and Singapore.
+  const std::vector<TrafficDemand> demands = {
+      {ny_, bude_, atl_cap_gbps * 0.9},
+      {ny_, bude_, atl_cap_gbps * 0.3},
+  };
+  const TrafficEngine engine(net_, demands);
+  const AssignmentResult naive = engine.assign_baseline();
+  EXPECT_EQ(naive.overloaded_cables, 1u);  // everything piles on atlantic
+
+  const AssignmentResult aware = engine.assign_capacity_aware(
+      std::vector<bool>(net_.cable_count(), false));
+  EXPECT_DOUBLE_EQ(aware.undeliverable_gbps, 0.0);
+  EXPECT_NEAR(aware.loads[atl_].utilization(), 0.9, 1e-9);
+  EXPECT_GT(aware.loads[pacific_].load_gbps, 0.0);
+  EXPECT_GT(aware.mean_path_km, naive.mean_path_km);
+  EXPECT_EQ(aware.overloaded_cables, 0u);
+  EXPECT_LE(aware.max_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(RoutingTest, CapacityAwareBlocksWhenNothingLeft) {
+  const CapacityModel caps;
+  const double atl_cap = 1000.0 * caps.capacity_tbps(net_.cable(atl_));
+  const double pac_cap = 1000.0 * caps.capacity_tbps(net_.cable(pacific_));
+  const std::vector<TrafficDemand> demands = {
+      {ny_, bude_, atl_cap},   // fills the Atlantic exactly
+      {ny_, bude_, pac_cap},   // fills the Pacific detour exactly
+      {ny_, bude_, 100.0},     // nowhere left to go
+  };
+  const TrafficEngine engine(net_, demands);
+  const AssignmentResult r = engine.assign_capacity_aware(
+      std::vector<bool>(net_.cable_count(), false));
+  EXPECT_DOUBLE_EQ(r.undeliverable_gbps, 100.0);
+  EXPECT_GT(r.delivered_gbps, 0.0);
+  EXPECT_LE(r.max_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(RoutingTest, CapacityAwareRespectsFailures) {
+  const std::vector<TrafficDemand> demands = {{ny_, sg_, 50.0}};
+  const TrafficEngine engine(net_, demands);
+  std::vector<bool> dead(net_.cable_count(), false);
+  dead[atl_] = true;
+  const AssignmentResult r = engine.assign_capacity_aware(dead);
+  EXPECT_DOUBLE_EQ(r.loads[atl_].load_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.loads[pacific_].load_gbps, 50.0);
+}
+
+TEST(RoutingDefault, GeneratedWorldBaselineMostlyDelivered) {
+  const auto net = datasets::make_submarine_network({});
+  const TrafficEngine engine(net, gravity_demands(net));
+  const AssignmentResult r = engine.assign_baseline();
+  EXPECT_GT(r.delivered_fraction(), 0.99);
+  EXPECT_GT(r.loads.size(), 0u);
+}
+
+}  // namespace
+}  // namespace solarnet::routing

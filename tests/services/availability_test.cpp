@@ -1,0 +1,178 @@
+#include "services/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/datacenters.h"
+#include "datasets/submarine.h"
+#include "sim/monte_carlo.h"
+
+namespace solarnet::services {
+namespace {
+
+// Line topology: NY (NA) - Bude (EU) - Singapore (AS) - Sydney (OC).
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : net_("svc") {
+    ny_ = add_node("NY", {40.7, -74.0}, "US");
+    bude_ = add_node("Bude", {50.8, -4.5}, "GB");
+    sg_ = add_node("Singapore", {1.35, 103.8}, "SG");
+    syd_ = add_node("Sydney", {-33.9, 151.2}, "AU");
+    atl_ = add_cable("atl", ny_, bude_);
+    asia_ = add_cable("asia", bude_, sg_);
+    oc_ = add_cable("oc", sg_, syd_);
+  }
+  topo::NodeId add_node(const char* name, geo::GeoPoint p, const char* cc) {
+    return net_.add_node({name, p, cc, topo::NodeKind::kLandingPoint, true});
+  }
+  topo::CableId add_cable(const char* name, topo::NodeId a, topo::NodeId b) {
+    topo::Cable c;
+    c.name = name;
+    c.segments = {{a, b, 6000.0}};
+    return net_.add_cable(std::move(c));
+  }
+  std::vector<bool> none() const {
+    return std::vector<bool>(net_.cable_count(), false);
+  }
+  topo::InfrastructureNetwork net_;
+  topo::NodeId ny_{}, bude_{}, sg_{}, syd_{};
+  topo::CableId atl_{}, asia_{}, oc_{};
+};
+
+TEST_F(ServiceTest, HealthyNetworkFullyAvailable) {
+  ServiceSpec svc;
+  svc.name = "global-db";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};  // NY + Singapore
+  svc.write_quorum = 2;
+  const AvailabilityReport r = evaluate_service(net_, none(), svc);
+  EXPECT_DOUBLE_EQ(r.read_availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.write_availability, 1.0);
+}
+
+TEST_F(ServiceTest, PartitionSplitsQuorum) {
+  ServiceSpec svc;
+  svc.name = "global-db";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};
+  svc.write_quorum = 2;
+  std::vector<bool> dead = none();
+  dead[asia_] = true;  // Europe/NA vs Asia/Oceania partition
+  const AvailabilityReport r = evaluate_service(net_, dead, svc);
+  // Reads survive on both sides (one replica each); writes die everywhere.
+  EXPECT_DOUBLE_EQ(r.read_availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.write_availability, 0.0);
+}
+
+TEST_F(ServiceTest, QuorumOneKeepsWritesPerPartition) {
+  ServiceSpec svc;
+  svc.name = "multi-master";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};
+  svc.write_quorum = 1;
+  std::vector<bool> dead = none();
+  dead[asia_] = true;
+  const AvailabilityReport r = evaluate_service(net_, dead, svc);
+  EXPECT_DOUBLE_EQ(r.write_availability, 1.0);
+}
+
+TEST_F(ServiceTest, SingleReplicaLosesFarSide) {
+  ServiceSpec svc;
+  svc.name = "us-only";
+  svc.replicas = {{40.7, -74.0}};  // NY only
+  svc.write_quorum = 1;
+  std::vector<bool> dead = none();
+  dead[atl_] = true;  // NY isolated
+  const AvailabilityReport r = evaluate_service(net_, dead, svc);
+  // NY becomes its own island partition: clients attached to the same dark
+  // landing station as the replica keep local service. In this 4-node toy
+  // net both American anchors fall back to NY (nothing closer exists), so
+  // NA and SA stay up; everyone else loses the service.
+  for (const ContinentAvailability& c : r.per_continent) {
+    if (c.continent == geo::Continent::kNorthAmerica ||
+        c.continent == geo::Continent::kSouthAmerica) {
+      EXPECT_TRUE(c.read_available) << geo::to_string(c.continent);
+    } else {
+      EXPECT_FALSE(c.read_available) << geo::to_string(c.continent);
+    }
+  }
+  EXPECT_NEAR(r.read_availability, 0.075 + 0.055, 1e-9);  // NA + SA shares
+}
+
+TEST_F(ServiceTest, PerContinentBreakdown) {
+  ServiceSpec svc;
+  svc.name = "asia-db";
+  svc.replicas = {{1.35, 103.8}};
+  svc.write_quorum = 1;
+  std::vector<bool> dead = none();
+  dead[atl_] = true;  // NA cut off
+  const AvailabilityReport r = evaluate_service(net_, dead, svc);
+  for (const ContinentAvailability& c : r.per_continent) {
+    if (c.continent == geo::Continent::kNorthAmerica) {
+      EXPECT_FALSE(c.read_available);
+    }
+    if (c.continent == geo::Continent::kAsia ||
+        c.continent == geo::Continent::kOceania ||
+        c.continent == geo::Continent::kEurope) {
+      EXPECT_TRUE(c.read_available) << geo::to_string(c.continent);
+    }
+  }
+}
+
+TEST_F(ServiceTest, SpecValidation) {
+  ServiceSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(evaluate_service(net_, none(), bad), std::invalid_argument);
+  bad.replicas = {{0.0, 0.0}};
+  bad.write_quorum = 2;  // quorum > replicas
+  EXPECT_THROW(evaluate_service(net_, none(), bad), std::invalid_argument);
+}
+
+TEST(ContinentShares, SumToOne) {
+  double total = 0.0;
+  for (const auto& [cont, share] : continent_population_shares()) {
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ServiceFromDatacenters, BuildsSpec) {
+  const auto sites = datasets::datacenters_of(
+      datasets::DataCenterOperator::kGoogle);
+  std::vector<geo::GeoPoint> points;
+  for (const auto& d : sites) points.push_back(d.location);
+  const ServiceSpec spec = service_from_datacenters("google", points, 3);
+  EXPECT_EQ(spec.replicas.size(), sites.size());
+  EXPECT_EQ(spec.write_quorum, 3u);
+}
+
+TEST(ServiceFullScale, GoogleFootprintBeatsFacebookUnderS1) {
+  // §4.4.2 restated as a service-availability experiment: the broader
+  // replica footprint keeps more of the world readable after a storm.
+  const auto net = datasets::make_submarine_network({});
+  const sim::FailureSimulator simulator(net, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+
+  auto spec_for = [&](datasets::DataCenterOperator op, const char* name) {
+    std::vector<geo::GeoPoint> points;
+    for (const auto& d : datasets::datacenters_of(op)) {
+      points.push_back(d.location);
+    }
+    return service_from_datacenters(name, points, 1);
+  };
+  const ServiceSpec google =
+      spec_for(datasets::DataCenterOperator::kGoogle, "google");
+  const ServiceSpec facebook =
+      spec_for(datasets::DataCenterOperator::kFacebook, "facebook");
+
+  double google_total = 0.0;
+  double facebook_total = 0.0;
+  util::Rng rng(21);
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto dead = simulator.sample_cable_failures(s1, rng);
+    google_total += evaluate_service(net, dead, google).read_availability;
+    facebook_total += evaluate_service(net, dead, facebook).read_availability;
+  }
+  EXPECT_GE(google_total, facebook_total);
+  EXPECT_GT(google_total / kTrials, 0.3);
+}
+
+}  // namespace
+}  // namespace solarnet::services

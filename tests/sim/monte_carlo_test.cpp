@@ -1,0 +1,188 @@
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace solarnet::sim {
+namespace {
+
+// A small deterministic network:
+//   long-high: 1500 km cable topping at 65N  (10 repeaters @150)
+//   long-low:  1500 km cable at the equator  (10 repeaters @150)
+//   short:      100 km cable                  (0 repeaters)
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : net_("sim") {
+    const auto a = net_.add_node(
+        {"A", {65.0, 0.0}, "NO", topo::NodeKind::kLandingPoint, true});
+    const auto b = net_.add_node(
+        {"B", {55.0, 0.0}, "NO", topo::NodeKind::kLandingPoint, true});
+    const auto c = net_.add_node(
+        {"C", {0.0, 0.0}, "", topo::NodeKind::kLandingPoint, true});
+    const auto d = net_.add_node(
+        {"D", {0.0, 13.0}, "", topo::NodeKind::kLandingPoint, true});
+    const auto e = net_.add_node(
+        {"E", {0.5, 13.0}, "", topo::NodeKind::kLandingPoint, true});
+    topo::Cable high;
+    high.name = "long-high";
+    high.segments = {{a, b, 1500.0}};
+    high_ = net_.add_cable(std::move(high));
+    topo::Cable low;
+    low.name = "long-low";
+    low.segments = {{c, d, 1500.0}};
+    low_ = net_.add_cable(std::move(low));
+    topo::Cable shorty;
+    shorty.name = "short";
+    shorty.segments = {{d, e, 100.0}};
+    short_ = net_.add_cable(std::move(shorty));
+  }
+
+  topo::InfrastructureNetwork net_;
+  topo::CableId high_{}, low_{}, short_{};
+};
+
+TEST_F(SimTest, RepeaterLayout) {
+  const FailureSimulator sim(net_, {});
+  EXPECT_EQ(sim.total_repeaters(), 20u);
+  EXPECT_EQ(sim.repeaterless_cables(), 1u);
+  EXPECT_NEAR(sim.average_repeaters_per_cable(), 20.0 / 3.0, 1e-9);
+}
+
+TEST_F(SimTest, SpacingChangesLayout) {
+  TrialConfig cfg;
+  cfg.repeater_spacing_km = 50.0;
+  const FailureSimulator sim(net_, cfg);
+  EXPECT_EQ(sim.total_repeaters(), 30u + 30u + 2u);
+  EXPECT_EQ(sim.repeaterless_cables(), 0u);
+}
+
+TEST_F(SimTest, DeathProbabilityExactForUniform) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel m(0.1);
+  // 10 repeaters, p=0.1: death = 1 - 0.9^10.
+  EXPECT_NEAR(sim.cable_death_probability(high_, m),
+              1.0 - std::pow(0.9, 10), 1e-12);
+  EXPECT_DOUBLE_EQ(sim.cable_death_probability(short_, m), 0.0);
+  EXPECT_THROW(sim.cable_death_probability(99, m), std::out_of_range);
+}
+
+TEST_F(SimTest, DeathProbabilityBandModel) {
+  const FailureSimulator sim(net_, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  // high cable max lat 65 -> band prob 1.0 per repeater -> certain death.
+  EXPECT_DOUBLE_EQ(sim.cable_death_probability(high_, s1), 1.0);
+  // low cable max lat 0.5 -> 0.01 per repeater over 10 repeaters.
+  EXPECT_NEAR(sim.cable_death_probability(low_, s1),
+              1.0 - std::pow(0.99, 10), 1e-12);
+}
+
+TEST_F(SimTest, RepeaterlessCablesNeverDie) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel certain(1.0);
+  util::Rng rng(1);
+  const auto dead = sim.sample_cable_failures(certain, rng);
+  EXPECT_TRUE(dead[high_]);
+  EXPECT_TRUE(dead[low_]);
+  EXPECT_FALSE(dead[short_]);
+}
+
+TEST_F(SimTest, ZeroProbabilityKillsNothing) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel never(0.0);
+  util::Rng rng(1);
+  const auto dead = sim.sample_cable_failures(never, rng);
+  for (bool d : dead) EXPECT_FALSE(d);
+}
+
+TEST_F(SimTest, TrialCountsNodesPerPaperDefinition) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel certain(1.0);
+  util::Rng rng(1);
+  const TrialResult r = sim.run_trial(certain, rng);
+  EXPECT_EQ(r.cables_failed, 2u);
+  // A and B lose their only cable; C loses its only cable; D and E keep
+  // the short one.
+  EXPECT_EQ(r.nodes_unreachable, 3u);
+  EXPECT_NEAR(r.cables_failed_pct, 100.0 * 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.nodes_unreachable_pct, 100.0 * 3.0 / 5.0, 1e-9);
+}
+
+TEST_F(SimTest, TrialFrequencyMatchesDeathProbability) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel m(0.05);
+  const double expected = sim.cable_death_probability(high_, m);
+  util::Rng rng(42);
+  int deaths = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    deaths += sim.sample_cable_failures(m, rng)[high_] ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(deaths) / kN, expected, 0.01);
+}
+
+TEST_F(SimTest, AggregateReproducibleAcrossRuns) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel m(0.3);
+  const AggregateResult a = sim.run_trials(m, 10, 7);
+  const AggregateResult b = sim.run_trials(m, 10, 7);
+  EXPECT_DOUBLE_EQ(a.cables_failed_pct.mean(), b.cables_failed_pct.mean());
+  EXPECT_DOUBLE_EQ(a.nodes_unreachable_pct.mean(),
+                   b.nodes_unreachable_pct.mean());
+  EXPECT_EQ(a.trials, 10u);
+}
+
+TEST_F(SimTest, AggregateDiffersAcrossSeeds) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel m(0.3);
+  const AggregateResult a = sim.run_trials(m, 10, 7);
+  const AggregateResult b = sim.run_trials(m, 10, 8);
+  EXPECT_NE(a.cables_failed_pct.mean(), b.cables_failed_pct.mean());
+}
+
+TEST_F(SimTest, FractionRuleRequiresMoreFailures) {
+  TrialConfig any_cfg;
+  TrialConfig frac_cfg;
+  frac_cfg.rule = CableDeathRule::kFractionFails;
+  frac_cfg.death_fraction = 0.5;
+  const FailureSimulator any_sim(net_, any_cfg);
+  const FailureSimulator frac_sim(net_, frac_cfg);
+  const gic::UniformFailureModel m(0.1);
+  const AggregateResult any_r = any_sim.run_trials(m, 200, 3);
+  const AggregateResult frac_r = frac_sim.run_trials(m, 200, 3);
+  // Needing half the repeaters to fail is strictly harder than needing one.
+  EXPECT_LT(frac_r.cables_failed_pct.mean(), any_r.cables_failed_pct.mean());
+}
+
+TEST_F(SimTest, FractionRuleOneMeansAllRepeaters) {
+  TrialConfig cfg;
+  cfg.rule = CableDeathRule::kFractionFails;
+  cfg.death_fraction = 1.0;
+  const FailureSimulator sim(net_, cfg);
+  const gic::UniformFailureModel certain(1.0);
+  util::Rng rng(1);
+  const auto dead = sim.sample_cable_failures(certain, rng);
+  EXPECT_TRUE(dead[high_]);  // all repeaters fail at p=1
+}
+
+TEST_F(SimTest, ConfigValidation) {
+  TrialConfig bad;
+  bad.repeater_spacing_km = 0.0;
+  EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
+  bad = TrialConfig{};
+  bad.death_fraction = 0.0;
+  EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
+  bad.death_fraction = 1.5;
+  EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
+}
+
+TEST_F(SimTest, EmptyNetworkSafe) {
+  const topo::InfrastructureNetwork empty("empty");
+  const FailureSimulator sim(empty, {});
+  const gic::UniformFailureModel m(0.5);
+  const AggregateResult r = sim.run_trials(m, 5, 1);
+  EXPECT_DOUBLE_EQ(r.cables_failed_pct.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace solarnet::sim

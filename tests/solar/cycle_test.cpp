@@ -1,0 +1,146 @@
+#include "solar/cycle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace solarnet::solar {
+namespace {
+
+TEST(SolarCycleModel, PhaseWrapsEleven) {
+  const SolarCycleModel m;
+  EXPECT_NEAR(m.cycle_phase(2019.96), 0.0, 1e-9);
+  EXPECT_NEAR(m.cycle_phase(2019.96 + 11.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.cycle_phase(2019.96 + 5.5), 0.5, 1e-9);
+  EXPECT_NEAR(m.cycle_phase(2019.96 - 11.0), 0.0, 1e-9);
+}
+
+TEST(SolarCycleModel, SunspotsZeroAtMinimum) {
+  const SolarCycleModel m;
+  EXPECT_NEAR(m.sunspot_number(2019.96), 0.0, 1e-6);
+  EXPECT_GT(m.sunspot_number(2019.96 + 5.0), 50.0);  // near cycle max
+}
+
+TEST(SolarCycleModel, GleissbergModulatesPeaks) {
+  const SolarCycleModel m;
+  // Reference epoch is a Gleissberg minimum; 44 years later is a maximum.
+  EXPECT_NEAR(m.gleissberg_factor(2019.96), 0.0, 1e-9);
+  EXPECT_NEAR(m.gleissberg_factor(2019.96 + 44.0), 1.0, 1e-9);
+  // Peak sunspot number roughly doubles between the extremes (the paper's
+  // "factor of 4" applies to extreme-event frequency, which goes superlinear
+  // with SSN; our rate model is linear in SSN, so the peak ratio is ~2).
+  const double weak_peak = m.sunspot_number(2019.96 + 5.5);
+  const double strong_peak = m.sunspot_number(2019.96 + 44.0 + 5.5);
+  EXPECT_GT(strong_peak, 1.5 * weak_peak);
+}
+
+TEST(SolarCycleModel, CycleTwentyFourWasWeak) {
+  // §2.3: cycle 24 (2008-2019) peaked at 116; strong cycles reach 210-260.
+  const SolarCycleModel m;
+  double max_ssn = 0.0;
+  for (double year = 2008.0; year < 2020.0; year += 0.1) {
+    max_ssn = std::max(max_ssn, m.sunspot_number(year));
+  }
+  EXPECT_NEAR(max_ssn, 116.0, 25.0);
+}
+
+TEST(SolarCycleModel, RelativeRateAveragesToOne) {
+  const SolarCycleModel m;
+  double sum = 0.0;
+  int n = 0;
+  // Average over a full Gleissberg cycle.
+  for (double year = 2020.0; year < 2020.0 + 88.0; year += 0.05) {
+    sum += m.relative_event_rate(year);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(SolarCycleModel, RejectsBadParams) {
+  CycleModelParams bad;
+  bad.schwabe_period_years = 0.0;
+  EXPECT_THROW(SolarCycleModel{bad}, std::invalid_argument);
+  bad = CycleModelParams{};
+  bad.peak_ssn_gleissberg_max = 50.0;  // below min
+  EXPECT_THROW(SolarCycleModel{bad}, std::invalid_argument);
+}
+
+TEST(ExtremeEventRisk, BernoulliDecadeMatchesPaperFootnote) {
+  // "probability of occurrence per decade of a once-in-a-100-years event
+  // is 9%, assuming a Bernoulli distribution".
+  EXPECT_NEAR(ExtremeEventRisk::bernoulli_decade_probability(100.0), 0.096,
+              0.002);
+  EXPECT_THROW(ExtremeEventRisk::bernoulli_decade_probability(0.0),
+               std::invalid_argument);
+}
+
+TEST(ExtremeEventRisk, DirectImpactRateMatchesPaperRange) {
+  // 2.6 - 5.2 direct impacts per century -> ~23-41% per decade
+  // (homogeneous). Our default 3.9 sits in the middle.
+  const ExtremeEventRisk risk{SolarCycleModel{}};
+  const double p = risk.probability_of_event(2020.0, 10.0, false);
+  EXPECT_GT(p, 0.23);
+  EXPECT_LT(p, 0.41);
+}
+
+TEST(ExtremeEventRisk, CarringtonDecadeProbabilityInPaperRange) {
+  // The paper cites 1.6% - 12% per decade for a Carrington-scale event.
+  for (double events_per_century : {2.6, 3.9, 5.2}) {
+    ExtremeEventRiskParams params;
+    params.events_per_century = events_per_century;
+    const ExtremeEventRisk risk{SolarCycleModel{}, params};
+    const double p = risk.probability_of_carrington(2020.0, 10.0, false);
+    EXPECT_GT(p, 0.016) << events_per_century;
+    EXPECT_LT(p, 0.14) << events_per_century;
+  }
+}
+
+TEST(ExtremeEventRisk, ModulationShiftsRiskTowardActiveDecades) {
+  const ExtremeEventRisk risk{SolarCycleModel{}};
+  // A decade straddling the coming Gleissberg maximum (2050s-2060s)
+  // carries more risk than the minimum decade (2020s started at minimum).
+  const double quiet = risk.probability_of_event(2019.96, 2.0, true);
+  const double active = risk.probability_of_event(2060.0, 2.0, true);
+  EXPECT_GT(active, quiet);
+}
+
+TEST(ExtremeEventRisk, ProbabilityMonotoneInHorizon) {
+  const ExtremeEventRisk risk{SolarCycleModel{}};
+  double prev = 0.0;
+  for (double years : {1.0, 5.0, 10.0, 30.0, 100.0}) {
+    const double p = risk.probability_of_event(2025.0, years, true);
+    EXPECT_GT(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(risk.probability_of_event(2025.0, 0.0), 0.0);
+}
+
+TEST(ExtremeEventRisk, SampledEventsMatchRate) {
+  const ExtremeEventRisk risk{SolarCycleModel{}};
+  util::Rng rng(99);
+  double total_events = 0.0;
+  constexpr int kRuns = 200;
+  for (int i = 0; i < kRuns; ++i) {
+    total_events +=
+        static_cast<double>(risk.sample_event_years(2020.0, 100.0, rng).size());
+  }
+  // Long-run: ~3.9 events per century.
+  EXPECT_NEAR(total_events / kRuns, 3.9, 0.5);
+}
+
+TEST(ExtremeEventRisk, SampledEventsInWindowAndSorted) {
+  const ExtremeEventRisk risk{SolarCycleModel{}};
+  util::Rng rng(7);
+  const auto events = risk.sample_event_years(2030.0, 50.0, rng);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i], 2030.0);
+    EXPECT_LT(events[i], 2080.0);
+    if (i > 0) {
+      EXPECT_GE(events[i], events[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::solar

@@ -1,0 +1,66 @@
+#include "cli_args.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::cli {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "solarnet");
+  return Args::parse(static_cast<int>(argv.size()),
+                     const_cast<char**>(argv.data()));
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args a = parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.keys().empty());
+}
+
+TEST(Args, CommandOnly) {
+  const Args a = parse({"risk"});
+  EXPECT_EQ(a.command(), "risk");
+  EXPECT_FALSE(a.has("start"));
+}
+
+TEST(Args, KeyValuePairs) {
+  const Args a = parse({"scenario", "--storm", "1989", "--trials", "5"});
+  EXPECT_EQ(a.command(), "scenario");
+  EXPECT_EQ(a.get_or("storm", "x"), "1989");
+  EXPECT_EQ(a.get_int_or("trials", 0), 5);
+}
+
+TEST(Args, BareSwitches) {
+  const Args a = parse({"model", "--s2", "--spacing", "100"});
+  EXPECT_TRUE(a.has("s2"));
+  EXPECT_EQ(a.get("s2").value(), "");
+  EXPECT_DOUBLE_EQ(a.get_double_or("spacing", 0.0), 100.0);
+}
+
+TEST(Args, SwitchFollowedBySwitch) {
+  const Args a = parse({"model", "--s1", "--s2"});
+  EXPECT_TRUE(a.has("s1"));
+  EXPECT_TRUE(a.has("s2"));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args a = parse({"risk"});
+  EXPECT_EQ(a.get_or("start", "2026"), "2026");
+  EXPECT_DOUBLE_EQ(a.get_double_or("years", 10.0), 10.0);
+  EXPECT_EQ(a.get_int_or("trials", 10), 10);
+  EXPECT_FALSE(a.get("missing").has_value());
+}
+
+TEST(Args, MalformedNumberThrows) {
+  const Args a = parse({"risk", "--start", "soon"});
+  EXPECT_THROW(a.get_double_or("start", 0.0), std::invalid_argument);
+}
+
+TEST(Args, KeysListsEverything) {
+  const Args a = parse({"plan", "--from", "Miami", "--to", "Dakar"});
+  const auto keys = a.keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace solarnet::cli

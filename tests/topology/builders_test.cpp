@@ -1,0 +1,85 @@
+#include "topology/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::topo {
+namespace {
+
+TEST(NetworkBuilder, NodeGetOrCreate) {
+  NetworkBuilder b("t");
+  const NodeId first = b.node("X", {1.0, 2.0}, NodeKind::kCity, "US");
+  const NodeId again = b.node("X", {9.0, 9.0});  // different coords ignored
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(b.network().node_count(), 1u);
+  EXPECT_DOUBLE_EQ(b.network().node(first).location.lat_deg, 1.0);
+  EXPECT_EQ(b.network().node(first).country_code, "US");
+}
+
+TEST(NetworkBuilder, SimpleCable) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  const NodeId y = b.node("Y", {0.0, 5.0});
+  const CableId c = b.cable("XY", x, y, CableKind::kSubmarine, 700.0);
+  EXPECT_EQ(b.network().cable(c).segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.network().cable(c).total_length_km(), 700.0);
+  EXPECT_EQ(b.network().cable(c).kind, CableKind::kSubmarine);
+}
+
+TEST(NetworkBuilder, TrunkCable) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  const NodeId y = b.node("Y", {0.0, 5.0});
+  const NodeId z = b.node("Z", {0.0, 10.0});
+  const CableId c = b.trunk_cable("XYZ", {x, y, z}, CableKind::kSubmarine,
+                                  {500.0, 600.0});
+  EXPECT_EQ(b.network().cable(c).segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.network().cable(c).total_length_km(), 1100.0);
+}
+
+TEST(NetworkBuilder, TrunkComputesLengthsWhenOmitted) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  const NodeId y = b.node("Y", {0.0, 5.0});
+  const CableId c = b.trunk_cable("XY", {x, y}, CableKind::kLandLongHaul);
+  EXPECT_GT(b.network().cable(c).total_length_km(), 500.0);
+}
+
+TEST(NetworkBuilder, TrunkValidation) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  EXPECT_THROW(b.trunk_cable("bad", {x}, CableKind::kSubmarine),
+               std::invalid_argument);
+  const NodeId y = b.node("Y", {0.0, 5.0});
+  EXPECT_THROW(b.trunk_cable("bad", {x, y}, CableKind::kSubmarine, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, BranchedCable) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  const NodeId y = b.node("Y", {0.0, 5.0});
+  const NodeId br = b.node("Branch", {2.0, 2.5});
+  const CableId c = b.branched_cable("sys", {x, y}, {{y, br, 300.0}},
+                                     CableKind::kSubmarine);
+  EXPECT_EQ(b.network().cable(c).segments.size(), 2u);
+  const auto eps = b.network().cable(c).endpoints();
+  EXPECT_EQ(eps.size(), 3u);
+}
+
+TEST(NetworkBuilder, BranchedValidation) {
+  NetworkBuilder b("t");
+  const NodeId x = b.node("X", {0.0, 0.0});
+  EXPECT_THROW(b.branched_cable("bad", {x}, {}, CableKind::kSubmarine),
+               std::invalid_argument);
+}
+
+TEST(NetworkBuilder, TakeMovesNetworkOut) {
+  NetworkBuilder b("moved");
+  b.node("X", {0.0, 0.0});
+  InfrastructureNetwork net = b.take();
+  EXPECT_EQ(net.name(), "moved");
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace solarnet::topo

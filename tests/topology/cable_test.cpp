@@ -1,0 +1,52 @@
+#include "topology/cable.h"
+
+#include <gtest/gtest.h>
+
+namespace solarnet::topo {
+namespace {
+
+TEST(Cable, TotalLengthSumsSegments) {
+  Cable c;
+  c.segments = {{0, 1, 100.0}, {1, 2, 250.5}};
+  EXPECT_DOUBLE_EQ(c.total_length_km(), 350.5);
+}
+
+TEST(Cable, EmptyCableHasZeroLength) {
+  EXPECT_DOUBLE_EQ(Cable{}.total_length_km(), 0.0);
+}
+
+TEST(Cable, EndpointsDeduplicatedInOrder) {
+  Cable c;
+  c.segments = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  const auto eps = c.endpoints();
+  EXPECT_EQ(eps, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Cable, BranchEndpointsIncluded) {
+  Cable c;
+  c.segments = {{0, 1, 1.0}, {1, 5, 1.0}};  // branch to 5
+  const auto eps = c.endpoints();
+  EXPECT_EQ(eps, (std::vector<NodeId>{0, 1, 5}));
+}
+
+TEST(NodeKind, ToStringDistinct) {
+  EXPECT_EQ(to_string(NodeKind::kLandingPoint), "landing-point");
+  EXPECT_EQ(to_string(NodeKind::kCity), "city");
+  EXPECT_EQ(to_string(NodeKind::kRouter), "router");
+  EXPECT_EQ(to_string(NodeKind::kIxp), "ixp");
+  EXPECT_EQ(to_string(NodeKind::kDnsRoot), "dns-root");
+  EXPECT_EQ(to_string(NodeKind::kDataCenter), "data-center");
+}
+
+TEST(CableKind, ToStringDistinct) {
+  EXPECT_EQ(to_string(CableKind::kSubmarine), "submarine");
+  EXPECT_EQ(to_string(CableKind::kLandLongHaul), "land-long-haul");
+  EXPECT_EQ(to_string(CableKind::kLandRegional), "land-regional");
+}
+
+TEST(Cable, DefaultLengthKnown) {
+  EXPECT_TRUE(Cable{}.length_known);
+}
+
+}  // namespace
+}  // namespace solarnet::topo

@@ -1,0 +1,175 @@
+#include "topology/network.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+
+namespace solarnet::topo {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  // Four landing points; three cables:
+  //   C0: A-B, C1: B-C (two segments via D? no — single), C2: A-C
+  // D is cable-less.
+  void SetUp() override {
+    a_ = net_.add_node({"A", {0.0, 0.0}, "US", NodeKind::kLandingPoint, true});
+    b_ = net_.add_node({"B", {10.0, 0.0}, "US", NodeKind::kLandingPoint, true});
+    c_ = net_.add_node({"C", {50.0, 0.0}, "GB", NodeKind::kLandingPoint, true});
+    d_ = net_.add_node({"D", {-5.0, 5.0}, "BR", NodeKind::kCity, true});
+    Cable c0;
+    c0.name = "C0";
+    c0.segments = {{a_, b_, 1200.0}};
+    c0_ = net_.add_cable(std::move(c0));
+    Cable c1;
+    c1.name = "C1";
+    c1.segments = {{b_, c_, 4500.0}};
+    c1_ = net_.add_cable(std::move(c1));
+    Cable c2;
+    c2.name = "C2";
+    c2.segments = {{a_, c_, 5700.0}};
+    c2_ = net_.add_cable(std::move(c2));
+  }
+
+  InfrastructureNetwork net_{"test"};
+  NodeId a_{}, b_{}, c_{}, d_{};
+  CableId c0_{}, c1_{}, c2_{};
+};
+
+TEST_F(NetworkTest, CountsAndLookup) {
+  EXPECT_EQ(net_.node_count(), 4u);
+  EXPECT_EQ(net_.cable_count(), 3u);
+  EXPECT_EQ(net_.find_node("B").value(), b_);
+  EXPECT_FALSE(net_.find_node("nope").has_value());
+  EXPECT_EQ(net_.node(a_).name, "A");
+  EXPECT_EQ(net_.cable(c1_).name, "C1");
+}
+
+TEST_F(NetworkTest, DuplicateNodeNameRejected) {
+  EXPECT_THROW(
+      net_.add_node({"A", {1.0, 1.0}, "", NodeKind::kCity, true}),
+      std::invalid_argument);
+}
+
+TEST_F(NetworkTest, EmptyNodeNameRejected) {
+  EXPECT_THROW(net_.add_node({"", {1.0, 1.0}, "", NodeKind::kCity, true}),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, InvalidCoordinateRejected) {
+  EXPECT_THROW(net_.add_node({"X", {95.0, 0.0}, "", NodeKind::kCity, true}),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, CableValidation) {
+  EXPECT_THROW(net_.add_cable(Cable{}), std::invalid_argument);  // no segments
+  Cable bad;
+  bad.name = "bad";
+  bad.segments = {{a_, 99, 1.0}};
+  EXPECT_THROW(net_.add_cable(std::move(bad)), std::out_of_range);
+  Cable neg;
+  neg.name = "neg";
+  neg.segments = {{a_, b_, -5.0}};
+  EXPECT_THROW(net_.add_cable(std::move(neg)), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, ZeroLengthSegmentsGetGreatCircle) {
+  Cable c;
+  c.name = "auto-length";
+  c.segments = {{a_, b_, 0.0}};
+  const CableId id = net_.add_cable(std::move(c));
+  const double expected =
+      geo::haversine_km(net_.node(a_).location, net_.node(b_).location);
+  EXPECT_NEAR(net_.cable(id).segments[0].length_km, expected, 1e-9);
+}
+
+TEST_F(NetworkTest, CablesAtNode) {
+  EXPECT_EQ(net_.cables_at(a_).size(), 2u);
+  EXPECT_EQ(net_.cables_at(b_).size(), 2u);
+  EXPECT_TRUE(net_.cables_at(d_).empty());
+  EXPECT_TRUE(net_.has_cables(a_));
+  EXPECT_FALSE(net_.has_cables(d_));
+}
+
+TEST_F(NetworkTest, GraphViewMatchesTopology) {
+  EXPECT_EQ(net_.graph().vertex_count(), 4u);
+  EXPECT_EQ(net_.graph().edge_count(), 3u);
+  EXPECT_EQ(net_.cable_of_edge(0), c0_);
+  EXPECT_EQ(net_.edges_of_cable(c1_).size(), 1u);
+  EXPECT_THROW(net_.cable_of_edge(99), std::out_of_range);
+}
+
+TEST_F(NetworkTest, MaskForFailuresKillsSegments) {
+  std::vector<bool> dead(3, false);
+  dead[c0_] = true;
+  const auto mask = net_.mask_for_failures(dead);
+  EXPECT_FALSE(mask.edge_alive[net_.edges_of_cable(c0_)[0]]);
+  EXPECT_TRUE(mask.edge_alive[net_.edges_of_cable(c1_)[0]]);
+  EXPECT_THROW(net_.mask_for_failures({true}), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, UnreachableNodesPaperDefinition) {
+  // Kill C0 and C2: A loses both its cables; B and C still have C1.
+  std::vector<bool> dead = {true, false, true};
+  const auto unreachable = net_.unreachable_nodes(dead);
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0], a_);
+}
+
+TEST_F(NetworkTest, NodeWithoutCablesNeverUnreachable) {
+  std::vector<bool> all_dead = {true, true, true};
+  const auto unreachable = net_.unreachable_nodes(all_dead);
+  EXPECT_EQ(unreachable.size(), 3u);  // A, B, C — never the cable-less D
+}
+
+TEST_F(NetworkTest, ConnectedNodeCount) {
+  EXPECT_EQ(net_.connected_node_count(), 3u);
+}
+
+TEST_F(NetworkTest, NodeLatitudesRespectAuthoritativeFlag) {
+  EXPECT_EQ(net_.node_latitudes().size(), 4u);
+  net_.add_node({"E", {20.0, 20.0}, "", NodeKind::kCity, false});
+  EXPECT_EQ(net_.node_latitudes().size(), 4u);  // E excluded
+}
+
+TEST_F(NetworkTest, CableLengthsRespectLengthKnown) {
+  EXPECT_EQ(net_.cable_lengths().size(), 3u);
+  net_.set_cable_length_known(c0_, false);
+  EXPECT_EQ(net_.cable_lengths().size(), 2u);
+  EXPECT_THROW(net_.set_cable_length_known(99, true), std::out_of_range);
+}
+
+TEST_F(NetworkTest, CableMaxAbsLatitude) {
+  EXPECT_DOUBLE_EQ(net_.cable_max_abs_latitude(c0_), 10.0);
+  EXPECT_DOUBLE_EQ(net_.cable_max_abs_latitude(c1_), 50.0);
+  EXPECT_DOUBLE_EQ(net_.cable_max_abs_latitude(c2_), 50.0);
+}
+
+TEST_F(NetworkTest, SouthernLatitudesCountAbsolutely) {
+  const NodeId s = net_.add_node(
+      {"S", {-55.0, 0.0}, "CL", NodeKind::kLandingPoint, true});
+  Cable c;
+  c.name = "south";
+  c.segments = {{a_, s, 6000.0}};
+  const CableId id = net_.add_cable(std::move(c));
+  EXPECT_DOUBLE_EQ(net_.cable_max_abs_latitude(id), 55.0);
+}
+
+TEST_F(NetworkTest, MultiSegmentCableSharesFate) {
+  const NodeId e = net_.add_node(
+      {"E2", {30.0, 10.0}, "", NodeKind::kLandingPoint, true});
+  Cable c;
+  c.name = "multi";
+  c.segments = {{a_, e, 3000.0}, {e, c_, 2500.0}};
+  const CableId id = net_.add_cable(std::move(c));
+  EXPECT_EQ(net_.edges_of_cable(id).size(), 2u);
+  std::vector<bool> dead(net_.cable_count(), false);
+  dead[id] = true;
+  const auto mask = net_.mask_for_failures(dead);
+  for (auto edge : net_.edges_of_cable(id)) {
+    EXPECT_FALSE(mask.edge_alive[edge]);
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::topo

@@ -1,0 +1,248 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace solarnet::util {
+namespace {
+
+TEST(SplitMix64, ProducesKnownSequenceShape) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), b.next()) << "same seed must give same stream";
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, UniformRangeThrowsOnInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Rng, UniformBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUnbiased) {
+  Rng rng(77);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 90000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_below(3)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), std::invalid_argument);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/100!
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(1);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, PickReturnsElements) {
+  Rng rng(47);
+  const std::vector<int> v = {10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng parent(55);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+  // Splitting again from an identical parent replays the same child.
+  Rng parent2(55);
+  Rng c0_again = parent2.split(0);
+  Rng c0_ref = Rng(55).split(0);
+  EXPECT_EQ(c0_again.next_u64(), c0_ref.next_u64());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace solarnet::util

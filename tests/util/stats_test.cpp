@@ -1,0 +1,216 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace solarnet::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);      // population
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.9), 9.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, UnsortedVariantSorts) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_unsorted(v, 0.5), 3.0);
+}
+
+TEST(MeanMedian, Basics) {
+  const std::vector<double> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(median(v), 2.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(9.9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  const auto density = h.density();
+  // Density integrates to 1: sum(density * width) == 1.
+  double integral = 0.0;
+  for (double d : density) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  const auto norm = h.normalized();
+  EXPECT_DOUBLE_EQ(norm[0], 0.75);
+  EXPECT_DOUBLE_EQ(norm[1], 0.25);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsNonFinite) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(h.add(0.5, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-10.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), -2.5);
+  EXPECT_THROW(h.bin_lo(4), std::out_of_range);
+}
+
+TEST(EmpiricalCdf, StepsAndDuplicates) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cum_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cum_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].cum_fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(CdfAt, Evaluation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto cdf = empirical_cdf(v);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at({}, 1.0), 0.0);
+}
+
+TEST(Fractions, AboveAndAtLeast) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_least(v, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 0.0), 0.0);
+}
+
+// Property-style sweep: quantile is monotone in q for arbitrary data.
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  std::vector<double> v;
+  int seed = GetParam();
+  for (int i = 0; i < 50; ++i) {
+    seed = seed * 1103515245 + 12345;
+    v.push_back(static_cast<double>(seed % 1000));
+  }
+  std::sort(v.begin(), v.end());
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace solarnet::util

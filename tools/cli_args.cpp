@@ -1,0 +1,62 @@
+#include "cli_args.h"
+
+#include "util/strings.h"
+
+namespace solarnet::cli {
+
+Args Args::parse(int argc, char** argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    ++i;
+    if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+      args.values_[key] = argv[i];
+      ++i;
+    } else {
+      args.values_[key] = "";
+    }
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key, std::string fallback) const {
+  const auto v = get(key);
+  return v && !v->empty() ? *v : fallback;
+}
+
+double Args::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return util::parse_double(*v);
+}
+
+long long Args::get_int_or(const std::string& key, long long fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return util::parse_int(*v);
+}
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace solarnet::cli

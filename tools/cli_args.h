@@ -1,0 +1,34 @@
+// Minimal flag parser for the solarnet CLI: --key value and --flag
+// switches after a positional subcommand.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace solarnet::cli {
+
+class Args {
+ public:
+  // argv[1] is the subcommand; the rest are --key [value] pairs. A --key
+  // followed by another --key (or end of argv) is a boolean switch.
+  static Args parse(int argc, char** argv);
+
+  const std::string& command() const noexcept { return command_; }
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  long long get_int_or(const std::string& key, long long fallback) const;
+
+  // Keys consumed by none of the accessors above — for unknown-flag
+  // warnings.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;  // "" for bare switches
+};
+
+}  // namespace solarnet::cli

@@ -1,0 +1,290 @@
+// The solarnet command-line tool: the library's analyses as subcommands.
+//
+//   solarnet risk      [--start 2026 --years 10]
+//   solarnet scenario  [--storm carrington|1921|1989|moderate]
+//                      [--spacing 150 --trials 10]
+//   solarnet model     [--s1 | --s2 | --uniform P] [--spacing 150]
+//   solarnet countries [--model s1|s2] [--spacing 150]
+//   solarnet plan      [--from NODE --to NODE]
+//   solarnet repair    [--ships 60] [--model s1|s2]
+//   solarnet export    [--dir DIR]
+//   solarnet help
+#include <filesystem>
+#include <iostream>
+#include <memory>
+
+#include "analysis/country.h"
+#include "cli_args.h"
+#include "core/mitigation.h"
+#include "core/planner.h"
+#include "core/scenario.h"
+#include "core/world.h"
+#include "datasets/loaders.h"
+#include "datasets/submarine.h"
+#include "gic/timeline.h"
+#include "recovery/repair.h"
+#include "solar/cycle.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace solarnet::cli {
+namespace {
+
+int usage() {
+  std::cout <<
+      R"(solarnet — geomagnetic Internet-resilience analysis
+
+usage: solarnet <command> [flags]
+
+commands:
+  risk       extreme-event probabilities (§2)
+               --start YEAR (2026)  --years N (10)
+  scenario   full resilience report for a physical storm
+               --storm carrington|1921|1989|moderate (carrington)
+               --spacing KM (150)  --trials N (10)
+  model      resilience report for a probabilistic model
+               --s1 | --s2 | --uniform P (s1)  --spacing KM  --trials N
+  countries  country connectivity table under S1/S2
+               --spacing KM (150)
+  plan       rank candidate cables for US<->Europe resilience (§5.1)
+               --from NODE --to NODE   (adds a custom candidate)
+  repair     post-storm repair campaign (§3.2.2)
+               --ships N (60)  --model s1|s2 (s1)  --seed N
+  mitigate   evaluate a defense package (§5)
+               --cables N (2)  --lead-hours H (13)
+  timeline   time-resolved expected damage during the storm
+               --model s1|s2 (s1)  --step H (6)
+  export     dump generated datasets to CSV
+               --dir DIR (solarnet_export)
+  help       this message
+)";
+  return 0;
+}
+
+gic::StormScenario storm_by_name(const std::string& name) {
+  if (name == "carrington") return gic::carrington_1859();
+  if (name == "1921") return gic::ny_railroad_1921();
+  if (name == "1989") return gic::quebec_1989();
+  if (name == "moderate") return gic::moderate_storm();
+  throw std::invalid_argument("unknown storm '" + name +
+                              "' (carrington|1921|1989|moderate)");
+}
+
+std::unique_ptr<gic::RepeaterFailureModel> model_from_args(const Args& args) {
+  if (args.has("uniform")) {
+    return gic::make_uniform(args.get_double_or("uniform", 0.01));
+  }
+  if (args.has("s2")) return gic::make_s2();
+  return gic::make_s1();
+}
+
+int cmd_risk(const Args& args) {
+  const double start = args.get_double_or("start", 2026.0);
+  const double years = args.get_double_or("years", 10.0);
+  const solar::SolarCycleModel cycle;
+  const solar::ExtremeEventRisk risk{cycle};
+  util::TextTable t({"window", "P(direct impact)", "P(Carrington-scale)"});
+  t.add_row({util::format_fixed(start, 0) + " +" +
+                 util::format_fixed(years, 0) + "y",
+             util::format_fixed(
+                 100.0 * risk.probability_of_event(start, years), 1) +
+                 "%",
+             util::format_fixed(
+                 100.0 * risk.probability_of_carrington(start, years), 1) +
+                 "%"});
+  t.print(std::cout);
+  std::cout << "(paper: 1.6-12% per decade for a Carrington-scale event)\n";
+  return 0;
+}
+
+core::ScenarioOptions options_from_args(const Args& args) {
+  core::ScenarioOptions opts;
+  opts.repeater_spacing_km = args.get_double_or("spacing", 150.0);
+  opts.trials = static_cast<std::size_t>(args.get_int_or("trials", 10));
+  return opts;
+}
+
+int cmd_scenario(const Args& args) {
+  const auto storm = storm_by_name(args.get_or("storm", "carrington"));
+  const core::World world = core::World::generate();
+  const core::ScenarioRunner runner(world);
+  std::cout << runner.run_storm(storm, options_from_args(args)).render();
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  const auto model = model_from_args(args);
+  const core::World world = core::World::generate();
+  const core::ScenarioRunner runner(world);
+  std::cout << runner.run(*model, options_from_args(args)).render();
+  return 0;
+}
+
+int cmd_countries(const Args& args) {
+  const auto net = datasets::make_submarine_network({});
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = args.get_double_or("spacing", 150.0);
+  const sim::FailureSimulator simulator(net, cfg);
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const auto s2 = gic::LatitudeBandFailureModel::s2();
+  util::TextTable t({"country", "intl cables", "P(cutoff) S1",
+                     "P(cutoff) S2", "E[survivors] S1"});
+  for (const char* cc : {"US", "CA", "GB", "FR", "PT", "ES", "NO", "CN",
+                         "IN", "SG", "JP", "ZA", "AU", "NZ", "BR"}) {
+    const auto r1 = analysis::country_connectivity(net, simulator, s1, cc);
+    const auto r2 = analysis::country_connectivity(net, simulator, s2, cc);
+    t.add_row({cc, std::to_string(r1.international_cable_count),
+               util::format_fixed(r1.all_fail_probability, 3),
+               util::format_fixed(r2.all_fail_probability, 3),
+               util::format_fixed(r1.expected_surviving_cables, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto net = datasets::make_submarine_network({});
+  const core::TopologyPlanner planner(net, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  auto candidates = core::TopologyPlanner::default_low_latitude_candidates();
+  if (args.has("from") && args.has("to")) {
+    candidates.push_back({args.get_or("from", ""), args.get_or("to", ""),
+                          0.0});
+  }
+  const std::vector<std::string> europe = {"GB", "IE", "FR", "NL", "BE",
+                                           "DE", "DK", "NO", "PT", "ES"};
+  const auto ranked = planner.rank(candidates, s1, {"US"}, europe);
+  util::TextTable t({"candidate", "length km", "P(dies) S1",
+                     "risk reduction"});
+  for (const auto& e : ranked) {
+    t.add_row({e.candidate.from_node + " - " + e.candidate.to_node,
+               util::format_fixed(e.length_km, 0),
+               util::format_fixed(e.death_probability, 3),
+               util::format_fixed(e.risk_reduction(), 4)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_repair(const Args& args) {
+  const auto net = datasets::make_submarine_network({});
+  const sim::FailureSimulator simulator(net, {});
+  const auto model = args.get_or("model", "s1") == "s2"
+                         ? gic::LatitudeBandFailureModel::s2()
+                         : gic::LatitudeBandFailureModel::s1();
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int_or("seed", 1859)));
+  const auto dead = simulator.sample_cable_failures(model, rng);
+  const auto faults =
+      recovery::sample_fault_counts(simulator, model, dead, rng);
+  recovery::RepairFleetParams fleet;
+  fleet.cable_ships =
+      static_cast<std::size_t>(args.get_int_or("ships", 60));
+  const auto timeline = recovery::schedule_repairs(net, dead, faults, fleet);
+  std::size_t failed = 0;
+  for (bool d : dead) failed += d ? 1 : 0;
+  std::cout << "failed cables: " << failed << " (model " << model.name()
+            << ", " << fleet.cable_ships << " ships)\n";
+  util::TextTable t({"restored fraction", "day"});
+  for (double frac : {0.25, 0.5, 0.75, 0.9, 1.0}) {
+    t.add_row({util::format_fixed(100.0 * frac, 0) + "%",
+               util::format_fixed(timeline.days_to_restore_fraction(frac),
+                                  0)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_mitigate(const Args& args) {
+  const auto net = datasets::make_submarine_network({});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  core::MitigationPlan plan;
+  plan.candidate_cables =
+      core::TopologyPlanner::default_low_latitude_candidates();
+  plan.cables_to_build =
+      static_cast<std::size_t>(args.get_int_or("cables", 2));
+  plan.shutdown.lead_time_hours = args.get_double_or("lead-hours", 13.0);
+  const auto r = core::evaluate_mitigation(net, s1, plan);
+  std::cout << "cables built:";
+  for (const std::string& name : r.cables_built) std::cout << " [" << name
+                                                           << "]";
+  std::cout << "\n";
+  util::TextTable t({"metric", "before", "after"});
+  t.add_row({"P(US<->Europe cutoff)",
+             util::format_fixed(r.corridor_cutoff_before, 3),
+             util::format_fixed(r.corridor_cutoff_after, 3)});
+  t.add_row({"E[failed cables]",
+             util::format_fixed(r.expected_failures_no_action, 1),
+             util::format_fixed(r.expected_failures_with_plan, 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  const auto net = datasets::make_submarine_network({});
+  const sim::FailureSimulator simulator(net, {});
+  const auto model = args.get_or("model", "s1") == "s2"
+                         ? gic::LatitudeBandFailureModel::s2()
+                         : gic::LatitudeBandFailureModel::s1();
+  const double step = args.get_double_or("step", 6.0);
+  const gic::StormPhaseProfile profile;
+  const auto series =
+      gic::failure_time_series(simulator, model, profile, step);
+  util::TextTable t({"hour", "E[cables failed]", "% of final"});
+  for (const auto& pt : series) {
+    t.add_row({util::format_fixed(pt.hours, 0),
+               util::format_fixed(pt.expected_cables_failed, 1),
+               util::format_fixed(100.0 * pt.fraction_of_final, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const std::string dir = args.get_or("dir", "solarnet_export");
+  core::WorldConfig cfg;
+  cfg.build_population = false;
+  const core::World world = core::World::generate(cfg);
+  std::filesystem::create_directories(dir);
+  datasets::write_network_csv(world.submarine(), dir + "/submarine_nodes.csv",
+                              dir + "/submarine_cables.csv");
+  datasets::write_network_csv(world.intertubes(),
+                              dir + "/intertubes_nodes.csv",
+                              dir + "/intertubes_cables.csv");
+  datasets::write_network_csv(world.itu(), dir + "/itu_nodes.csv",
+                              dir + "/itu_cables.csv");
+  datasets::write_router_csv(world.routers(), dir + "/routers.csv");
+  datasets::write_points_csv(world.ixps(), dir + "/ixps.csv");
+  datasets::write_dns_csv(world.dns_roots(), dir + "/dns_roots.csv");
+  std::cout << "wrote datasets to " << dir << "/\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  const std::string& cmd = args.command();
+  if (cmd.empty() || cmd == "help") return usage();
+  if (cmd == "risk") return cmd_risk(args);
+  if (cmd == "scenario") return cmd_scenario(args);
+  if (cmd == "model") return cmd_model(args);
+  if (cmd == "countries") return cmd_countries(args);
+  if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "repair") return cmd_repair(args);
+  if (cmd == "mitigate") return cmd_mitigate(args);
+  if (cmd == "timeline") return cmd_timeline(args);
+  if (cmd == "export") return cmd_export(args);
+  std::cerr << "unknown command '" << cmd << "'\n";
+  usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace solarnet::cli
+
+int main(int argc, char** argv) {
+  try {
+    return solarnet::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
