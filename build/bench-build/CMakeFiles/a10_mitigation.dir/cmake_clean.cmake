@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a10_mitigation"
+  "../bench/a10_mitigation.pdb"
+  "CMakeFiles/a10_mitigation.dir/a10_mitigation.cpp.o"
+  "CMakeFiles/a10_mitigation.dir/a10_mitigation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a10_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

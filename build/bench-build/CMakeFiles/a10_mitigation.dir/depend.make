@@ -1,0 +1,2 @@
+# Empty dependencies file for a10_mitigation.
+# This may be replaced when dependencies are built.

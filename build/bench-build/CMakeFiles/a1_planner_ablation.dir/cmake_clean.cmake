@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a1_planner_ablation"
+  "../bench/a1_planner_ablation.pdb"
+  "CMakeFiles/a1_planner_ablation.dir/a1_planner_ablation.cpp.o"
+  "CMakeFiles/a1_planner_ablation.dir/a1_planner_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_planner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

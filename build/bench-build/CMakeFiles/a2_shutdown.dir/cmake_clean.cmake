@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a2_shutdown"
+  "../bench/a2_shutdown.pdb"
+  "CMakeFiles/a2_shutdown.dir/a2_shutdown.cpp.o"
+  "CMakeFiles/a2_shutdown.dir/a2_shutdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a3_traffic_shift"
+  "../bench/a3_traffic_shift.pdb"
+  "CMakeFiles/a3_traffic_shift.dir/a3_traffic_shift.cpp.o"
+  "CMakeFiles/a3_traffic_shift.dir/a3_traffic_shift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_traffic_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

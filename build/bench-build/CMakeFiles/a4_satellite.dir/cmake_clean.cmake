@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a4_satellite"
+  "../bench/a4_satellite.pdb"
+  "CMakeFiles/a4_satellite.dir/a4_satellite.cpp.o"
+  "CMakeFiles/a4_satellite.dir/a4_satellite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a5_interdependence"
+  "../bench/a5_interdependence.pdb"
+  "CMakeFiles/a5_interdependence.dir/a5_interdependence.cpp.o"
+  "CMakeFiles/a5_interdependence.dir/a5_interdependence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_interdependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

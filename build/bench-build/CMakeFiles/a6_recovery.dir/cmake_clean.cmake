@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a6_recovery"
+  "../bench/a6_recovery.pdb"
+  "CMakeFiles/a6_recovery.dir/a6_recovery.cpp.o"
+  "CMakeFiles/a6_recovery.dir/a6_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

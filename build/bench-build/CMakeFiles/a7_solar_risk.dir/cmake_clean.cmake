@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a7_solar_risk"
+  "../bench/a7_solar_risk.pdb"
+  "CMakeFiles/a7_solar_risk.dir/a7_solar_risk.cpp.o"
+  "CMakeFiles/a7_solar_risk.dir/a7_solar_risk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_solar_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

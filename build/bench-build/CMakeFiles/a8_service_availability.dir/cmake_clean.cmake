@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a8_service_availability"
+  "../bench/a8_service_availability.pdb"
+  "CMakeFiles/a8_service_availability.dir/a8_service_availability.cpp.o"
+  "CMakeFiles/a8_service_availability.dir/a8_service_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a8_service_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

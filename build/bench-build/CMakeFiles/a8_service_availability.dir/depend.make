@@ -1,0 +1,2 @@
+# Empty dependencies file for a8_service_availability.
+# This may be replaced when dependencies are built.

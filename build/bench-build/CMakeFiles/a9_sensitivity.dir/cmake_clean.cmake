@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a9_sensitivity"
+  "../bench/a9_sensitivity.pdb"
+  "CMakeFiles/a9_sensitivity.dir/a9_sensitivity.cpp.o"
+  "CMakeFiles/a9_sensitivity.dir/a9_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a9_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

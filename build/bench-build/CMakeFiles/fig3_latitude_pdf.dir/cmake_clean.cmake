@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_latitude_pdf"
+  "../bench/fig3_latitude_pdf.pdb"
+  "CMakeFiles/fig3_latitude_pdf.dir/fig3_latitude_pdf.cpp.o"
+  "CMakeFiles/fig3_latitude_pdf.dir/fig3_latitude_pdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latitude_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

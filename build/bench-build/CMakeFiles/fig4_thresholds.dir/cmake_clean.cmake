@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_thresholds"
+  "../bench/fig4_thresholds.pdb"
+  "CMakeFiles/fig4_thresholds.dir/fig4_thresholds.cpp.o"
+  "CMakeFiles/fig4_thresholds.dir/fig4_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

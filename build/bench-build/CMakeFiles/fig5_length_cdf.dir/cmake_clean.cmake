@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_length_cdf"
+  "../bench/fig5_length_cdf.pdb"
+  "CMakeFiles/fig5_length_cdf.dir/fig5_length_cdf.cpp.o"
+  "CMakeFiles/fig5_length_cdf.dir/fig5_length_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_length_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_node_failures"
+  "../bench/fig7_node_failures.pdb"
+  "CMakeFiles/fig7_node_failures.dir/fig7_node_failures.cpp.o"
+  "CMakeFiles/fig7_node_failures.dir/fig7_node_failures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_node_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

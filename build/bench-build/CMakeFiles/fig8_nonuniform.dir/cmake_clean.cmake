@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_nonuniform"
+  "../bench/fig8_nonuniform.pdb"
+  "CMakeFiles/fig8_nonuniform.dir/fig8_nonuniform.cpp.o"
+  "CMakeFiles/fig8_nonuniform.dir/fig8_nonuniform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

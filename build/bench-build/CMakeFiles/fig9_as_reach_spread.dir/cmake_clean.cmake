@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_as_reach_spread"
+  "../bench/fig9_as_reach_spread.pdb"
+  "CMakeFiles/fig9_as_reach_spread.dir/fig9_as_reach_spread.cpp.o"
+  "CMakeFiles/fig9_as_reach_spread.dir/fig9_as_reach_spread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_as_reach_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

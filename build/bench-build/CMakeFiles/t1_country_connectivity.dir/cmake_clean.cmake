@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/t1_country_connectivity"
+  "../bench/t1_country_connectivity.pdb"
+  "CMakeFiles/t1_country_connectivity.dir/t1_country_connectivity.cpp.o"
+  "CMakeFiles/t1_country_connectivity.dir/t1_country_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1_country_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/t2_systems_resilience"
+  "../bench/t2_systems_resilience.pdb"
+  "CMakeFiles/t2_systems_resilience.dir/t2_systems_resilience.cpp.o"
+  "CMakeFiles/t2_systems_resilience.dir/t2_systems_resilience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2_systems_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

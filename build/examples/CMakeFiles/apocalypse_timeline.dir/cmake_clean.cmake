@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apocalypse_timeline.dir/apocalypse_timeline.cpp.o"
+  "CMakeFiles/apocalypse_timeline.dir/apocalypse_timeline.cpp.o.d"
+  "apocalypse_timeline"
+  "apocalypse_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apocalypse_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

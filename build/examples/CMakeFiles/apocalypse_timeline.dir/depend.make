@@ -1,0 +1,2 @@
+# Empty dependencies file for apocalypse_timeline.
+# This may be replaced when dependencies are built.

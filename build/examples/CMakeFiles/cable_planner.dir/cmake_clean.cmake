@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cable_planner.dir/cable_planner.cpp.o"
+  "CMakeFiles/cable_planner.dir/cable_planner.cpp.o.d"
+  "cable_planner"
+  "cable_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cable_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_drill.dir/storm_drill.cpp.o"
+  "CMakeFiles/storm_drill.dir/storm_drill.cpp.o.d"
+  "storm_drill"
+  "storm_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/as_analysis.cpp" "src/CMakeFiles/solarnet.dir/analysis/as_analysis.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/as_analysis.cpp.o.d"
+  "/root/repo/src/analysis/as_impact.cpp" "src/CMakeFiles/solarnet.dir/analysis/as_impact.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/as_impact.cpp.o.d"
+  "/root/repo/src/analysis/connectivity.cpp" "src/CMakeFiles/solarnet.dir/analysis/connectivity.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/connectivity.cpp.o.d"
+  "/root/repo/src/analysis/country.cpp" "src/CMakeFiles/solarnet.dir/analysis/country.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/country.cpp.o.d"
+  "/root/repo/src/analysis/distribution.cpp" "src/CMakeFiles/solarnet.dir/analysis/distribution.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/distribution.cpp.o.d"
+  "/root/repo/src/analysis/dns_resolution.cpp" "src/CMakeFiles/solarnet.dir/analysis/dns_resolution.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/dns_resolution.cpp.o.d"
+  "/root/repo/src/analysis/economics.cpp" "src/CMakeFiles/solarnet.dir/analysis/economics.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/economics.cpp.o.d"
+  "/root/repo/src/analysis/latency.cpp" "src/CMakeFiles/solarnet.dir/analysis/latency.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/latency.cpp.o.d"
+  "/root/repo/src/analysis/lengths.cpp" "src/CMakeFiles/solarnet.dir/analysis/lengths.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/lengths.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/solarnet.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/systems.cpp" "src/CMakeFiles/solarnet.dir/analysis/systems.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/analysis/systems.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/CMakeFiles/solarnet.dir/core/mitigation.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/mitigation.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/solarnet.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/solarnet.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/solarnet.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/shutdown.cpp" "src/CMakeFiles/solarnet.dir/core/shutdown.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/shutdown.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/CMakeFiles/solarnet.dir/core/world.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/core/world.cpp.o.d"
+  "/root/repo/src/datasets/cities.cpp" "src/CMakeFiles/solarnet.dir/datasets/cities.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/cities.cpp.o.d"
+  "/root/repo/src/datasets/datacenters.cpp" "src/CMakeFiles/solarnet.dir/datasets/datacenters.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/datacenters.cpp.o.d"
+  "/root/repo/src/datasets/infra_points.cpp" "src/CMakeFiles/solarnet.dir/datasets/infra_points.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/infra_points.cpp.o.d"
+  "/root/repo/src/datasets/land.cpp" "src/CMakeFiles/solarnet.dir/datasets/land.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/land.cpp.o.d"
+  "/root/repo/src/datasets/loaders.cpp" "src/CMakeFiles/solarnet.dir/datasets/loaders.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/loaders.cpp.o.d"
+  "/root/repo/src/datasets/population.cpp" "src/CMakeFiles/solarnet.dir/datasets/population.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/population.cpp.o.d"
+  "/root/repo/src/datasets/routers.cpp" "src/CMakeFiles/solarnet.dir/datasets/routers.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/routers.cpp.o.d"
+  "/root/repo/src/datasets/submarine.cpp" "src/CMakeFiles/solarnet.dir/datasets/submarine.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/datasets/submarine.cpp.o.d"
+  "/root/repo/src/geo/coords.cpp" "src/CMakeFiles/solarnet.dir/geo/coords.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/geo/coords.cpp.o.d"
+  "/root/repo/src/geo/distance.cpp" "src/CMakeFiles/solarnet.dir/geo/distance.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/geo/distance.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/CMakeFiles/solarnet.dir/geo/grid.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/geo/grid.cpp.o.d"
+  "/root/repo/src/geo/regions.cpp" "src/CMakeFiles/solarnet.dir/geo/regions.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/geo/regions.cpp.o.d"
+  "/root/repo/src/gic/efield.cpp" "src/CMakeFiles/solarnet.dir/gic/efield.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/gic/efield.cpp.o.d"
+  "/root/repo/src/gic/failure_model.cpp" "src/CMakeFiles/solarnet.dir/gic/failure_model.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/gic/failure_model.cpp.o.d"
+  "/root/repo/src/gic/induction.cpp" "src/CMakeFiles/solarnet.dir/gic/induction.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/gic/induction.cpp.o.d"
+  "/root/repo/src/gic/storm.cpp" "src/CMakeFiles/solarnet.dir/gic/storm.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/gic/storm.cpp.o.d"
+  "/root/repo/src/gic/timeline.cpp" "src/CMakeFiles/solarnet.dir/gic/timeline.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/gic/timeline.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/solarnet.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/cut.cpp" "src/CMakeFiles/solarnet.dir/graph/cut.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/graph/cut.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/solarnet.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/CMakeFiles/solarnet.dir/graph/traversal.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/graph/traversal.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/CMakeFiles/solarnet.dir/graph/union_find.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/graph/union_find.cpp.o.d"
+  "/root/repo/src/powergrid/grid.cpp" "src/CMakeFiles/solarnet.dir/powergrid/grid.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/powergrid/grid.cpp.o.d"
+  "/root/repo/src/recovery/repair.cpp" "src/CMakeFiles/solarnet.dir/recovery/repair.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/recovery/repair.cpp.o.d"
+  "/root/repo/src/routing/assignment.cpp" "src/CMakeFiles/solarnet.dir/routing/assignment.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/routing/assignment.cpp.o.d"
+  "/root/repo/src/routing/capacity.cpp" "src/CMakeFiles/solarnet.dir/routing/capacity.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/routing/capacity.cpp.o.d"
+  "/root/repo/src/routing/demand.cpp" "src/CMakeFiles/solarnet.dir/routing/demand.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/routing/demand.cpp.o.d"
+  "/root/repo/src/satellite/constellation.cpp" "src/CMakeFiles/solarnet.dir/satellite/constellation.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/satellite/constellation.cpp.o.d"
+  "/root/repo/src/satellite/drag.cpp" "src/CMakeFiles/solarnet.dir/satellite/drag.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/satellite/drag.cpp.o.d"
+  "/root/repo/src/services/availability.cpp" "src/CMakeFiles/solarnet.dir/services/availability.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/services/availability.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/CMakeFiles/solarnet.dir/sim/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/sim/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/outcome.cpp" "src/CMakeFiles/solarnet.dir/sim/outcome.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/sim/outcome.cpp.o.d"
+  "/root/repo/src/solar/cycle.cpp" "src/CMakeFiles/solarnet.dir/solar/cycle.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/solar/cycle.cpp.o.d"
+  "/root/repo/src/topology/builders.cpp" "src/CMakeFiles/solarnet.dir/topology/builders.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/topology/builders.cpp.o.d"
+  "/root/repo/src/topology/cable.cpp" "src/CMakeFiles/solarnet.dir/topology/cable.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/topology/cable.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/CMakeFiles/solarnet.dir/topology/network.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/topology/network.cpp.o.d"
+  "/root/repo/src/topology/repeater.cpp" "src/CMakeFiles/solarnet.dir/topology/repeater.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/topology/repeater.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/solarnet.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/solarnet.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/solarnet.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/solarnet.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/solarnet.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/solarnet.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/as_analysis_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/as_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/as_analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis/as_impact_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/as_impact_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/as_impact_test.cpp.o.d"
+  "/root/repo/tests/analysis/connectivity_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/connectivity_test.cpp.o.d"
+  "/root/repo/tests/analysis/country_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/country_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/country_test.cpp.o.d"
+  "/root/repo/tests/analysis/distribution_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/distribution_test.cpp.o.d"
+  "/root/repo/tests/analysis/dns_resolution_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/dns_resolution_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/dns_resolution_test.cpp.o.d"
+  "/root/repo/tests/analysis/economics_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/economics_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/economics_test.cpp.o.d"
+  "/root/repo/tests/analysis/latency_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/latency_test.cpp.o.d"
+  "/root/repo/tests/analysis/lengths_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/lengths_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/lengths_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/systems_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/systems_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/systems_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/as_analysis_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/as_analysis_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/as_impact_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/as_impact_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/connectivity_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/connectivity_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/country_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/country_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/distribution_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/distribution_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/dns_resolution_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/dns_resolution_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/economics_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/economics_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/latency_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/latency_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/lengths_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/lengths_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/systems_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/systems_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

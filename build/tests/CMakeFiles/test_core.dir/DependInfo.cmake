@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/mitigation_test.cpp" "tests/CMakeFiles/test_core.dir/core/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mitigation_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/test_core.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/shutdown_test.cpp" "tests/CMakeFiles/test_core.dir/core/shutdown_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/shutdown_test.cpp.o.d"
+  "/root/repo/tests/core/world_test.cpp" "tests/CMakeFiles/test_core.dir/core/world_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/mitigation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mitigation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/shutdown_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/shutdown_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/world_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/world_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

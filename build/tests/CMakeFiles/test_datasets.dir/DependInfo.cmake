@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datasets/cities_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/cities_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/cities_test.cpp.o.d"
+  "/root/repo/tests/datasets/datacenters_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/datacenters_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/datacenters_test.cpp.o.d"
+  "/root/repo/tests/datasets/infra_points_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/infra_points_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/infra_points_test.cpp.o.d"
+  "/root/repo/tests/datasets/land_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/land_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/land_test.cpp.o.d"
+  "/root/repo/tests/datasets/loaders_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/loaders_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/loaders_test.cpp.o.d"
+  "/root/repo/tests/datasets/population_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/population_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/population_test.cpp.o.d"
+  "/root/repo/tests/datasets/routers_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/routers_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/routers_test.cpp.o.d"
+  "/root/repo/tests/datasets/submarine_test.cpp" "tests/CMakeFiles/test_datasets.dir/datasets/submarine_test.cpp.o" "gcc" "tests/CMakeFiles/test_datasets.dir/datasets/submarine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets.dir/datasets/cities_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/cities_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/datacenters_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/datacenters_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/infra_points_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/infra_points_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/land_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/land_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/loaders_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/loaders_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/population_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/population_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/routers_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/routers_test.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/submarine_test.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/submarine_test.cpp.o.d"
+  "test_datasets"
+  "test_datasets.pdb"
+  "test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

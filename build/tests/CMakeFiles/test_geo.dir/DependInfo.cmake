@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/coords_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/coords_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/coords_test.cpp.o.d"
+  "/root/repo/tests/geo/distance_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/distance_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/distance_test.cpp.o.d"
+  "/root/repo/tests/geo/grid_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/grid_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/grid_test.cpp.o.d"
+  "/root/repo/tests/geo/regions_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/regions_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/regions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gic/efield_test.cpp" "tests/CMakeFiles/test_gic.dir/gic/efield_test.cpp.o" "gcc" "tests/CMakeFiles/test_gic.dir/gic/efield_test.cpp.o.d"
+  "/root/repo/tests/gic/failure_model_test.cpp" "tests/CMakeFiles/test_gic.dir/gic/failure_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_gic.dir/gic/failure_model_test.cpp.o.d"
+  "/root/repo/tests/gic/induction_test.cpp" "tests/CMakeFiles/test_gic.dir/gic/induction_test.cpp.o" "gcc" "tests/CMakeFiles/test_gic.dir/gic/induction_test.cpp.o.d"
+  "/root/repo/tests/gic/storm_test.cpp" "tests/CMakeFiles/test_gic.dir/gic/storm_test.cpp.o" "gcc" "tests/CMakeFiles/test_gic.dir/gic/storm_test.cpp.o.d"
+  "/root/repo/tests/gic/timeline_test.cpp" "tests/CMakeFiles/test_gic.dir/gic/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_gic.dir/gic/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

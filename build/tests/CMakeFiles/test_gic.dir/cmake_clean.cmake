@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gic.dir/gic/efield_test.cpp.o"
+  "CMakeFiles/test_gic.dir/gic/efield_test.cpp.o.d"
+  "CMakeFiles/test_gic.dir/gic/failure_model_test.cpp.o"
+  "CMakeFiles/test_gic.dir/gic/failure_model_test.cpp.o.d"
+  "CMakeFiles/test_gic.dir/gic/induction_test.cpp.o"
+  "CMakeFiles/test_gic.dir/gic/induction_test.cpp.o.d"
+  "CMakeFiles/test_gic.dir/gic/storm_test.cpp.o"
+  "CMakeFiles/test_gic.dir/gic/storm_test.cpp.o.d"
+  "CMakeFiles/test_gic.dir/gic/timeline_test.cpp.o"
+  "CMakeFiles/test_gic.dir/gic/timeline_test.cpp.o.d"
+  "test_gic"
+  "test_gic.pdb"
+  "test_gic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

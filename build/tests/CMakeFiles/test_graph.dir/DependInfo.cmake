@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/components_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/components_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/components_test.cpp.o.d"
+  "/root/repo/tests/graph/cut_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/cut_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/cut_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/traversal_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o.d"
+  "/root/repo/tests/graph/union_find_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/union_find_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/union_find_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

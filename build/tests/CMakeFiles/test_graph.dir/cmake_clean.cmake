@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/components_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/components_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/cut_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/cut_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/union_find_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/union_find_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_satellite.dir/satellite/satellite_test.cpp.o"
+  "CMakeFiles/test_satellite.dir/satellite/satellite_test.cpp.o.d"
+  "test_satellite"
+  "test_satellite.pdb"
+  "test_satellite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/builders_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/builders_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/builders_test.cpp.o.d"
+  "/root/repo/tests/topology/cable_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/cable_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/cable_test.cpp.o.d"
+  "/root/repo/tests/topology/network_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/network_test.cpp.o.d"
+  "/root/repo/tests/topology/repeater_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/repeater_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/repeater_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/solarnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/builders_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/builders_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/cable_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/cable_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/network_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/network_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/repeater_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/repeater_test.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solarnet_cli.dir/cli_args.cpp.o"
+  "CMakeFiles/solarnet_cli.dir/cli_args.cpp.o.d"
+  "CMakeFiles/solarnet_cli.dir/solarnet_cli.cpp.o"
+  "CMakeFiles/solarnet_cli.dir/solarnet_cli.cpp.o.d"
+  "solarnet"
+  "solarnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solarnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
