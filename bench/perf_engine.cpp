@@ -63,6 +63,66 @@ void BM_MonteCarloTrialBandModel(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloTrialBandModel);
 
+// --- run_trials throughput --------------------------------------------------
+// The acceptance bench for the cached-probability + parallel engine: 1000
+// any-failure trials, swept over thread counts (1 = serial path, 0 = auto /
+// hardware concurrency). Every parallel run is first checked bit-identical
+// to the serial aggregate — the determinism guarantee the engine documents.
+constexpr std::size_t kPerfTrials = 1000;
+constexpr std::uint64_t kPerfSeed = 7;
+
+const sim::AggregateResult& serial_reference() {
+  static const sim::AggregateResult ref = [] {
+    sim::TrialConfig cfg;
+    cfg.threads = 1;
+    const sim::FailureSimulator s(submarine(), cfg);
+    const gic::UniformFailureModel model(0.01);
+    return s.run_trials(model, kPerfTrials, kPerfSeed);
+  }();
+  return ref;
+}
+
+void BM_RunTrials(benchmark::State& state) {
+  sim::TrialConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const sim::FailureSimulator s(submarine(), cfg);
+  const gic::UniformFailureModel model(0.01);
+
+  const sim::AggregateResult& ref = serial_reference();
+  const sim::AggregateResult check = s.run_trials(model, kPerfTrials, kPerfSeed);
+  if (check.cables_failed_pct.mean() != ref.cables_failed_pct.mean() ||
+      check.cables_failed_pct.sample_stddev() !=
+          ref.cables_failed_pct.sample_stddev() ||
+      check.nodes_unreachable_pct.mean() != ref.nodes_unreachable_pct.mean() ||
+      check.nodes_unreachable_pct.sample_stddev() !=
+          ref.nodes_unreachable_pct.sample_stddev()) {
+    state.SkipWithError("run_trials aggregate diverged from the serial path");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.run_trials(model, kPerfTrials, kPerfSeed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPerfTrials));
+}
+BENCHMARK(BM_RunTrials)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunTrialsBandModel(benchmark::State& state) {
+  sim::TrialConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const sim::FailureSimulator s(submarine(), cfg);
+  const auto model = gic::LatitudeBandFailureModel::s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.run_trials(model, kPerfTrials, kPerfSeed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPerfTrials));
+}
+BENCHMARK(BM_RunTrialsBandModel)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_ConnectedComponents(benchmark::State& state) {
   const auto& net = submarine();
   const auto mask = graph::AliveMask::all_alive(net.graph());

@@ -27,9 +27,10 @@ std::vector<double> default_probability_grid() {
 BandSweepResult band_failure_run(const topo::InfrastructureNetwork& net,
                                  const gic::RepeaterFailureModel& model,
                                  double spacing_km, std::size_t trials,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, std::size_t threads) {
   sim::TrialConfig config;
   config.repeater_spacing_km = spacing_km;
+  config.threads = threads;
   const sim::FailureSimulator simulator(net, config);
   const sim::AggregateResult agg = simulator.run_trials(model, trials, seed);
   return {model.name(),

@@ -38,9 +38,10 @@ struct BandSweepResult {
 };
 
 // Non-uniform (latitude-band) evaluation at one spacing (Figure 8 bars).
+// `threads` follows sim::TrialConfig::threads (0 = hardware concurrency).
 BandSweepResult band_failure_run(const topo::InfrastructureNetwork& net,
                                  const gic::RepeaterFailureModel& model,
                                  double spacing_km, std::size_t trials,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed, std::size_t threads = 0);
 
 }  // namespace solarnet::analysis

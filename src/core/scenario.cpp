@@ -21,21 +21,22 @@ analysis::ResilienceReport ScenarioRunner::run(
 
   report.failure_results.push_back(analysis::band_failure_run(
       world_.submarine(), model, options.repeater_spacing_km, options.trials,
-      options.seed));
+      options.seed, options.threads));
   report.failure_results.back().model_name += " [submarine]";
   report.failure_results.push_back(analysis::band_failure_run(
       world_.intertubes(), model, options.repeater_spacing_km, options.trials,
-      options.seed + 1));
+      options.seed + 1, options.threads));
   report.failure_results.back().model_name += " [intertubes]";
   if (world_.has_itu()) {
     report.failure_results.push_back(analysis::band_failure_run(
         world_.itu(), model, options.repeater_spacing_km, options.trials,
-        options.seed + 2));
+        options.seed + 2, options.threads));
     report.failure_results.back().model_name += " [itu]";
   }
 
   sim::TrialConfig trial_config;
   trial_config.repeater_spacing_km = options.repeater_spacing_km;
+  trial_config.threads = options.threads;
   const sim::FailureSimulator simulator(world_.submarine(), trial_config);
   for (const std::string& country : options.countries) {
     report.countries.push_back(analysis::country_connectivity(

@@ -18,6 +18,10 @@ struct ScenarioOptions {
   double repeater_spacing_km = 150.0;
   std::size_t trials = 10;  // the paper's trial count
   std::uint64_t seed = 7;
+  // Monte-Carlo worker threads (sim::TrialConfig::threads semantics:
+  // 0 = hardware concurrency, 1 = serial; results are thread-count
+  // independent).
+  std::size_t threads = 0;
   // Countries included in the country-connectivity section.
   std::vector<std::string> countries = {"US", "GB", "CN", "IN", "SG", "ZA",
                                         "AU", "NZ", "BR"};

@@ -1,9 +1,11 @@
 #include "sim/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "topology/repeater.h"
+#include "util/parallel.h"
 
 namespace solarnet::sim {
 
@@ -13,7 +15,8 @@ FailureSimulator::FailureSimulator(const topo::InfrastructureNetwork& net,
   if (config_.repeater_spacing_km <= 0.0) {
     throw std::invalid_argument("FailureSimulator: spacing must be positive");
   }
-  if (config_.death_fraction <= 0.0 || config_.death_fraction > 1.0) {
+  if (config_.rule == CableDeathRule::kFractionFails &&
+      (config_.death_fraction <= 0.0 || config_.death_fraction > 1.0)) {
     throw std::invalid_argument(
         "FailureSimulator: death_fraction must be in (0, 1]");
   }
@@ -53,15 +56,29 @@ double FailureSimulator::cable_death_probability(
   return 1.0 - survive;
 }
 
-std::vector<bool> FailureSimulator::sample_cable_failures(
-    const gic::RepeaterFailureModel& model, util::Rng& rng) const {
-  std::vector<bool> dead(net_.cable_count(), false);
+DeathProbabilityTable FailureSimulator::death_probability_table(
+    const gic::RepeaterFailureModel& model) const {
+  DeathProbabilityTable table;
+  table.probability.reserve(net_.cable_count());
+  for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+    table.probability.push_back(cable_death_probability(c, model));
+  }
+  return table;
+}
+
+void FailureSimulator::sample_into(const gic::RepeaterFailureModel& model,
+                                   const DeathProbabilityTable* table,
+                                   util::Rng& rng,
+                                   std::vector<bool>& dead) const {
+  dead.assign(net_.cable_count(), false);
   for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
     const std::size_t begin = cable_offset_[c];
     const std::size_t end = cable_offset_[c + 1];
     if (begin == end) continue;  // repeaterless cables never die of GIC
     if (config_.rule == CableDeathRule::kAnyRepeaterFails) {
-      dead[c] = rng.bernoulli(cable_death_probability(c, model));
+      const double p = table != nullptr ? table->probability[c]
+                                        : cable_death_probability(c, model);
+      dead[c] = rng.bernoulli(p);
     } else {
       std::size_t failed = 0;
       for (std::size_t i = begin; i < end; ++i) {
@@ -74,13 +91,46 @@ std::vector<bool> FailureSimulator::sample_cable_failures(
       dead[c] = fraction >= config_.death_fraction;
     }
   }
+}
+
+std::vector<bool> FailureSimulator::sample_cable_failures(
+    const gic::RepeaterFailureModel& model, util::Rng& rng) const {
+  std::vector<bool> dead;
+  sample_into(model, nullptr, rng, dead);
   return dead;
+}
+
+void FailureSimulator::sample_cable_failures(
+    const gic::RepeaterFailureModel& model, util::Rng& rng,
+    std::vector<bool>& dead) const {
+  sample_into(model, nullptr, rng, dead);
+}
+
+void FailureSimulator::trial_percentages(
+    const gic::RepeaterFailureModel& model, const DeathProbabilityTable* table,
+    util::Rng& rng, TrialScratch& scratch, double& cables_failed_pct,
+    double& nodes_unreachable_pct) const {
+  sample_into(model, table, rng, scratch.cable_dead);
+  std::size_t failed = 0;
+  for (bool d : scratch.cable_dead) {
+    if (d) ++failed;
+  }
+  net_.unreachable_nodes(scratch.cable_dead, scratch.unreachable);
+  cables_failed_pct = net_.cable_count() > 0
+                          ? 100.0 * static_cast<double>(failed) /
+                                static_cast<double>(net_.cable_count())
+                          : 0.0;
+  nodes_unreachable_pct =
+      connected_nodes_ > 0
+          ? 100.0 * static_cast<double>(scratch.unreachable.size()) /
+                static_cast<double>(connected_nodes_)
+          : 0.0;
 }
 
 TrialResult FailureSimulator::run_trial(const gic::RepeaterFailureModel& model,
                                         util::Rng& rng) const {
   TrialResult result;
-  result.cable_dead = sample_cable_failures(model, rng);
+  sample_into(model, nullptr, rng, result.cable_dead);
   for (bool d : result.cable_dead) {
     if (d) ++result.cables_failed;
   }
@@ -102,14 +152,59 @@ AggregateResult FailureSimulator::run_trials(
     const gic::RepeaterFailureModel& model, std::size_t trials,
     std::uint64_t seed) const {
   AggregateResult agg;
-  util::Rng base(seed);
-  for (std::size_t t = 0; t < trials; ++t) {
-    util::Rng rng = base.split(t);
-    const TrialResult r = run_trial(model, rng);
-    agg.cables_failed_pct.add(r.cables_failed_pct);
-    agg.nodes_unreachable_pct.add(r.nodes_unreachable_pct);
-  }
   agg.trials = trials;
+  if (trials == 0) return agg;
+
+  // Under the any-failure rule the per-cable probabilities are a pure
+  // function of (simulator, model): fold them once so every trial is
+  // O(cables) instead of O(repeaters).
+  DeathProbabilityTable table;
+  const DeathProbabilityTable* table_ptr = nullptr;
+  if (config_.rule == CableDeathRule::kAnyRepeaterFails) {
+    table = death_probability_table(model);
+    table_ptr = &table;
+  }
+
+  // Determinism: trials are grouped into fixed-size chunks whose boundaries
+  // depend only on `trials`, never on the thread count. Each chunk
+  // accumulates its own RunningStats (trial t always draws from child
+  // stream t), workers claim whole chunks, and the chunk accumulators are
+  // merged in ascending chunk order — so the aggregate is bit-identical for
+  // every thread count, and (because a lone chunk merges into the empty
+  // aggregate by copy) bit-identical to a plain serial loop whenever
+  // trials <= kTrialChunk, which covers the paper's 10-trial runs.
+  constexpr std::size_t kTrialChunk = 32;
+  const std::size_t chunks = (trials + kTrialChunk - 1) / kTrialChunk;
+  struct ChunkStats {
+    util::RunningStats cables;
+    util::RunningStats nodes;
+  };
+  std::vector<ChunkStats> per_chunk(chunks);
+  const std::size_t workers =
+      std::min(util::resolve_thread_count(config_.threads), chunks);
+  std::vector<TrialScratch> scratch(workers);
+  const util::Rng base(seed);
+
+  util::parallel_for(
+      chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+        TrialScratch& s = scratch[worker];
+        ChunkStats& out = per_chunk[chunk];
+        const std::size_t begin = chunk * kTrialChunk;
+        const std::size_t end = std::min(begin + kTrialChunk, trials);
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng rng = base.split(t);
+          double cables_pct = 0.0;
+          double nodes_pct = 0.0;
+          trial_percentages(model, table_ptr, rng, s, cables_pct, nodes_pct);
+          out.cables.add(cables_pct);
+          out.nodes.add(nodes_pct);
+        }
+      });
+
+  for (const ChunkStats& c : per_chunk) {
+    agg.cables_failed_pct.merge(c.cables);
+    agg.nodes_unreachable_pct.merge(c.nodes);
+  }
   return agg;
 }
 

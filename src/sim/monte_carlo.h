@@ -8,8 +8,19 @@
 // lost all their cables. Repeat and aggregate.
 //
 // FailureSimulator precomputes the repeater layout (positions and the
-// per-cable max-endpoint latitude) once per (network, spacing), so a trial
-// is O(cables) under the any-failure rule and O(repeaters) otherwise.
+// per-cable max-endpoint latitude) once per (network, spacing). Under the
+// any-failure rule the per-cable death probabilities depend only on the
+// (simulator, model) pair, so run_trials folds them into a
+// DeathProbabilityTable once up front and every trial is O(cables); the
+// kFractionFails extension must draw each repeater individually and stays
+// O(repeaters) per trial.
+//
+// run_trials distributes trials over TrialConfig::threads workers. Trial t
+// always draws from Rng child stream t, trials are accumulated in
+// fixed-size chunks whose boundaries do not depend on the thread count, and
+// the per-chunk RunningStats are merged in ascending chunk order — so the
+// aggregate is bit-identical for every thread count (and to the serial
+// implementation for the paper's trial counts).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +42,25 @@ enum class CableDeathRule {
 struct TrialConfig {
   double repeater_spacing_km = 150.0;
   CableDeathRule rule = CableDeathRule::kAnyRepeaterFails;
-  double death_fraction = 0.5;  // only used by kFractionFails
+  // Only used (and only validated) by kFractionFails.
+  double death_fraction = 0.5;
+  // Worker threads for run_trials: 0 = hardware concurrency, 1 = serial.
+  // The aggregate is bit-identical for every value (see run_trials).
+  std::size_t threads = 0;
+};
+
+// Per-cable death probabilities under the any-failure rule, fixed for a
+// given (simulator, model) pair. Building it costs one O(repeaters) pass;
+// sampling against it is O(cables) per draw.
+struct DeathProbabilityTable {
+  std::vector<double> probability;  // indexed by CableId
+};
+
+// Reusable per-worker scratch buffers for the trial loop, so repeated
+// trials do not reallocate the cable mask and unreachable-node list.
+struct TrialScratch {
+  std::vector<bool> cable_dead;
+  std::vector<topo::NodeId> unreachable;
 };
 
 class FailureSimulator {
@@ -54,19 +83,41 @@ class FailureSimulator {
   double cable_death_probability(topo::CableId cable,
                                  const gic::RepeaterFailureModel& model) const;
 
+  // All cables' death probabilities in one pass; run_trials builds this
+  // once and reuses it across trials.
+  DeathProbabilityTable death_probability_table(
+      const gic::RepeaterFailureModel& model) const;
+
   // Samples which cables die in one event draw.
   std::vector<bool> sample_cable_failures(
       const gic::RepeaterFailureModel& model, util::Rng& rng) const;
+  // In-place overload: resizes and fills `dead`, reusing its storage.
+  void sample_cable_failures(const gic::RepeaterFailureModel& model,
+                             util::Rng& rng, std::vector<bool>& dead) const;
 
   TrialResult run_trial(const gic::RepeaterFailureModel& model,
                         util::Rng& rng) const;
 
   // `trials` independent draws; trial t uses a child stream of `seed` so
-  // results are reproducible and order-independent.
+  // results are reproducible and order-independent. Runs on
+  // config().threads workers; the aggregate does not depend on the thread
+  // count (fixed chunking + in-order RunningStats::merge reduction).
   AggregateResult run_trials(const gic::RepeaterFailureModel& model,
                              std::size_t trials, std::uint64_t seed) const;
 
  private:
+  // Shared sampling core: uses `table` when non-null (any-failure rule
+  // only), otherwise evaluates the model directly.
+  void sample_into(const gic::RepeaterFailureModel& model,
+                   const DeathProbabilityTable* table, util::Rng& rng,
+                   std::vector<bool>& dead) const;
+  // One trial reduced to its two aggregate percentages, allocation-free
+  // given warm scratch buffers.
+  void trial_percentages(const gic::RepeaterFailureModel& model,
+                         const DeathProbabilityTable* table, util::Rng& rng,
+                         TrialScratch& scratch, double& cables_failed_pct,
+                         double& nodes_unreachable_pct) const;
+
   const topo::InfrastructureNetwork& net_;
   TrialConfig config_;
   // Flattened repeater contexts: per cable, [offset, offset+count).

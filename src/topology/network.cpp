@@ -116,10 +116,17 @@ graph::AliveMask InfrastructureNetwork::mask_for_failures(
 
 std::vector<NodeId> InfrastructureNetwork::unreachable_nodes(
     const std::vector<bool>& cable_dead) const {
+  std::vector<NodeId> out;
+  unreachable_nodes(cable_dead, out);
+  return out;
+}
+
+void InfrastructureNetwork::unreachable_nodes(
+    const std::vector<bool>& cable_dead, std::vector<NodeId>& out) const {
   if (cable_dead.size() != cables_.size()) {
     throw std::invalid_argument("unreachable_nodes: size mismatch");
   }
-  std::vector<NodeId> out;
+  out.clear();
   for (NodeId n = 0; n < nodes_.size(); ++n) {
     const auto& incident = cables_at_node_[n];
     if (incident.empty()) continue;
@@ -128,7 +135,6 @@ std::vector<NodeId> InfrastructureNetwork::unreachable_nodes(
                     [&](CableId c) { return cable_dead[c]; });
     if (all_dead) out.push_back(n);
   }
-  return out;
 }
 
 std::size_t InfrastructureNetwork::connected_node_count() const {

@@ -61,6 +61,10 @@ class InfrastructureNetwork {
   // Paper §4.3.1: "a node is unreachable when all its connected links have
   // failed". Returns ids of nodes that had >= 1 cable and lost all of them.
   std::vector<NodeId> unreachable_nodes(const std::vector<bool>& cable_dead) const;
+  // In-place overload: clears and fills `out`, reusing its storage — the
+  // Monte-Carlo trial loop calls this once per trial per worker.
+  void unreachable_nodes(const std::vector<bool>& cable_dead,
+                         std::vector<NodeId>& out) const;
 
   // Nodes with at least one cable (the denominator of "% unreachable").
   std::size_t connected_node_count() const;

@@ -1,0 +1,57 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace solarnet::util {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_thread_count(std::size_t requested) noexcept {
+  return requested == 0 ? default_thread_count() : requested;
+}
+
+void parallel_for(std::size_t tasks, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (tasks == 0) return;
+  const std::size_t workers = std::min(resolve_thread_count(threads), tasks);
+  if (workers <= 1) {
+    for (std::size_t task = 0; task < tasks; ++task) fn(task, 0);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto work = [&](std::size_t worker) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= tasks) return;
+      try {
+        fn(task, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace solarnet::util

@@ -1,0 +1,34 @@
+// Minimal std::thread-based parallel-for primitive. No dependencies beyond
+// the standard library; callers that need determinism are expected to make
+// each task self-contained (the Monte-Carlo engine hands every task its own
+// Rng child stream and merges per-task accumulators in fixed task order).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace solarnet::util {
+
+// The worker count a thread setting of 0 ("auto") resolves to:
+// std::thread::hardware_concurrency(), clamped to at least 1.
+std::size_t default_thread_count() noexcept;
+
+// Resolves a user-facing thread-count setting: 0 -> default_thread_count(),
+// anything else unchanged.
+std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
+// Runs fn(task, worker) for every task in [0, tasks). Tasks are claimed
+// from a shared counter by `threads` workers (resolved via
+// resolve_thread_count and clamped to `tasks`); `worker` is a dense id in
+// [0, workers) so callers can keep per-worker scratch state. With one
+// worker every task runs inline on the calling thread, in order, with
+// worker id 0 — no threads are spawned. Task execution order across
+// workers is unspecified; callers must not rely on it.
+//
+// If any task throws, remaining unclaimed tasks are abandoned, all workers
+// are joined, and the first captured exception is rethrown on the caller.
+void parallel_for(std::size_t tasks, std::size_t threads,
+                  const std::function<void(std::size_t task,
+                                           std::size_t worker)>& fn);
+
+}  // namespace solarnet::util

@@ -46,6 +46,10 @@ class Rng {
   void reseed(std::uint64_t seed) noexcept {
     SplitMix64 sm(seed);
     for (auto& s : s_) s = sm.next();
+    // Drop any cached Gaussian spare: without this, the first normal()
+    // after a reseed would replay a sample from the previous stream.
+    have_spare_ = false;
+    spare_ = 0.0;
     // Guard against the (astronomically unlikely) all-zero state, which is
     // the one fixed point of the generator.
     if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
@@ -164,7 +168,9 @@ class Rng {
 
   // Derives an independent child generator; stream `i` of the same parent is
   // stable across runs. Used to give each Monte-Carlo trial its own stream.
-  Rng split(std::uint64_t stream) noexcept {
+  // Const (reads but never advances the parent state), so a shared parent
+  // can be split from concurrent workers.
+  Rng split(std::uint64_t stream) const noexcept {
     SplitMix64 sm(s_[0] ^ rotl(s_[3], 13) ^ (stream * 0x9e3779b97f4a7c15ULL));
     Rng child(sm.next());
     return child;

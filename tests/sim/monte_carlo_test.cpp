@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace solarnet::sim {
 namespace {
@@ -170,10 +172,125 @@ TEST_F(SimTest, ConfigValidation) {
   bad.repeater_spacing_km = 0.0;
   EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
   bad = TrialConfig{};
+  bad.rule = CableDeathRule::kFractionFails;
   bad.death_fraction = 0.0;
   EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
   bad.death_fraction = 1.5;
   EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
+}
+
+TEST_F(SimTest, DeathFractionIgnoredUnderAnyRule) {
+  // death_fraction is documented as unused by kAnyRepeaterFails, so any
+  // value must be accepted there.
+  TrialConfig cfg;
+  cfg.rule = CableDeathRule::kAnyRepeaterFails;
+  cfg.death_fraction = 0.0;
+  EXPECT_NO_THROW(FailureSimulator(net_, cfg));
+  cfg.death_fraction = 1.5;
+  EXPECT_NO_THROW(FailureSimulator(net_, cfg));
+}
+
+TEST_F(SimTest, DeathProbabilityTableMatchesPerCableComputation) {
+  const FailureSimulator sim(net_, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  const gic::UniformFailureModel uniform(0.07);
+  for (const gic::RepeaterFailureModel* model :
+       {static_cast<const gic::RepeaterFailureModel*>(&s1),
+        static_cast<const gic::RepeaterFailureModel*>(&uniform)}) {
+    const DeathProbabilityTable table = sim.death_probability_table(*model);
+    ASSERT_EQ(table.probability.size(), net_.cable_count());
+    for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+      EXPECT_DOUBLE_EQ(table.probability[c],
+                       sim.cable_death_probability(c, *model));
+    }
+  }
+}
+
+TEST_F(SimTest, InPlaceSamplingMatchesAllocatingOverload) {
+  const FailureSimulator sim(net_, {});
+  const gic::UniformFailureModel m(0.3);
+  util::Rng a(11);
+  util::Rng b(11);
+  std::vector<bool> reused(99, true);  // wrong size + stale contents on entry
+  for (int i = 0; i < 5; ++i) {
+    sim.sample_cable_failures(m, a, reused);
+    EXPECT_EQ(reused, sim.sample_cable_failures(m, b));
+  }
+}
+
+TEST_F(SimTest, AggregateBitIdenticalAcrossThreadCounts) {
+  // 100 trials spans several accumulation chunks, so this exercises the
+  // chunked merge reduction, not just the single-chunk copy path.
+  const gic::UniformFailureModel m(0.3);
+  AggregateResult serial;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    TrialConfig cfg;
+    cfg.threads = threads;
+    const FailureSimulator sim(net_, cfg);
+    const AggregateResult agg = sim.run_trials(m, 100, 7);
+    if (threads == 1u) {
+      serial = agg;
+      continue;
+    }
+    EXPECT_EQ(agg.trials, serial.trials);
+    EXPECT_EQ(agg.cables_failed_pct.mean(), serial.cables_failed_pct.mean());
+    EXPECT_EQ(agg.cables_failed_pct.stddev(),
+              serial.cables_failed_pct.stddev());
+    EXPECT_EQ(agg.cables_failed_pct.sample_stddev(),
+              serial.cables_failed_pct.sample_stddev());
+    EXPECT_EQ(agg.cables_failed_pct.min(), serial.cables_failed_pct.min());
+    EXPECT_EQ(agg.cables_failed_pct.max(), serial.cables_failed_pct.max());
+    EXPECT_EQ(agg.nodes_unreachable_pct.mean(),
+              serial.nodes_unreachable_pct.mean());
+    EXPECT_EQ(agg.nodes_unreachable_pct.stddev(),
+              serial.nodes_unreachable_pct.stddev());
+  }
+}
+
+TEST_F(SimTest, AggregateBitIdenticalAcrossThreadCountsFractionRule) {
+  // The kFractionFails path has no probability table; the parallel loop
+  // must still be thread-count independent.
+  const gic::UniformFailureModel m(0.4);
+  TrialConfig cfg;
+  cfg.rule = CableDeathRule::kFractionFails;
+  cfg.death_fraction = 0.3;
+  cfg.threads = 1;
+  const FailureSimulator serial_sim(net_, cfg);
+  const AggregateResult serial = serial_sim.run_trials(m, 100, 13);
+  cfg.threads = 4;
+  const FailureSimulator parallel_sim(net_, cfg);
+  const AggregateResult parallel = parallel_sim.run_trials(m, 100, 13);
+  EXPECT_EQ(parallel.cables_failed_pct.mean(),
+            serial.cables_failed_pct.mean());
+  EXPECT_EQ(parallel.cables_failed_pct.sample_stddev(),
+            serial.cables_failed_pct.sample_stddev());
+  EXPECT_EQ(parallel.nodes_unreachable_pct.mean(),
+            serial.nodes_unreachable_pct.mean());
+}
+
+TEST_F(SimTest, RunTrialsMatchesIndependentTrialStreams) {
+  // The aggregate must be built from exactly trial-t-uses-stream-t draws,
+  // regardless of chunking: recompute the trials by hand and compare.
+  TrialConfig cfg;
+  cfg.threads = 2;
+  const FailureSimulator sim(net_, cfg);
+  const gic::UniformFailureModel m(0.3);
+  constexpr std::size_t kTrials = 100;
+  const AggregateResult agg = sim.run_trials(m, kTrials, 21);
+  const util::Rng base(21);
+  double min_pct = 1e300;
+  double max_pct = -1e300;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    util::Rng rng = base.split(t);
+    const TrialResult r = sim.run_trial(m, rng);
+    min_pct = std::min(min_pct, r.cables_failed_pct);
+    max_pct = std::max(max_pct, r.cables_failed_pct);
+    sum += r.cables_failed_pct;
+  }
+  EXPECT_EQ(agg.cables_failed_pct.min(), min_pct);
+  EXPECT_EQ(agg.cables_failed_pct.max(), max_pct);
+  EXPECT_NEAR(agg.cables_failed_pct.mean(), sum / kTrials, 1e-9);
 }
 
 TEST_F(SimTest, EmptyNetworkSafe) {

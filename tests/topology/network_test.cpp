@@ -116,6 +116,18 @@ TEST_F(NetworkTest, UnreachableNodesPaperDefinition) {
   EXPECT_EQ(unreachable[0], a_);
 }
 
+TEST_F(NetworkTest, UnreachableNodesInPlaceOverloadReusesBuffer) {
+  std::vector<bool> dead = {true, false, true};
+  std::vector<NodeId> out = {99, 98, 97};  // stale contents must be cleared
+  net_.unreachable_nodes(dead, out);
+  EXPECT_EQ(out, net_.unreachable_nodes(dead));
+  // A second, different query reuses the same buffer.
+  std::vector<bool> all_dead = {true, true, true};
+  net_.unreachable_nodes(all_dead, out);
+  EXPECT_EQ(out, net_.unreachable_nodes(all_dead));
+  EXPECT_THROW(net_.unreachable_nodes({true}, out), std::invalid_argument);
+}
+
 TEST_F(NetworkTest, NodeWithoutCablesNeverUnreachable) {
   std::vector<bool> all_dead = {true, true, true};
   const auto unreachable = net_.unreachable_nodes(all_dead);

@@ -1,0 +1,96 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace solarnet::util {
+namespace {
+
+TEST(Parallel, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+  EXPECT_EQ(resolve_thread_count(0), default_thread_count());
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+}
+
+TEST(Parallel, ZeroTasksIsANoOp) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleThreadRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&](std::size_t task, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, EveryTaskRunsExactlyOnce) {
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    constexpr std::size_t kTasks = 1000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    parallel_for(kTasks, threads,
+                 [&](std::size_t task, std::size_t) { ++hits[task]; });
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+    }
+  }
+}
+
+TEST(Parallel, WorkerIdsAreDense) {
+  std::mutex mu;
+  std::set<std::size_t> workers;
+  parallel_for(64, 4, [&](std::size_t, std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mu);
+    workers.insert(worker);
+  });
+  // Workers are clamped to min(threads, tasks); every observed id must be
+  // a valid dense index.
+  for (std::size_t w : workers) EXPECT_LT(w, 4u);
+  EXPECT_FALSE(workers.empty());
+}
+
+TEST(Parallel, WorkerCountClampedToTasks) {
+  std::mutex mu;
+  std::set<std::size_t> workers;
+  parallel_for(2, 16, [&](std::size_t, std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mu);
+    workers.insert(worker);
+  });
+  for (std::size_t w : workers) EXPECT_LT(w, 2u);
+}
+
+TEST(Parallel, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [&](std::size_t task, std::size_t) {
+                     if (task == 17) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Serial path too.
+  EXPECT_THROW(parallel_for(3, 1,
+                            [&](std::size_t, std::size_t) {
+                              throw std::invalid_argument("bad");
+                            }),
+               std::invalid_argument);
+}
+
+TEST(Parallel, SumOverTasksIsCompleteUnderContention) {
+  constexpr std::size_t kTasks = 5000;
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(kTasks, 8, [&](std::size_t task, std::size_t) {
+    sum.fetch_add(task, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace solarnet::util

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "util/rng.h"
 
 namespace solarnet::util {
 namespace {
@@ -66,6 +69,78 @@ TEST(RunningStats, MergeWithEmpty) {
   empty.merge(a);
   EXPECT_EQ(empty.count(), 2u);
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+// Property tests for the parallel-reduction contract the Monte-Carlo engine
+// relies on: any split of an add-stream, accumulated in halves and merged,
+// must agree with the serial accumulator.
+TEST(RunningStats, MergePropertySplitAtEveryPoint) {
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    // Mix of scales so the Chan merge is exercised away from 0.
+    values.push_back(rng.normal(5.0, 3.0) + (i % 7 == 0 ? 100.0 : 0.0));
+  }
+  RunningStats all;
+  for (double x : values) all.add(x);
+  for (std::size_t split = 0; split <= values.size(); ++split) {
+    RunningStats left;
+    RunningStats right;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (i < split ? left : right).add(values[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12 * std::abs(all.mean()) + 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(),
+                1e-12 * all.variance() + 1e-12);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+  }
+}
+
+TEST(RunningStats, MergePropertyRandomChunking) {
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.uniform_below(300);
+    std::vector<double> values;
+    for (std::size_t i = 0; i < n; ++i) values.push_back(rng.uniform(-50.0, 50.0));
+    RunningStats all;
+    for (double x : values) all.add(x);
+    // Accumulate in random-sized chunks, merged in order — the shape of the
+    // engine's fixed-chunk reduction.
+    RunningStats merged;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t len = 1 + rng.uniform_below(32);
+      RunningStats chunk;
+      for (std::size_t j = i; j < std::min(i + len, n); ++j) chunk.add(values[j]);
+      merged.merge(chunk);
+      i += len;
+    }
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(),
+                1e-12 * std::abs(all.mean()) + 1e-12);
+    EXPECT_NEAR(merged.sample_variance(), all.sample_variance(),
+                1e-12 * all.sample_variance() + 1e-12);
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+  }
+}
+
+TEST(RunningStats, MergeOfSingleChunkIntoEmptyIsExactCopy) {
+  // run_trials relies on this for bit-identity with the old serial loop
+  // whenever trials fit in one chunk.
+  RunningStats chunk;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) chunk.add(rng.uniform());
+  RunningStats agg;
+  agg.merge(chunk);
+  EXPECT_EQ(agg.count(), chunk.count());
+  EXPECT_EQ(agg.mean(), chunk.mean());
+  EXPECT_EQ(agg.variance(), chunk.variance());
+  EXPECT_EQ(agg.min(), chunk.min());
+  EXPECT_EQ(agg.max(), chunk.max());
 }
 
 TEST(Quantile, ExactOrderStatistics) {

@@ -41,11 +41,12 @@ commands:
                --start YEAR (2026)  --years N (10)
   scenario   full resilience report for a physical storm
                --storm carrington|1921|1989|moderate (carrington)
-               --spacing KM (150)  --trials N (10)
+               --spacing KM (150)  --trials N (10)  --threads N (auto)
   model      resilience report for a probabilistic model
                --s1 | --s2 | --uniform P (s1)  --spacing KM  --trials N
+               --threads N (auto)
   countries  country connectivity table under S1/S2
-               --spacing KM (150)
+               --spacing KM (150)  --threads N (auto)
   plan       rank candidate cables for US<->Europe resilience (§5.1)
                --from NODE --to NODE   (adds a custom candidate)
   repair     post-storm repair campaign (§3.2.2)
@@ -101,6 +102,8 @@ core::ScenarioOptions options_from_args(const Args& args) {
   core::ScenarioOptions opts;
   opts.repeater_spacing_km = args.get_double_or("spacing", 150.0);
   opts.trials = static_cast<std::size_t>(args.get_int_or("trials", 10));
+  // 0 = hardware concurrency; results do not depend on the thread count.
+  opts.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
   return opts;
 }
 
@@ -124,6 +127,7 @@ int cmd_countries(const Args& args) {
   const auto net = datasets::make_submarine_network({});
   sim::TrialConfig cfg;
   cfg.repeater_spacing_km = args.get_double_or("spacing", 150.0);
+  cfg.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
   const sim::FailureSimulator simulator(net, cfg);
   const auto s1 = gic::LatitudeBandFailureModel::s1();
   const auto s2 = gic::LatitudeBandFailureModel::s2();
