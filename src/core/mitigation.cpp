@@ -6,6 +6,7 @@
 #include "analysis/country.h"
 #include "geo/distance.h"
 #include "sim/monte_carlo.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace solarnet::core {
@@ -27,12 +28,19 @@ double mean_service_availability(const topo::InfrastructureNetwork& net,
   sim::TrialConfig cfg;
   cfg.repeater_spacing_km = options.repeater_spacing_km;
   const sim::FailureSimulator simulator(net, cfg);
+  // One evaluator for all draws: the nearest-landing-point resolution runs
+  // once, each draw reuses the scratch. The Bitset sampling overload
+  // consumes the rng stream exactly like the vector<bool> one, so results
+  // match the old per-draw evaluate_service loop bit for bit.
+  services::ServiceEvaluator evaluator(net, service);
+  services::AvailabilityReport report;
+  util::Bitset dead;
   util::Rng rng(options.seed);
   double total = 0.0;
   for (std::size_t d = 0; d < options.availability_draws; ++d) {
-    const auto dead = simulator.sample_cable_failures(model, rng);
-    total +=
-        services::evaluate_service(net, dead, service).read_availability;
+    simulator.sample_cable_failures(model, rng, dead);
+    evaluator.evaluate(dead, report);
+    total += report.read_availability;
   }
   return options.availability_draws > 0
              ? total / static_cast<double>(options.availability_draws)

@@ -11,8 +11,11 @@ PartitionReport analyze_partition(const topo::InfrastructureNetwork& net,
                                   const std::vector<bool>& cable_dead) {
   PartitionReport report;
   const graph::AliveMask mask = net.mask_for_failures(cable_dead);
-  const graph::ComponentResult cc =
-      graph::connected_components(net.graph(), mask);
+  // Decompose over the cached CSR; produces the same dense labeling as the
+  // adjacency-list overload.
+  graph::ComponentScratch scratch;
+  graph::ComponentResult cc;
+  graph::connected_components(net.csr(), mask, scratch, cc);
 
   // Restrict to nodes that still have at least one alive cable.
   const auto isolated = net.unreachable_nodes(cable_dead);

@@ -1,9 +1,23 @@
 // Connected-component decomposition over (optionally masked) graphs.
+//
+// Two tiers:
+//  - The Graph-based overloads are the convenient one-shot API; each call
+//    allocates its result.
+//  - The Csr + ComponentScratch overloads are the hot-path kernel: all
+//    working storage (union-find, dense-relabel table, the result vectors)
+//    is reused across calls, so the steady-state cost of a masked
+//    decomposition is zero heap allocations. Monte-Carlo style loops build
+//    one Csr and one scratch per worker and call these per trial.
+// Both tiers produce bit-identical ComponentResults: component indices are
+// dense in order of first-seen (lowest-id) alive vertex, independent of the
+// union-find merge order.
 #pragma once
 
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/union_find.h"
 
 namespace solarnet::graph {
 
@@ -21,6 +35,12 @@ struct ComponentResult {
   bool same_component(VertexId a, VertexId b) const;
 };
 
+// Reusable working storage for the Csr components kernel.
+struct ComponentScratch {
+  UnionFind uf;
+  std::vector<std::uint32_t> root_to_dense;
+};
+
 // Components of the full graph.
 ComponentResult connected_components(const Graph& g);
 
@@ -28,8 +48,18 @@ ComponentResult connected_components(const Graph& g);
 // edges (and edges touching dead vertices) are ignored.
 ComponentResult connected_components(const Graph& g, const AliveMask& mask);
 
+// Allocation-free kernel: decomposes the masked subgraph into `out`,
+// reusing `scratch` and `out`'s storage. The mask's sizes must match the
+// Csr's dimensions.
+void connected_components(const Csr& csr, const AliveMask& mask,
+                          ComponentScratch& scratch, ComponentResult& out);
+
 // True when every alive vertex lies in one component (vacuously true when
 // fewer than two vertices are alive).
 bool is_connected(const Graph& g, const AliveMask& mask);
+
+// Allocation-free variant over a prebuilt Csr.
+bool is_connected(const Csr& csr, const AliveMask& mask,
+                  ComponentScratch& scratch);
 
 }  // namespace solarnet::graph

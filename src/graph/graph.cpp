@@ -36,9 +36,13 @@ VertexId Graph::opposite(EdgeId e, VertexId from) const {
 
 AliveMask AliveMask::all_alive(const Graph& g) {
   AliveMask mask;
-  mask.vertex_alive.assign(g.vertex_count(), true);
-  mask.edge_alive.assign(g.edge_count(), true);
+  mask.reset_to_all_alive(g);
   return mask;
+}
+
+void AliveMask::reset_to_all_alive(const Graph& g) {
+  vertex_alive.assign(g.vertex_count(), true);
+  edge_alive.assign(g.edge_count(), true);
 }
 
 bool AliveMask::traversable(const Graph& g, EdgeId e) const {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/bitset.h"
+
 namespace solarnet::graph {
 
 using VertexId = std::uint32_t;
@@ -46,6 +48,10 @@ class Graph {
     return edges_[e];
   }
 
+  // Flat edge array in id order — the connectivity kernels scan this
+  // directly instead of chasing per-vertex adjacency lists.
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
   // (neighbor, edge-id) pairs incident to v.
   struct Incidence {
     VertexId neighbor;
@@ -69,12 +75,18 @@ class Graph {
 
 // A subgraph view expressed as alive/dead masks over an existing graph.
 // This is what a failure trial produces: the structure is shared, only the
-// masks differ, so trials allocate two bit-vectors and nothing else.
+// masks differ. The masks are word-packed util::Bitsets so a warm mask can
+// be refilled in place (reset_to_all_alive + per-edge kills) without any
+// allocation — the Monte-Carlo loops rely on this.
 struct AliveMask {
-  std::vector<bool> vertex_alive;
-  std::vector<bool> edge_alive;
+  util::Bitset vertex_alive;
+  util::Bitset edge_alive;
 
   static AliveMask all_alive(const Graph& g);
+
+  // In-place variant: resizes both masks to g's dimensions and sets every
+  // bit. Allocation-free once the masks are warm.
+  void reset_to_all_alive(const Graph& g);
 
   // An edge is traversable when it is alive and both endpoints are alive.
   bool traversable(const Graph& g, EdgeId e) const;

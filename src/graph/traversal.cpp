@@ -26,6 +26,36 @@ std::vector<bool> reachable_from(const Graph& g, const AliveMask& mask,
   return visited;
 }
 
+void reachable_from(const Csr& csr, const AliveMask& mask, VertexId source,
+                    TraversalScratch& scratch, util::Bitset& out) {
+  const std::size_t n = csr.vertex_count();
+  out.assign(n, false);
+  if (source >= n || source >= mask.vertex_alive.size() ||
+      !mask.vertex_alive[source]) {
+    return;
+  }
+  // DFS over the flat adjacency; the frontier vector doubles as the stack.
+  // Visiting a vertex implies it is alive, so each step only needs to check
+  // the edge bit and the far endpoint's bit.
+  scratch.frontier.clear();
+  scratch.frontier.push_back(source);
+  out.set(source);
+  while (!scratch.frontier.empty()) {
+    const VertexId v = scratch.frontier.back();
+    scratch.frontier.pop_back();
+    const auto neighbors = csr.neighbors(v);
+    const auto edges = csr.edge_ids(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId w = neighbors[i];
+      if (out[w] || !mask.edge_alive[edges[i]] || !mask.vertex_alive[w]) {
+        continue;
+      }
+      out.set(w);
+      scratch.frontier.push_back(w);
+    }
+  }
+}
+
 std::vector<std::uint32_t> bfs_hops(const Graph& g, const AliveMask& mask,
                                     VertexId source) {
   std::vector<std::uint32_t> hops(g.vertex_count(), kUnreachableHops);
@@ -33,21 +63,48 @@ std::vector<std::uint32_t> bfs_hops(const Graph& g, const AliveMask& mask,
       !mask.vertex_alive[source]) {
     return hops;
   }
-  std::queue<VertexId> queue;
-  queue.push(source);
+  // Vector-backed FIFO: `head` chases push_back, so the frontier never
+  // allocates per-node deque blocks and its storage is a single array.
+  std::vector<VertexId> frontier{source};
   hops[source] = 0;
-  while (!queue.empty()) {
-    const VertexId v = queue.front();
-    queue.pop();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const VertexId v = frontier[head];
     for (const auto& [neighbor, edge] : g.incident(v)) {
       if (hops[neighbor] != kUnreachableHops || !mask.traversable(g, edge)) {
         continue;
       }
       hops[neighbor] = hops[v] + 1;
-      queue.push(neighbor);
+      frontier.push_back(neighbor);
     }
   }
   return hops;
+}
+
+void bfs_hops(const Csr& csr, const AliveMask& mask, VertexId source,
+              TraversalScratch& scratch, std::vector<std::uint32_t>& out) {
+  const std::size_t n = csr.vertex_count();
+  out.assign(n, kUnreachableHops);
+  if (source >= n || source >= mask.vertex_alive.size() ||
+      !mask.vertex_alive[source]) {
+    return;
+  }
+  scratch.frontier.clear();
+  scratch.frontier.push_back(source);
+  out[source] = 0;
+  for (std::size_t head = 0; head < scratch.frontier.size(); ++head) {
+    const VertexId v = scratch.frontier[head];
+    const auto neighbors = csr.neighbors(v);
+    const auto edges = csr.edge_ids(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId w = neighbors[i];
+      if (out[w] != kUnreachableHops || !mask.edge_alive[edges[i]] ||
+          !mask.vertex_alive[w]) {
+        continue;
+      }
+      out[w] = out[v] + 1;
+      scratch.frontier.push_back(w);
+    }
+  }
 }
 
 std::vector<VertexId> ShortestPaths::path_to(VertexId target) const {

@@ -1,25 +1,51 @@
 // BFS reachability and Dijkstra shortest paths over masked graphs.
+//
+// Like components.h this comes in two tiers: the Graph-based overloads
+// allocate their result per call, while the Csr + TraversalScratch
+// overloads reuse every piece of working storage (frontier, visited bits,
+// the output arrays) and are allocation-free once warm. The CSR traversals
+// visit half-edges in the same order as Graph::incident(), so hop counts
+// and reachable sets are identical between the two tiers.
 #pragma once
 
 #include <limits>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "util/bitset.h"
 
 namespace solarnet::graph {
 
 inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+// Reusable working storage for BFS/DFS kernels: a vector-backed frontier
+// (used as a FIFO ring for BFS, a LIFO stack for DFS) plus a visited
+// bitset. One instance per worker thread.
+struct TraversalScratch {
+  std::vector<VertexId> frontier;
+  util::Bitset visited;
+};
 
 // Vertices reachable from `source` in the masked subgraph (including the
 // source itself when alive). Returns an empty set if the source is dead.
 std::vector<bool> reachable_from(const Graph& g, const AliveMask& mask,
                                  VertexId source);
 
+// Allocation-free kernel: fills `out` (resized to the vertex count) with
+// the reachable set.
+void reachable_from(const Csr& csr, const AliveMask& mask, VertexId source,
+                    TraversalScratch& scratch, util::Bitset& out);
+
 // Hop distances (edge counts) from source; kUnreachableHops when not
 // reachable or dead.
 inline constexpr std::uint32_t kUnreachableHops = ~std::uint32_t{0};
 std::vector<std::uint32_t> bfs_hops(const Graph& g, const AliveMask& mask,
                                     VertexId source);
+
+// Allocation-free kernel: fills `out` (resized to the vertex count).
+void bfs_hops(const Csr& csr, const AliveMask& mask, VertexId source,
+              TraversalScratch& scratch, std::vector<std::uint32_t>& out);
 
 struct ShortestPaths {
   std::vector<double> distance;       // kUnreachable when not reachable

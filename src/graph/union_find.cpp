@@ -1,13 +1,20 @@
 #include "graph/union_find.h"
 
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace solarnet::graph {
 
-UnionFind::UnionFind(std::size_t n)
-    : parent_(n), size_(n, 1), sets_(n) {
-  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+void UnionFind::reset(std::size_t n) {
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("UnionFind: too many elements for 32-bit ids");
+  }
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  size_.assign(n, 1);
+  sets_ = n;
 }
 
 std::size_t UnionFind::find(std::size_t x) {
@@ -20,8 +27,8 @@ std::size_t UnionFind::find(std::size_t x) {
 }
 
 bool UnionFind::unite(std::size_t a, std::size_t b) {
-  std::size_t ra = find(a);
-  std::size_t rb = find(b);
+  auto ra = static_cast<std::uint32_t>(find(a));
+  auto rb = static_cast<std::uint32_t>(find(b));
   if (ra == rb) return false;
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
   parent_[rb] = ra;

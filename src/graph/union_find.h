@@ -1,15 +1,25 @@
 // Disjoint-set forest with union by size and path halving. Used for fast
-// connected-component queries inside Monte-Carlo trials.
+// connected-component queries inside Monte-Carlo trials. Storage is 32-bit
+// (two words per element) so the whole structure for a continent-scale
+// network fits in a few cache lines, and reset() rewinds a warm instance to
+// all-singletons without reallocating — the components kernel reuses one
+// UnionFind across thousands of trials.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace solarnet::graph {
 
 class UnionFind {
  public:
-  explicit UnionFind(std::size_t n);
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  // Re-initializes to n singleton sets, reusing existing storage when
+  // capacity allows. Throws std::length_error when n exceeds 32-bit ids.
+  void reset(std::size_t n);
 
   std::size_t find(std::size_t x);
   // Returns true if the sets were distinct (a merge happened).
@@ -20,9 +30,9 @@ class UnionFind {
   std::size_t element_count() const noexcept { return parent_.size(); }
 
  private:
-  std::vector<std::size_t> parent_;
-  std::vector<std::size_t> size_;
-  std::size_t sets_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_ = 0;
 };
 
 }  // namespace solarnet::graph

@@ -107,7 +107,7 @@ AssignmentResult TrafficEngine::assign_capacity_aware(
     for (graph::EdgeId e = 0; e < net_.graph().edge_count(); ++e) {
       if (!mask.edge_alive[e]) continue;
       if (residual[net_.cable_of_edge(e)] + kEps < d.gbps) {
-        mask.edge_alive[e] = false;
+        mask.edge_alive.reset(e);
       }
     }
     const graph::ShortestPaths sp =

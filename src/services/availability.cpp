@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <stdexcept>
 
 #include "geo/distance.h"
-#include "graph/components.h"
+#include "util/parallel.h"
 
 namespace solarnet::services {
 
@@ -60,6 +59,20 @@ topo::NodeId nearest_connected_node(const topo::InfrastructureNetwork& net,
   return best_in_range != topo::kInvalidNode ? best_in_range : nearest;
 }
 
+// A node that lost every cable is not "nowhere" — it is its own island
+// partition: parties attached to the same dark landing station can still
+// talk over the local terrestrial network. Each dark node gets a unique
+// synthetic component id above this base so co-located pairs match.
+constexpr std::uint32_t kIslandBase = 0x80000000u;
+
+util::Bitset to_bitset(const std::vector<bool>& bits) {
+  util::Bitset out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out.set(i);
+  }
+  return out;
+}
+
 }  // namespace
 
 ServiceSpec service_from_datacenters(const std::string& name,
@@ -85,65 +98,82 @@ continent_population_shares() {
   return shares;
 }
 
-AvailabilityReport evaluate_service(const topo::InfrastructureNetwork& net,
-                                    const std::vector<bool>& cable_dead,
-                                    const ServiceSpec& service) {
-  if (service.replicas.empty() || service.write_quorum == 0 ||
-      service.write_quorum > service.replicas.size()) {
-    throw std::invalid_argument("evaluate_service: bad service spec");
+ServiceEvaluator::ServiceEvaluator(const topo::InfrastructureNetwork& net,
+                                   ServiceSpec spec)
+    : net_(net), csr_(&net.csr()), spec_(std::move(spec)) {
+  if (spec_.replicas.empty() || spec_.write_quorum == 0 ||
+      spec_.write_quorum > spec_.replicas.size()) {
+    throw std::invalid_argument("ServiceEvaluator: bad service spec");
   }
-  const graph::AliveMask mask = net.mask_for_failures(cable_dead);
-  const graph::ComponentResult cc =
-      graph::connected_components(net.graph(), mask);
-  // A node that lost every cable is not "nowhere" — it is its own island
-  // partition: parties attached to the same dark landing station can still
-  // talk over the local terrestrial network. Give each dark node a unique
-  // synthetic component id so co-located client/replica pairs match.
-  const auto unreachable = net.unreachable_nodes(cable_dead);
-  std::vector<bool> dark(net.node_count(), false);
-  for (topo::NodeId n : unreachable) dark[n] = true;
-  constexpr std::uint32_t kIslandBase = 0x80000000u;
-
-  auto component_of = [&](const geo::GeoPoint& p) -> std::uint32_t {
-    const topo::NodeId n = nearest_connected_node(net, p);
-    if (n == topo::kInvalidNode) return graph::ComponentResult::kNoComponent;
-    if (dark[n]) return kIslandBase + n;
-    return cc.component[n];
-  };
-
-  std::vector<std::uint32_t> replica_components;
-  replica_components.reserve(service.replicas.size());
-  for (const geo::GeoPoint& r : service.replicas) {
-    replica_components.push_back(component_of(r));
+  replica_nodes_.reserve(spec_.replicas.size());
+  for (const geo::GeoPoint& r : spec_.replicas) {
+    replica_nodes_.push_back(nearest_connected_node(net_, r));
   }
-
-  AvailabilityReport report;
-  report.service = service.name;
+  anchor_nodes_.reserve(continent_anchors().size());
   for (const auto& [continent, anchor] : continent_anchors()) {
+    anchor_nodes_.emplace_back(continent,
+                               nearest_connected_node(net_, anchor));
+  }
+}
+
+std::uint32_t ServiceEvaluator::component_of(topo::NodeId n,
+                                             const util::Bitset& cable_dead) {
+  if (n == topo::kInvalidNode) return graph::ComponentResult::kNoComponent;
+  if (net_.node_unreachable(n, cable_dead)) return kIslandBase + n;
+  return cc_.component[n];
+}
+
+void ServiceEvaluator::evaluate(const util::Bitset& cable_dead,
+                                AvailabilityReport& out) {
+  net_.mask_for_failures(cable_dead, mask_);
+  graph::connected_components(*csr_, mask_, comp_scratch_, cc_);
+
+  replica_components_.clear();
+  for (topo::NodeId n : replica_nodes_) {
+    replica_components_.push_back(component_of(n, cable_dead));
+  }
+
+  out.service = spec_.name;
+  out.per_continent.clear();
+  out.read_availability = 0.0;
+  out.write_availability = 0.0;
+  for (const auto& [continent, anchor_node] : anchor_nodes_) {
     ContinentAvailability avail;
     avail.continent = continent;
-    const std::uint32_t client = component_of(anchor);
+    const std::uint32_t client = component_of(anchor_node, cable_dead);
     if (client != graph::ComponentResult::kNoComponent) {
       std::size_t reachable = 0;
-      for (std::uint32_t rc : replica_components) {
+      for (std::uint32_t rc : replica_components_) {
         if (rc == client) ++reachable;
       }
       avail.read_available = reachable >= 1;
       // Replicas reachable from the client are in the same component, so
       // they are mutually connected: quorum is just a count.
-      avail.write_available = reachable >= service.write_quorum;
+      avail.write_available = reachable >= spec_.write_quorum;
     }
-    report.per_continent.push_back(avail);
+    out.per_continent.push_back(avail);
   }
 
   for (const auto& [continent, share] : continent_population_shares()) {
-    for (const ContinentAvailability& avail : report.per_continent) {
+    for (const ContinentAvailability& avail : out.per_continent) {
       if (avail.continent != continent) continue;
-      if (avail.read_available) report.read_availability += share;
-      if (avail.write_available) report.write_availability += share;
+      if (avail.read_available) out.read_availability += share;
+      if (avail.write_available) out.write_availability += share;
     }
   }
-  return report;
+}
+
+AvailabilityReport ServiceEvaluator::evaluate(const util::Bitset& cable_dead) {
+  AvailabilityReport out;
+  evaluate(cable_dead, out);
+  return out;
+}
+
+AvailabilityReport evaluate_service(const topo::InfrastructureNetwork& net,
+                                    const std::vector<bool>& cable_dead,
+                                    const ServiceSpec& service) {
+  ServiceEvaluator evaluator(net, service);
+  return evaluator.evaluate(to_bitset(cable_dead));
 }
 
 std::vector<AvailabilityReport> evaluate_services(
@@ -152,10 +182,83 @@ std::vector<AvailabilityReport> evaluate_services(
     const std::vector<ServiceSpec>& services) {
   std::vector<AvailabilityReport> out;
   out.reserve(services.size());
+  const util::Bitset dead = to_bitset(cable_dead);
   for (const ServiceSpec& s : services) {
-    out.push_back(evaluate_service(net, cable_dead, s));
+    ServiceEvaluator evaluator(net, s);
+    out.push_back(evaluator.evaluate(dead));
   }
   return out;
+}
+
+AvailabilitySweep availability_sweep(const sim::FailureSimulator& simulator,
+                                     const gic::RepeaterFailureModel& model,
+                                     const ServiceSpec& service,
+                                     std::size_t draws, std::uint64_t seed,
+                                     std::size_t threads) {
+  AvailabilitySweep sweep;
+  sweep.service = service.name;
+  sweep.draws = draws;
+  if (draws == 0) {
+    // Still validate the spec so a bad sweep fails loudly.
+    ServiceEvaluator(simulator.network(), service);
+    return sweep;
+  }
+
+  // Under the any-failure rule, fold the per-cable death probabilities once
+  // so each draw is O(cables).
+  sim::DeathProbabilityTable table;
+  const bool use_table =
+      simulator.config().rule == sim::CableDeathRule::kAnyRepeaterFails;
+  if (use_table) table = simulator.death_probability_table(model);
+
+  // Same determinism discipline as FailureSimulator::run_trials: fixed-size
+  // draw chunks (independent of the thread count), draw d always samples
+  // from child stream d, per-chunk accumulators merged in ascending order.
+  constexpr std::size_t kDrawChunk = 32;
+  const std::size_t chunks = (draws + kDrawChunk - 1) / kDrawChunk;
+  struct ChunkStats {
+    util::RunningStats read;
+    util::RunningStats write;
+  };
+  std::vector<ChunkStats> per_chunk(chunks);
+
+  const std::size_t workers =
+      std::min(util::resolve_thread_count(threads), chunks);
+  struct WorkerState {
+    ServiceEvaluator evaluator;
+    util::Bitset dead;
+    AvailabilityReport report;
+  };
+  // The prototype runs the nearest-node scans once; workers copy the
+  // resolved tables instead of re-scanning.
+  const ServiceEvaluator prototype(simulator.network(), service);
+  std::vector<WorkerState> state(workers, {prototype, {}, {}});
+
+  const util::Rng base(seed);
+  util::parallel_for(
+      chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+        WorkerState& s = state[worker];
+        ChunkStats& out = per_chunk[chunk];
+        const std::size_t begin = chunk * kDrawChunk;
+        const std::size_t end = std::min(begin + kDrawChunk, draws);
+        for (std::size_t d = begin; d < end; ++d) {
+          util::Rng rng = base.split(d);
+          if (use_table) {
+            simulator.sample_cable_failures(table, rng, s.dead);
+          } else {
+            simulator.sample_cable_failures(model, rng, s.dead);
+          }
+          s.evaluator.evaluate(s.dead, s.report);
+          out.read.add(s.report.read_availability);
+          out.write.add(s.report.write_availability);
+        }
+      });
+
+  for (const ChunkStats& c : per_chunk) {
+    sweep.read_availability.merge(c.read);
+    sweep.write_availability.merge(c.write);
+  }
+  return sweep;
 }
 
 }  // namespace solarnet::services

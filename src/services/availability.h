@@ -6,6 +6,12 @@
 // this module evaluates read/write availability for clients on every
 // continent under a cable-failure draw, using the surviving submarine
 // topology to decide who can reach whom.
+//
+// Two tiers mirror the graph kernels: evaluate_service is the one-shot
+// API; ServiceEvaluator resolves the replica and continent-anchor landing
+// nodes once per (network, spec) and then answers per-draw queries
+// allocation-free over the network's cached CSR — that plus
+// availability_sweep is the Monte-Carlo hot path.
 #pragma once
 
 #include <string>
@@ -13,7 +19,11 @@
 
 #include "geo/coords.h"
 #include "geo/regions.h"
+#include "graph/components.h"
+#include "sim/monte_carlo.h"
 #include "topology/network.h"
+#include "util/bitset.h"
+#include "util/stats.h"
 
 namespace solarnet::services {
 
@@ -48,6 +58,39 @@ struct AvailabilityReport {
 const std::vector<std::pair<geo::Continent, double>>&
 continent_population_shares();
 
+// Pre-resolved evaluator for one (network, service) pair. Construction
+// runs the nearest-landing-point scans (O(nodes) per replica/anchor) once;
+// evaluate() then costs one masked component decomposition plus O(1)
+// lookups per party, reusing all scratch. Copyable — the parallel sweep
+// hands each worker its own copy. The network must outlive the evaluator.
+class ServiceEvaluator {
+ public:
+  // Throws std::invalid_argument on an empty replica set or a quorum
+  // outside [1, replicas].
+  ServiceEvaluator(const topo::InfrastructureNetwork& net, ServiceSpec spec);
+
+  const ServiceSpec& spec() const noexcept { return spec_; }
+
+  // Evaluates one failure draw into `out`, reusing its storage.
+  // Allocation-free once warm.
+  void evaluate(const util::Bitset& cable_dead, AvailabilityReport& out);
+  AvailabilityReport evaluate(const util::Bitset& cable_dead);
+
+ private:
+  std::uint32_t component_of(topo::NodeId n, const util::Bitset& cable_dead);
+
+  const topo::InfrastructureNetwork& net_;
+  const graph::Csr* csr_;  // net_'s cached CSR, resolved once at construction
+  ServiceSpec spec_;
+  std::vector<topo::NodeId> replica_nodes_;
+  std::vector<std::pair<geo::Continent, topo::NodeId>> anchor_nodes_;
+  // Per-draw scratch.
+  graph::AliveMask mask_;
+  graph::ComponentScratch comp_scratch_;
+  graph::ComponentResult cc_;
+  std::vector<std::uint32_t> replica_components_;
+};
+
 // Evaluates one service against a failure draw. Every replica and client
 // continent is mapped to its nearest cable-bearing landing point; two
 // parties can communicate when those landing points share a surviving
@@ -61,5 +104,25 @@ AvailabilityReport evaluate_service(const topo::InfrastructureNetwork& net,
 std::vector<AvailabilityReport> evaluate_services(
     const topo::InfrastructureNetwork& net, const std::vector<bool>& cable_dead,
     const std::vector<ServiceSpec>& services);
+
+// Monte-Carlo availability sweep: `draws` independent failure draws from
+// the simulator's model, each evaluated through a pre-resolved
+// ServiceEvaluator. Draw d always samples from child stream d of `seed`
+// and draws are accumulated in fixed-size chunks merged in ascending
+// order (the run_trials discipline), so the result is bit-identical for
+// every `threads` value (0 = hardware concurrency).
+struct AvailabilitySweep {
+  std::string service;
+  std::size_t draws = 0;
+  // Population-weighted availability per draw.
+  util::RunningStats read_availability;
+  util::RunningStats write_availability;
+};
+
+AvailabilitySweep availability_sweep(const sim::FailureSimulator& simulator,
+                                     const gic::RepeaterFailureModel& model,
+                                     const ServiceSpec& service,
+                                     std::size_t draws, std::uint64_t seed,
+                                     std::size_t threads = 0);
 
 }  // namespace solarnet::services

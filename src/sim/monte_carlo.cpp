@@ -66,10 +66,22 @@ DeathProbabilityTable FailureSimulator::death_probability_table(
   return table;
 }
 
+namespace {
+
+// Uniform bit assignment over the two dead-set representations.
+inline void set_bit(std::vector<bool>& dead, std::size_t i, bool value) {
+  dead[i] = value;
+}
+inline void set_bit(util::Bitset& dead, std::size_t i, bool value) {
+  dead.set(i, value);
+}
+
+}  // namespace
+
+template <typename DeadSet>
 void FailureSimulator::sample_into(const gic::RepeaterFailureModel& model,
                                    const DeathProbabilityTable* table,
-                                   util::Rng& rng,
-                                   std::vector<bool>& dead) const {
+                                   util::Rng& rng, DeadSet& dead) const {
   dead.assign(net_.cable_count(), false);
   for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
     const std::size_t begin = cable_offset_[c];
@@ -78,7 +90,7 @@ void FailureSimulator::sample_into(const gic::RepeaterFailureModel& model,
     if (config_.rule == CableDeathRule::kAnyRepeaterFails) {
       const double p = table != nullptr ? table->probability[c]
                                         : cable_death_probability(c, model);
-      dead[c] = rng.bernoulli(p);
+      set_bit(dead, c, rng.bernoulli(p));
     } else {
       std::size_t failed = 0;
       for (std::size_t i = begin; i < end; ++i) {
@@ -88,7 +100,7 @@ void FailureSimulator::sample_into(const gic::RepeaterFailureModel& model,
       }
       const double fraction = static_cast<double>(failed) /
                               static_cast<double>(end - begin);
-      dead[c] = fraction >= config_.death_fraction;
+      set_bit(dead, c, fraction >= config_.death_fraction);
     }
   }
 }
@@ -106,15 +118,36 @@ void FailureSimulator::sample_cable_failures(
   sample_into(model, nullptr, rng, dead);
 }
 
+void FailureSimulator::sample_cable_failures(
+    const gic::RepeaterFailureModel& model, util::Rng& rng,
+    util::Bitset& dead) const {
+  sample_into(model, nullptr, rng, dead);
+}
+
+void FailureSimulator::sample_cable_failures(const DeathProbabilityTable& table,
+                                             util::Rng& rng,
+                                             util::Bitset& dead) const {
+  if (config_.rule != CableDeathRule::kAnyRepeaterFails) {
+    throw std::invalid_argument(
+        "sample_cable_failures: probability tables only model the "
+        "any-repeater-fails rule");
+  }
+  if (table.probability.size() != net_.cable_count()) {
+    throw std::invalid_argument("sample_cable_failures: table size mismatch");
+  }
+  dead.assign(net_.cable_count(), false);
+  for (topo::CableId c = 0; c < net_.cable_count(); ++c) {
+    if (cable_offset_[c] == cable_offset_[c + 1]) continue;
+    dead.set(c, rng.bernoulli(table.probability[c]));
+  }
+}
+
 void FailureSimulator::trial_percentages(
     const gic::RepeaterFailureModel& model, const DeathProbabilityTable* table,
     util::Rng& rng, TrialScratch& scratch, double& cables_failed_pct,
     double& nodes_unreachable_pct) const {
   sample_into(model, table, rng, scratch.cable_dead);
-  std::size_t failed = 0;
-  for (bool d : scratch.cable_dead) {
-    if (d) ++failed;
-  }
+  const std::size_t failed = scratch.cable_dead.count();
   net_.unreachable_nodes(scratch.cable_dead, scratch.unreachable);
   cables_failed_pct = net_.cable_count() > 0
                           ? 100.0 * static_cast<double>(failed) /

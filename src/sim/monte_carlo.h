@@ -30,6 +30,7 @@
 #include "gic/failure_model.h"
 #include "sim/outcome.h"
 #include "topology/network.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace solarnet::sim {
@@ -57,9 +58,11 @@ struct DeathProbabilityTable {
 };
 
 // Reusable per-worker scratch buffers for the trial loop, so repeated
-// trials do not reallocate the cable mask and unreachable-node list.
+// trials do not reallocate the cable mask and unreachable-node list. The
+// cable mask is a word-packed Bitset: counting failures is a popcount and
+// refills never touch the allocator once warm.
 struct TrialScratch {
-  std::vector<bool> cable_dead;
+  util::Bitset cable_dead;
   std::vector<topo::NodeId> unreachable;
 };
 
@@ -91,9 +94,18 @@ class FailureSimulator {
   // Samples which cables die in one event draw.
   std::vector<bool> sample_cable_failures(
       const gic::RepeaterFailureModel& model, util::Rng& rng) const;
-  // In-place overload: resizes and fills `dead`, reusing its storage.
+  // In-place overloads: resize and fill `dead`, reusing its storage. Both
+  // containers consume the rng stream identically, so a Bitset draw is
+  // bit-equivalent to a vector<bool> draw from the same stream.
   void sample_cable_failures(const gic::RepeaterFailureModel& model,
                              util::Rng& rng, std::vector<bool>& dead) const;
+  void sample_cable_failures(const gic::RepeaterFailureModel& model,
+                             util::Rng& rng, util::Bitset& dead) const;
+  // Table-accelerated draw (any-failure rule only — throws otherwise):
+  // O(cables) per draw against a prebuilt DeathProbabilityTable. This is
+  // the entry the sweep loops use.
+  void sample_cable_failures(const DeathProbabilityTable& table,
+                             util::Rng& rng, util::Bitset& dead) const;
 
   TrialResult run_trial(const gic::RepeaterFailureModel& model,
                         util::Rng& rng) const;
@@ -107,10 +119,12 @@ class FailureSimulator {
 
  private:
   // Shared sampling core: uses `table` when non-null (any-failure rule
-  // only), otherwise evaluates the model directly.
+  // only), otherwise evaluates the model directly. DeadSet is
+  // std::vector<bool> or util::Bitset; both consume the stream identically.
+  template <typename DeadSet>
   void sample_into(const gic::RepeaterFailureModel& model,
                    const DeathProbabilityTable* table, util::Rng& rng,
-                   std::vector<bool>& dead) const;
+                   DeadSet& dead) const;
   // One trial reduced to its two aggregate percentages, allocation-free
   // given warm scratch buffers.
   void trial_percentages(const gic::RepeaterFailureModel& model,

@@ -21,6 +21,7 @@ NodeId InfrastructureNetwork::add_node(Node node) {
   nodes_.push_back(std::move(node));
   cables_at_node_.emplace_back();
   graph_.add_vertex();
+  invalidate_csr();
   return it->second;
 }
 
@@ -53,7 +54,21 @@ CableId InfrastructureNetwork::add_cable(Cable cable) {
     cables_at_node_[n].push_back(id);
   }
   cables_.push_back(std::move(cable));
+  invalidate_csr();
   return id;
+}
+
+void InfrastructureNetwork::invalidate_csr() {
+  const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
+  csr_cache_.ptr.reset();
+}
+
+const graph::Csr& InfrastructureNetwork::csr() const {
+  const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
+  if (!csr_cache_.ptr) {
+    csr_cache_.ptr = std::make_shared<const graph::Csr>(graph_);
+  }
+  return *csr_cache_.ptr;
 }
 
 void InfrastructureNetwork::set_cable_length_known(CableId id, bool known) {
@@ -109,9 +124,21 @@ graph::AliveMask InfrastructureNetwork::mask_for_failures(
   }
   graph::AliveMask mask = graph::AliveMask::all_alive(graph_);
   for (graph::EdgeId e = 0; e < edge_to_cable_.size(); ++e) {
-    if (cable_dead[edge_to_cable_[e]]) mask.edge_alive[e] = false;
+    if (cable_dead[edge_to_cable_[e]]) mask.edge_alive.reset(e);
   }
   return mask;
+}
+
+void InfrastructureNetwork::mask_for_failures(const util::Bitset& cable_dead,
+                                              graph::AliveMask& mask) const {
+  if (cable_dead.size() != cables_.size()) {
+    throw std::invalid_argument("mask_for_failures: size mismatch");
+  }
+  mask.reset_to_all_alive(graph_);
+  if (cable_dead.none()) return;
+  for (graph::EdgeId e = 0; e < edge_to_cable_.size(); ++e) {
+    if (cable_dead[edge_to_cable_[e]]) mask.edge_alive.reset(e);
+  }
 }
 
 std::vector<NodeId> InfrastructureNetwork::unreachable_nodes(
@@ -135,6 +162,34 @@ void InfrastructureNetwork::unreachable_nodes(
                     [&](CableId c) { return cable_dead[c]; });
     if (all_dead) out.push_back(n);
   }
+}
+
+void InfrastructureNetwork::unreachable_nodes(const util::Bitset& cable_dead,
+                                              std::vector<NodeId>& out) const {
+  if (cable_dead.size() != cables_.size()) {
+    throw std::invalid_argument("unreachable_nodes: size mismatch");
+  }
+  out.clear();
+  if (cable_dead.none()) return;  // nothing dead -> nothing unreachable
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const auto& incident = cables_at_node_[n];
+    if (incident.empty()) continue;
+    const bool all_dead =
+        std::all_of(incident.begin(), incident.end(),
+                    [&](CableId c) { return cable_dead[c]; });
+    if (all_dead) out.push_back(n);
+  }
+}
+
+bool InfrastructureNetwork::node_unreachable(
+    NodeId id, const util::Bitset& cable_dead) const {
+  if (cable_dead.size() != cables_.size()) {
+    throw std::invalid_argument("node_unreachable: size mismatch");
+  }
+  const auto& incident = cables_at(id);
+  if (incident.empty()) return false;
+  return std::all_of(incident.begin(), incident.end(),
+                     [&](CableId c) { return cable_dead[c]; });
 }
 
 std::size_t InfrastructureNetwork::connected_node_count() const {

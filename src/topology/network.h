@@ -4,15 +4,19 @@
 // operates on.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "topology/cable.h"
 #include "topology/node.h"
+#include "util/bitset.h"
 
 namespace solarnet::topo {
 
@@ -50,6 +54,12 @@ class InfrastructureNetwork {
   // --- graph view ---------------------------------------------------------
   // One graph edge per cable segment, weighted by segment length.
   const graph::Graph& graph() const noexcept { return graph_; }
+  // Flat CSR snapshot of graph(), built lazily on first use and cached
+  // until the next add_node/add_cable invalidates it. This is the substrate
+  // the scratch-based connectivity kernels (graph/components.h,
+  // graph/traversal.h) traverse; build it (by calling this once) before
+  // fanning trial workers out over the network.
+  const graph::Csr& csr() const;
   CableId cable_of_edge(graph::EdgeId e) const;
   const std::vector<graph::EdgeId>& edges_of_cable(CableId c) const;
 
@@ -57,14 +67,23 @@ class InfrastructureNetwork {
   // All vertices stay alive (a node with no surviving cable is detected via
   // unreachable_nodes below, matching the paper's definition).
   graph::AliveMask mask_for_failures(const std::vector<bool>& cable_dead) const;
+  // Allocation-free overload: refills `mask` in place over the precomputed
+  // edge->cable table, reusing its storage. The trial loops call this once
+  // per draw per worker.
+  void mask_for_failures(const util::Bitset& cable_dead,
+                         graph::AliveMask& mask) const;
 
   // Paper §4.3.1: "a node is unreachable when all its connected links have
   // failed". Returns ids of nodes that had >= 1 cable and lost all of them.
   std::vector<NodeId> unreachable_nodes(const std::vector<bool>& cable_dead) const;
-  // In-place overload: clears and fills `out`, reusing its storage — the
+  // In-place overloads: clear and fill `out`, reusing its storage — the
   // Monte-Carlo trial loop calls this once per trial per worker.
   void unreachable_nodes(const std::vector<bool>& cable_dead,
                          std::vector<NodeId>& out) const;
+  void unreachable_nodes(const util::Bitset& cable_dead,
+                         std::vector<NodeId>& out) const;
+  // True when node `id` has >= 1 cable and every one of them is dead.
+  bool node_unreachable(NodeId id, const util::Bitset& cable_dead) const;
 
   // Nodes with at least one cable (the denominator of "% unreachable").
   std::size_t connected_node_count() const;
@@ -79,6 +98,8 @@ class InfrastructureNetwork {
   double cable_max_abs_latitude(CableId id) const;
 
  private:
+  void invalidate_csr();
+
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<Cable> cables_;
@@ -87,6 +108,26 @@ class InfrastructureNetwork {
   graph::Graph graph_;
   std::vector<CableId> edge_to_cable_;
   std::vector<std::vector<graph::EdgeId>> cable_to_edges_;
+  // Lazily built CSR snapshot of graph_, rebuilt on demand after
+  // add_node/add_cable invalidate it. The cache (not the network) carries
+  // the mutex, with copy/move defined to drop the cached snapshot, so the
+  // network stays movable and a copied network rebuilds its own CSR.
+  struct CsrCache {
+    CsrCache() = default;
+    CsrCache(const CsrCache&) noexcept {}
+    CsrCache(CsrCache&&) noexcept {}
+    CsrCache& operator=(const CsrCache&) noexcept {
+      ptr.reset();
+      return *this;
+    }
+    CsrCache& operator=(CsrCache&&) noexcept {
+      ptr.reset();
+      return *this;
+    }
+    std::mutex mutex;
+    std::shared_ptr<const graph::Csr> ptr;
+  };
+  mutable CsrCache csr_cache_;
 };
 
 }  // namespace solarnet::topo

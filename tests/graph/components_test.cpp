@@ -34,7 +34,7 @@ TEST(Components, DeadEdgeSplits) {
   g.add_edge(0, 1);
   const EdgeId bridge = g.add_edge(1, 2);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.edge_alive[bridge] = false;
+  mask.edge_alive.reset(bridge);
   const ComponentResult cc = connected_components(g, mask);
   EXPECT_EQ(cc.component_count(), 2u);
   EXPECT_TRUE(cc.same_component(0, 1));
@@ -46,7 +46,7 @@ TEST(Components, DeadVertexExcluded) {
   g.add_edge(0, 1);
   g.add_edge(1, 2);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[1] = false;
+  mask.vertex_alive.reset(1);
   const ComponentResult cc = connected_components(g, mask);
   EXPECT_EQ(cc.component[1], ComponentResult::kNoComponent);
   EXPECT_EQ(cc.component_count(), 2u);  // {0} and {2}
@@ -67,7 +67,7 @@ TEST(Components, ComponentSizesSumToAliveVertices) {
   g.add_edge(0, 1);
   g.add_edge(2, 3);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[5] = false;
+  mask.vertex_alive.reset(5);
   const ComponentResult cc = connected_components(g, mask);
   std::size_t total = 0;
   for (std::size_t s : cc.component_sizes) total += s;

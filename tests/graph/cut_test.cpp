@@ -104,7 +104,7 @@ TEST(Cuts, MaskedDeadEdgeCreatesNewBridges) {
   const EdgeId side = g.add_edge(3, 0);
   EXPECT_TRUE(find_cuts(g).bridges.empty());
   AliveMask mask = AliveMask::all_alive(g);
-  mask.edge_alive[side] = false;
+  mask.edge_alive.reset(side);
   const CutResult r = find_cuts(g, mask);
   EXPECT_EQ(r.bridges.size(), 3u);  // remaining path is all bridges
 }

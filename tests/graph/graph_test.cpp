@@ -84,7 +84,7 @@ TEST(AliveMask, DeadEdgeNotTraversable) {
   Graph g(2);
   const EdgeId e = g.add_edge(0, 1);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.edge_alive[e] = false;
+  mask.edge_alive.reset(e);
   EXPECT_FALSE(mask.traversable(g, e));
 }
 
@@ -92,7 +92,7 @@ TEST(AliveMask, DeadEndpointBlocksEdge) {
   Graph g(2);
   const EdgeId e = g.add_edge(0, 1);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[1] = false;
+  mask.vertex_alive.reset(1);
   EXPECT_FALSE(mask.traversable(g, e));
 }
 

@@ -30,7 +30,7 @@ TEST(Reachability, DeadSourceReachesNothing) {
   Graph g(2);
   g.add_edge(0, 1);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[0] = false;
+  mask.vertex_alive.reset(0);
   const auto reach = reachable_from(g, mask, 0);
   EXPECT_FALSE(reach[0]);
   EXPECT_FALSE(reach[1]);
@@ -41,7 +41,7 @@ TEST(Reachability, MaskBlocksEdges) {
   g.add_edge(0, 1);
   const EdgeId e = g.add_edge(1, 2);
   AliveMask mask = AliveMask::all_alive(g);
-  mask.edge_alive[e] = false;
+  mask.edge_alive.reset(e);
   const auto reach = reachable_from(g, mask, 0);
   EXPECT_TRUE(reach[1]);
   EXPECT_FALSE(reach[2]);
@@ -91,7 +91,7 @@ TEST(Dijkstra, UnreachableIsInfinity) {
 TEST(Dijkstra, MaskChangesRoute) {
   const Graph g = weighted_triangle();
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[1] = false;  // force the heavy direct edge
+  mask.vertex_alive.reset(1);  // force the heavy direct edge
   const ShortestPaths sp = dijkstra(g, mask, 0);
   EXPECT_DOUBLE_EQ(sp.distance[2], 5.0);
 }
@@ -115,7 +115,7 @@ TEST(Dijkstra, ThrowsOnBadSource) {
 TEST(Dijkstra, DeadSourceHasNoDistances) {
   const Graph g = weighted_triangle();
   AliveMask mask = AliveMask::all_alive(g);
-  mask.vertex_alive[0] = false;
+  mask.vertex_alive.reset(0);
   const ShortestPaths sp = dijkstra(g, mask, 0);
   EXPECT_EQ(sp.distance[0], kUnreachable);
   EXPECT_EQ(sp.distance[1], kUnreachable);

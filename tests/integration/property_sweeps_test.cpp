@@ -218,7 +218,7 @@ TEST_P(RandomGraphTest, RemovingBridgeSplitsComponent) {
   const auto before = graph::connected_components(g, mask);
   for (graph::EdgeId bridge : cuts.bridges) {
     auto masked = mask;
-    masked.edge_alive[bridge] = false;
+    masked.edge_alive.reset(bridge);
     const auto after = graph::connected_components(g, masked);
     EXPECT_EQ(after.component_count(), before.component_count() + 1)
         << "bridge " << bridge;
@@ -230,7 +230,7 @@ TEST_P(RandomGraphTest, RemovingBridgeSplitsComponent) {
       continue;
     }
     auto masked = mask;
-    masked.edge_alive[e] = false;
+    masked.edge_alive.reset(e);
     const auto after = graph::connected_components(g, masked);
     EXPECT_EQ(after.component_count(), before.component_count())
         << "edge " << e;

@@ -142,6 +142,123 @@ TEST(ServiceFromDatacenters, BuildsSpec) {
   EXPECT_EQ(spec.write_quorum, 3u);
 }
 
+TEST_F(ServiceTest, EvaluatorMatchesOneShotApi) {
+  ServiceSpec svc;
+  svc.name = "global-db";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};
+  svc.write_quorum = 2;
+  ServiceEvaluator evaluator(net_, svc);
+  util::Rng rng(77);
+  for (int draw = 0; draw < 20; ++draw) {
+    std::vector<bool> dead_vb(net_.cable_count());
+    util::Bitset dead_bits(net_.cable_count());
+    for (std::size_t c = 0; c < net_.cable_count(); ++c) {
+      const bool dead = rng.bernoulli(0.4);
+      dead_vb[c] = dead;
+      dead_bits.set(c, dead);
+    }
+    const AvailabilityReport ref = evaluate_service(net_, dead_vb, svc);
+    const AvailabilityReport got = evaluator.evaluate(dead_bits);
+    EXPECT_DOUBLE_EQ(got.read_availability, ref.read_availability);
+    EXPECT_DOUBLE_EQ(got.write_availability, ref.write_availability);
+    ASSERT_EQ(got.per_continent.size(), ref.per_continent.size());
+    for (std::size_t i = 0; i < ref.per_continent.size(); ++i) {
+      EXPECT_EQ(got.per_continent[i].read_available,
+                ref.per_continent[i].read_available);
+      EXPECT_EQ(got.per_continent[i].write_available,
+                ref.per_continent[i].write_available);
+    }
+  }
+}
+
+TEST_F(ServiceTest, EvaluatorValidatesSpec) {
+  ServiceSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(ServiceEvaluator(net_, bad), std::invalid_argument);
+  bad.replicas = {{0.0, 0.0}};
+  bad.write_quorum = 2;
+  EXPECT_THROW(ServiceEvaluator(net_, bad), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, SweepMatchesSerialPerDrawLoop) {
+  ServiceSpec svc;
+  svc.name = "global-db";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};
+  svc.write_quorum = 1;
+  const sim::FailureSimulator simulator(net_, {});
+  const auto model = gic::LatitudeBandFailureModel::s1();
+  constexpr std::size_t kDraws = 40;
+  constexpr std::uint64_t kSeed = 11;
+
+  // Reference: the pre-sweep idiom — draw d from child stream d, one
+  // evaluate_service call per draw.
+  util::RunningStats ref_read, ref_write;
+  const util::Rng base(kSeed);
+  for (std::size_t d = 0; d < kDraws; ++d) {
+    util::Rng rng = base.split(d);
+    const auto dead = simulator.sample_cable_failures(model, rng);
+    const auto report = evaluate_service(net_, dead, svc);
+    ref_read.add(report.read_availability);
+    ref_write.add(report.write_availability);
+  }
+
+  const AvailabilitySweep sweep =
+      availability_sweep(simulator, model, svc, kDraws, kSeed, 1);
+  EXPECT_EQ(sweep.draws, kDraws);
+  EXPECT_EQ(sweep.read_availability.count(), kDraws);
+  EXPECT_DOUBLE_EQ(sweep.read_availability.mean(), ref_read.mean());
+  EXPECT_DOUBLE_EQ(sweep.write_availability.mean(), ref_write.mean());
+  EXPECT_DOUBLE_EQ(sweep.read_availability.sample_stddev(),
+                   ref_read.sample_stddev());
+  EXPECT_DOUBLE_EQ(sweep.write_availability.sample_stddev(),
+                   ref_write.sample_stddev());
+}
+
+TEST_F(ServiceTest, SweepBitIdenticalAcrossThreadCounts) {
+  ServiceSpec svc;
+  svc.name = "global-db";
+  svc.replicas = {{40.7, -74.0}, {1.35, 103.8}};
+  svc.write_quorum = 2;
+  const sim::FailureSimulator simulator(net_, {});
+  const auto model = gic::LatitudeBandFailureModel::s2();
+  constexpr std::size_t kDraws = 100;  // > kDrawChunk so chunking kicks in
+  const AvailabilitySweep serial =
+      availability_sweep(simulator, model, svc, kDraws, 3, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{0}}) {
+    const AvailabilitySweep parallel =
+        availability_sweep(simulator, model, svc, kDraws, 3, threads);
+    EXPECT_EQ(parallel.read_availability.mean(),
+              serial.read_availability.mean())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.read_availability.sample_stddev(),
+              serial.read_availability.sample_stddev())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.write_availability.mean(),
+              serial.write_availability.mean())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.write_availability.sample_stddev(),
+              serial.write_availability.sample_stddev())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ServiceTest, SweepZeroDrawsStillValidatesSpec) {
+  const sim::FailureSimulator simulator(net_, {});
+  const auto model = gic::LatitudeBandFailureModel::s1();
+  ServiceSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(availability_sweep(simulator, model, bad, 0, 1),
+               std::invalid_argument);
+  ServiceSpec ok;
+  ok.name = "ok";
+  ok.replicas = {{40.7, -74.0}};
+  ok.write_quorum = 1;
+  const AvailabilitySweep sweep = availability_sweep(simulator, model, ok, 0, 1);
+  EXPECT_EQ(sweep.draws, 0u);
+  EXPECT_EQ(sweep.read_availability.count(), 0u);
+}
+
 TEST(ServiceFullScale, GoogleFootprintBeatsFacebookUnderS1) {
   // §4.4.2 restated as a service-availability experiment: the broader
   // replica footprint keeps more of the world readable after a storm.

@@ -125,7 +125,8 @@ TEST_F(NetworkTest, UnreachableNodesInPlaceOverloadReusesBuffer) {
   std::vector<bool> all_dead = {true, true, true};
   net_.unreachable_nodes(all_dead, out);
   EXPECT_EQ(out, net_.unreachable_nodes(all_dead));
-  EXPECT_THROW(net_.unreachable_nodes({true}, out), std::invalid_argument);
+  EXPECT_THROW(net_.unreachable_nodes(std::vector<bool>{true}, out),
+               std::invalid_argument);
 }
 
 TEST_F(NetworkTest, NodeWithoutCablesNeverUnreachable) {
