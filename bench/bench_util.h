@@ -1,9 +1,14 @@
-// Shared helpers for the figure harnesses: optional CSV export. Every
-// figure bench accepts an optional output directory as argv[1]; when
-// given, the plotted series are also written as CSV files for external
-// plotting (gnuplot/matplotlib), alongside the printed tables.
+// Shared helpers for the figure harnesses: optional CSV export and
+// machine-readable timing output. Every figure bench accepts an optional
+// output directory as argv[1]; when given, the plotted series are also
+// written as CSV files for external plotting (gnuplot/matplotlib),
+// alongside the printed tables. Perf benches additionally emit
+// BENCH_<name>.json files (see write_bench_json) so the perf trajectory
+// can be tracked across commits without scraping console output.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <string>
@@ -24,6 +29,56 @@ inline void write_series(const std::optional<std::string>& dir,
                          const std::vector<util::CsvRow>& rows) {
   if (!dir) return;
   util::write_csv_file(*dir + "/" + name + ".csv", rows);
+}
+
+// One measured quantity of a perf bench: a name, a value, and its unit
+// ("ms", "us", "x" for speedup ratios, "count", ...).
+struct BenchRecord {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+// Writes BENCH_<bench>.json with the given records:
+//   {"bench": "sweep", "records": [{"name": ..., "value": ..., "unit": ...}]}
+// The file lands in the current working directory (CI runs the perf
+// binaries from the repo root and uploads BENCH_*.json as artifacts).
+// Record names must not need JSON escaping (plain identifiers).
+inline void write_bench_json(const std::string& bench,
+                             const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+               bench.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                 records[i].name.c_str(), records[i].value,
+                 records[i].unit.c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// Wall-clock milliseconds for the best of `repeats` runs of fn() — a
+// dependency-free timing primitive for perf benches that do not link
+// google-benchmark. Best-of damps scheduler noise for multi-ms workloads.
+template <typename Fn>
+double time_best_ms(Fn&& fn, std::size_t repeats = 3) {
+  double best = -1.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
 }
 
 }  // namespace solarnet::benchutil

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/country.h"
+#include "bench_util.h"
 #include "datasets/land.h"
 #include "datasets/submarine.h"
 #include "gic/induction.h"
@@ -161,4 +162,43 @@ void BM_GenerateItuNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateItuNetwork)->Arg(1000)->Arg(11737);
 
+// Headline chrono timings for BENCH_engine.json: run_trials throughput at
+// the perf trial budget, serial and auto-threaded, uniform and band model.
+void emit_bench_json() {
+  const gic::UniformFailureModel uniform_model(0.01);
+  const auto band_model = gic::LatitudeBandFailureModel::s1();
+  sim::TrialConfig serial_cfg;
+  serial_cfg.threads = 1;
+  const sim::FailureSimulator serial_sim(submarine(), serial_cfg);
+  const sim::FailureSimulator auto_sim(submarine(), {});
+
+  const double serial_ms = benchutil::time_best_ms([&] {
+    benchmark::DoNotOptimize(
+        serial_sim.run_trials(uniform_model, kPerfTrials, kPerfSeed));
+  });
+  const double auto_ms = benchutil::time_best_ms([&] {
+    benchmark::DoNotOptimize(
+        auto_sim.run_trials(uniform_model, kPerfTrials, kPerfSeed));
+  });
+  const double band_ms = benchutil::time_best_ms([&] {
+    benchmark::DoNotOptimize(
+        auto_sim.run_trials(band_model, kPerfTrials, kPerfSeed));
+  });
+  benchutil::write_bench_json(
+      "engine",
+      {{"trials", static_cast<double>(kPerfTrials), "count"},
+       {"run_trials_uniform_serial_ms", serial_ms, "ms"},
+       {"run_trials_uniform_auto_ms", auto_ms, "ms"},
+       {"run_trials_band_auto_ms", band_ms, "ms"}});
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include <queue>
 #include <vector>
 
+#include "bench_util.h"
 #include "datasets/datacenters.h"
 #include "datasets/submarine.h"
 #include "geo/distance.h"
@@ -592,6 +593,54 @@ void BM_AvailabilitySweep(benchmark::State& state) {
 BENCHMARK(BM_AvailabilitySweep)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Headline chrono timings for BENCH_graph.json: the per-trial connectivity
+// and availability units, old vs new, averaged over the bench draws.
+void emit_bench_json() {
+  const auto& net = submarine();
+  const graph::Csr& csr = net.csr();
+  graph::ComponentScratch comp_scratch;
+  graph::ComponentResult cc;
+  graph::AliveMask mask;
+  services::ServiceEvaluator evaluator(net, bench_service());
+  services::AvailabilityReport report;
+  const double per_draw = 1.0 / static_cast<double>(kBenchDraws);
+
+  const double legacy_components_ms = per_draw * benchutil::time_best_ms([&] {
+    for (const DrawPair& draw : bench_draws()) {
+      const legacy::AliveMask old_mask =
+          legacy::mask_for_failures(net, draw.dead_vb);
+      benchmark::DoNotOptimize(
+          legacy::connected_components(net.graph(), old_mask));
+    }
+  });
+  const double csr_components_ms = per_draw * benchutil::time_best_ms([&] {
+    for (const DrawPair& draw : bench_draws()) {
+      net.mask_for_failures(draw.dead_bits, mask);
+      graph::connected_components(csr, mask, comp_scratch, cc);
+      benchmark::DoNotOptimize(cc.component.data());
+    }
+  });
+  const services::ServiceSpec spec = bench_service();
+  const double legacy_avail_ms = per_draw * benchutil::time_best_ms([&] {
+    for (const DrawPair& draw : bench_draws()) {
+      benchmark::DoNotOptimize(
+          legacy::evaluate_service(net, draw.dead_vb, spec));
+    }
+  });
+  const double eval_avail_ms = per_draw * benchutil::time_best_ms([&] {
+    for (const DrawPair& draw : bench_draws()) {
+      evaluator.evaluate(draw.dead_bits, report);
+      benchmark::DoNotOptimize(report.read_availability);
+    }
+  });
+  benchutil::write_bench_json(
+      "graph",
+      {{"legacy_masked_components_ms", legacy_components_ms, "ms"},
+       {"csr_masked_components_ms", csr_components_ms, "ms"},
+       {"legacy_availability_per_trial_ms", legacy_avail_ms, "ms"},
+       {"evaluator_availability_per_trial_ms", eval_avail_ms, "ms"}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -600,6 +649,7 @@ int main(int argc, char** argv) {
   check_sweep_determinism();
   check_zero_steady_state_allocations();
   std::printf("perf_graph: all equivalence checks passed\n");
+  emit_bench_json();
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

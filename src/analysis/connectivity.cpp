@@ -1,21 +1,43 @@
 #include "analysis/connectivity.h"
 
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/sweep.h"
+
 namespace solarnet::analysis {
 
 std::vector<SweepPoint> uniform_failure_sweep(
     const sim::FailureSimulator& simulator, std::span<const double> probs,
     std::size_t trials, std::uint64_t seed) {
-  std::vector<SweepPoint> out;
-  out.reserve(probs.size());
-  std::uint64_t salt = 0;
-  for (double p : probs) {
-    const gic::UniformFailureModel model(p);
-    const sim::AggregateResult agg =
-        simulator.run_trials(model, trials, seed ^ (0x9e37 + salt++));
-    out.push_back({p, agg.cables_failed_pct.mean(),
-                   agg.cables_failed_pct.sample_stddev(),
-                   agg.nodes_unreachable_pct.mean(),
-                   agg.nodes_unreachable_pct.sample_stddev()});
+  if (simulator.config().rule != sim::CableDeathRule::kAnyRepeaterFails) {
+    throw std::invalid_argument(
+        "uniform_failure_sweep: batched sweeps require "
+        "CableDeathRule::kAnyRepeaterFails");
+  }
+  // The engine wants an ascending grid; accept any input order (and
+  // duplicates) by sweeping a sorted copy and mapping results back.
+  std::vector<std::size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return probs[a] < probs[b];
+                   });
+  std::vector<double> sorted;
+  sorted.reserve(probs.size());
+  for (const std::size_t i : order) sorted.push_back(probs[i]);
+
+  std::vector<SweepPoint> out(probs.size());
+  if (probs.empty()) return out;
+  const sim::SweepEngine engine = sim::SweepEngine::uniform(simulator, sorted);
+  const sim::SweepResult result = engine.run(trials, seed);
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    const sim::SweepPointAggregate& point = result.points[g];
+    out[order[g]] = {point.axis, point.cables_failed_pct.mean(),
+                     point.cables_failed_pct.sample_stddev(),
+                     point.nodes_unreachable_pct.mean(),
+                     point.nodes_unreachable_pct.sample_stddev()};
   }
   return out;
 }
@@ -32,13 +54,19 @@ BandSweepResult band_failure_run(const topo::InfrastructureNetwork& net,
   config.repeater_spacing_km = spacing_km;
   config.threads = threads;
   const sim::FailureSimulator simulator(net, config);
-  const sim::AggregateResult agg = simulator.run_trials(model, trials, seed);
+  // A single-point grid is trivially monotone; the engine still buys the
+  // one-uniform-per-cable trial loop and chunked deterministic reduction.
+  std::vector<sim::DeathProbabilityTable> grid;
+  grid.push_back(simulator.death_probability_table(model));
+  const sim::SweepEngine engine(simulator, std::move(grid));
+  const sim::SweepResult result = engine.run(trials, seed);
+  const sim::SweepPointAggregate& point = result.points.front();
   return {model.name(),
           spacing_km,
-          agg.cables_failed_pct.mean(),
-          agg.cables_failed_pct.sample_stddev(),
-          agg.nodes_unreachable_pct.mean(),
-          agg.nodes_unreachable_pct.sample_stddev()};
+          point.cables_failed_pct.mean(),
+          point.cables_failed_pct.sample_stddev(),
+          point.nodes_unreachable_pct.mean(),
+          point.nodes_unreachable_pct.sample_stddev()};
 }
 
 }  // namespace solarnet::analysis

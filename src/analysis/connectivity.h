@@ -1,6 +1,10 @@
 // Failure-sweep analyses behind Figures 6, 7 and 8: cable/node failure
 // percentages across repeater-failure probabilities, spacings, and the
-// paper's non-uniform latitude-band states.
+// paper's non-uniform latitude-band states. Both entry points run on
+// sim::SweepEngine — one common-random-number draw per cable prices the
+// whole probability grid per trial (see sim/sweep.h for the coupling and
+// determinism contract), so a G-point sweep costs ~one trial's connectivity
+// work instead of G.
 #pragma once
 
 #include <span>
@@ -21,6 +25,10 @@ struct SweepPoint {
 };
 
 // Uniform-probability sweep (Figures 6 and 7): one point per probability.
+// Accepts probabilities in any order (results keep the input order) and
+// throws std::invalid_argument up front when the simulator's rule is not
+// kAnyRepeaterFails. Trial t shares one uniform per cable across all
+// points, so per-trial curves are exactly monotone in p.
 std::vector<SweepPoint> uniform_failure_sweep(
     const sim::FailureSimulator& simulator, std::span<const double> probs,
     std::size_t trials, std::uint64_t seed);

@@ -2,8 +2,6 @@
 
 #include <limits>
 #include <numeric>
-#include <stdexcept>
-#include <utility>
 
 namespace solarnet::graph {
 
@@ -16,31 +14,5 @@ void UnionFind::reset(std::size_t n) {
   size_.assign(n, 1);
   sets_ = n;
 }
-
-std::size_t UnionFind::find(std::size_t x) {
-  if (x >= parent_.size()) throw std::out_of_range("UnionFind::find");
-  while (parent_[x] != x) {
-    parent_[x] = parent_[parent_[x]];  // path halving
-    x = parent_[x];
-  }
-  return x;
-}
-
-bool UnionFind::unite(std::size_t a, std::size_t b) {
-  auto ra = static_cast<std::uint32_t>(find(a));
-  auto rb = static_cast<std::uint32_t>(find(b));
-  if (ra == rb) return false;
-  if (size_[ra] < size_[rb]) std::swap(ra, rb);
-  parent_[rb] = ra;
-  size_[ra] += size_[rb];
-  --sets_;
-  return true;
-}
-
-bool UnionFind::connected(std::size_t a, std::size_t b) {
-  return find(a) == find(b);
-}
-
-std::size_t UnionFind::set_size(std::size_t x) { return size_[find(x)]; }
 
 }  // namespace solarnet::graph

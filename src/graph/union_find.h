@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace solarnet::graph {
@@ -21,11 +23,40 @@ class UnionFind {
   // capacity allows. Throws std::length_error when n exceeds 32-bit ids.
   void reset(std::size_t n);
 
-  std::size_t find(std::size_t x);
+  // The find/unite operations are defined inline: the Monte-Carlo kernels
+  // call them hundreds of times per trial, and inlining the path-halving
+  // loop into the caller is a measurable win at that call density.
+  std::size_t find(std::size_t x) {
+    if (x >= parent_.size()) throw std::out_of_range("UnionFind::find");
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
   // Returns true if the sets were distinct (a merge happened).
-  bool unite(std::size_t a, std::size_t b);
-  bool connected(std::size_t a, std::size_t b);
-  std::size_t set_size(std::size_t x);
+  bool unite(std::size_t a, std::size_t b) {
+    return unite_returning_size(a, b) != 0;
+  }
+
+  // Unites and returns the merged set's size, or 0 when a and b were
+  // already together — one find pair total, where unite() + set_size()
+  // would pay a second find. The sweep engine's resurrection walk tracks
+  // the running largest component with this.
+  std::size_t unite_returning_size(std::size_t a, std::size_t b) {
+    auto ra = static_cast<std::uint32_t>(find(a));
+    auto rb = static_cast<std::uint32_t>(find(b));
+    if (ra == rb) return 0;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --sets_;
+    return size_[ra];
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
   std::size_t set_count() const noexcept { return sets_; }
   std::size_t element_count() const noexcept { return parent_.size(); }
 

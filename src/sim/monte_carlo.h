@@ -79,6 +79,15 @@ class FailureSimulator {
   std::size_t repeaterless_cables() const noexcept {
     return repeaterless_cables_;
   }
+  // Repeaters laid on one cable at the config's spacing. Cables with zero
+  // repeaters can never die of GIC; the sweep engine uses this to skip
+  // their draws exactly like sample_cable_failures does.
+  std::size_t cable_repeater_count(topo::CableId cable) const {
+    if (cable + 1 >= cable_offset_.size()) {
+      throw std::out_of_range("cable_repeater_count: cable id");
+    }
+    return cable_offset_[cable + 1] - cable_offset_[cable];
+  }
   double average_repeaters_per_cable() const noexcept;
 
   // Exact per-cable death probability under the any-failure rule:

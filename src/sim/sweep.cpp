@@ -1,0 +1,312 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace solarnet::sim {
+
+SweepEngine::SweepEngine(const FailureSimulator& simulator,
+                         std::vector<DeathProbabilityTable> grid,
+                         std::vector<double> axis)
+    : sim_(simulator), grid_size_(grid.size()), axis_(std::move(axis)) {
+  if (sim_.config().rule != CableDeathRule::kAnyRepeaterFails) {
+    throw std::invalid_argument(
+        "SweepEngine: CRN grid thresholding models the any-repeater-fails "
+        "rule only; construct the FailureSimulator with "
+        "CableDeathRule::kAnyRepeaterFails");
+  }
+  if (grid_size_ == 0) {
+    throw std::invalid_argument("SweepEngine: empty probability grid");
+  }
+  if (axis_.empty()) {
+    axis_.reserve(grid_size_);
+    for (std::size_t g = 0; g < grid_size_; ++g) {
+      axis_.push_back(static_cast<double>(g));
+    }
+  } else if (axis_.size() != grid_size_) {
+    throw std::invalid_argument("SweepEngine: axis size mismatches grid");
+  }
+
+  const topo::InfrastructureNetwork& net = sim_.network();
+  const std::size_t cables = net.cable_count();
+  // Transpose to one contiguous non-decreasing row per cable, validating
+  // bounds and the per-cable monotonicity the nested-dead-set walk needs.
+  probability_.resize(cables * grid_size_);
+  for (std::size_t g = 0; g < grid_size_; ++g) {
+    if (grid[g].probability.size() != cables) {
+      throw std::invalid_argument("SweepEngine: grid table size mismatch");
+    }
+    for (topo::CableId c = 0; c < cables; ++c) {
+      const double p = grid[g].probability[c];
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(
+            "SweepEngine: death probability outside [0, 1]");
+      }
+      if (g > 0 && p < probability_[c * grid_size_ + g - 1]) {
+        throw std::invalid_argument(
+            "SweepEngine: grid not monotone per cable (order points least "
+            "to most severe)");
+      }
+      probability_[c * grid_size_ + g] = p;
+    }
+  }
+
+  // Flatten per-cable graph edges for the resurrection walk.
+  edge_offset_.reserve(cables + 1);
+  edge_offset_.push_back(0);
+  for (topo::CableId c = 0; c < cables; ++c) {
+    for (const graph::EdgeId e : net.edges_of_cable(c)) {
+      const graph::Edge& ed = net.graph().edge(e);
+      edge_u_.push_back(ed.u);
+      edge_v_.push_back(ed.v);
+    }
+    edge_offset_.push_back(static_cast<std::uint32_t>(edge_u_.size()));
+    if (sim_.cable_repeater_count(c) > 0) {
+      mortal_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+
+  // Per-cable unique incident nodes, built by inverting cables_at(n) in
+  // two counting passes (each (cable, node) incidence appears exactly once
+  // there — Cable::endpoints() dedups before network registration).
+  const std::size_t nodes = net.node_count();
+  node_offset_.assign(cables + 1, 0);
+  for (topo::NodeId n = 0; n < nodes; ++n) {
+    for (const topo::CableId c : net.cables_at(n)) ++node_offset_[c + 1];
+  }
+  for (topo::CableId c = 0; c < cables; ++c) {
+    node_offset_[c + 1] += node_offset_[c];
+  }
+  node_ids_.resize(node_offset_[cables]);
+  std::vector<std::uint32_t> cursor(node_offset_.begin(),
+                                    node_offset_.end() - 1);
+  for (topo::NodeId n = 0; n < nodes; ++n) {
+    for (const topo::CableId c : net.cables_at(n)) {
+      node_ids_[cursor[c]++] = static_cast<std::uint32_t>(n);
+    }
+  }
+  connected_nodes_ = net.connected_node_count();
+}
+
+SweepEngine SweepEngine::uniform(const FailureSimulator& simulator,
+                                 std::span<const double> probs) {
+  if (!std::is_sorted(probs.begin(), probs.end())) {
+    throw std::invalid_argument(
+        "SweepEngine::uniform: probabilities must be sorted ascending");
+  }
+  // Closed form for the uniform model: every repeater fails i.i.d. with
+  // probability p, so a k-repeater cable dies with 1 - (1-p)^k. The powers
+  // are built by iterated multiplication (survive[k] = survive[k-1] *
+  // (1-p)), the same factor sequence death_probability_table multiplies
+  // per cable — so the tables are bit-identical to the generic path at
+  // O(cables + max_repeaters) per point instead of O(total_repeaters).
+  const std::size_t cables = simulator.network().cable_count();
+  std::size_t max_repeaters = 0;
+  for (topo::CableId c = 0; c < cables; ++c) {
+    max_repeaters = std::max(max_repeaters, simulator.cable_repeater_count(c));
+  }
+  std::vector<double> survive(max_repeaters + 1);
+  std::vector<DeathProbabilityTable> grid(probs.size());
+  for (std::size_t g = 0; g < probs.size(); ++g) {
+    const double p = probs[g];
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(
+          "SweepEngine::uniform: probability outside [0, 1]");
+    }
+    survive[0] = 1.0;
+    for (std::size_t k = 1; k <= max_repeaters; ++k) {
+      survive[k] = survive[k - 1] * (1.0 - p);
+    }
+    grid[g].probability.resize(cables);
+    for (topo::CableId c = 0; c < cables; ++c) {
+      const std::size_t k = simulator.cable_repeater_count(c);
+      grid[g].probability[c] = k == 0 ? 0.0 : 1.0 - survive[k];
+    }
+  }
+  return SweepEngine(simulator, std::move(grid),
+                     std::vector<double>(probs.begin(), probs.end()));
+}
+
+double SweepEngine::grid_probability(std::size_t g,
+                                     topo::CableId cable) const {
+  if (g >= grid_size_ || cable >= sim_.network().cable_count()) {
+    throw std::out_of_range("SweepEngine::grid_probability");
+  }
+  return probability_[cable * grid_size_ + g];
+}
+
+void SweepEngine::sample_death_grid_indices(
+    util::Rng& rng, std::vector<std::uint32_t>& out) const {
+  const std::size_t cables = sim_.network().cable_count();
+  const auto grid = static_cast<std::uint32_t>(grid_size_);
+  // Repeaterless cables never die of GIC and consume no randomness,
+  // exactly like sample_cable_failures; only the mortal list draws.
+  out.assign(cables, grid);
+  for (const std::uint32_t c : mortal_) {
+    const double u = rng.uniform();
+    // The cable is dead at point g iff u < probability[g] (the Bernoulli
+    // rule); its row is non-decreasing, so `u < row[g]` is a monotone
+    // predicate and the suffix count gives the first dead point. The
+    // branchless sweep beats a binary search at figure-scale grid sizes
+    // (no data-dependent branches to mispredict).
+    const double* row = probability_.data() + c * grid_size_;
+    std::uint32_t dead_points = 0;
+    for (std::size_t g = 0; g < grid_size_; ++g) {
+      dead_points += u < row[g] ? 1u : 0u;
+    }
+    out[c] = grid - dead_points;
+  }
+}
+
+void SweepEngine::run_trial(util::Rng& rng, SweepScratch& s) const {
+  const std::size_t cables = sim_.network().cable_count();
+  const std::size_t nodes = sim_.network().node_count();
+  const std::size_t grid = grid_size_;
+
+  // Same draws as sample_death_grid_indices (one uniform per mortal cable
+  // in ascending cable order), but batched: the serial rng dependency
+  // chain runs alone, then the threshold counting loop vectorizes without
+  // it. perf_sweep's brute-force gate checks the two stay identical.
+  s.uniforms.resize(mortal_.size());
+  for (std::size_t i = 0; i < mortal_.size(); ++i) {
+    s.uniforms[i] = rng.uniform();
+  }
+  s.death_index.assign(cables, static_cast<std::uint32_t>(grid));
+  for (std::size_t i = 0; i < mortal_.size(); ++i) {
+    const double u = s.uniforms[i];
+    const double* row = probability_.data() + mortal_[i] * grid;
+    std::uint32_t dead_points = 0;
+    for (std::size_t g = 0; g < grid; ++g) {
+      dead_points += u < row[g] ? 1u : 0u;
+    }
+    s.death_index[mortal_[i]] = static_cast<std::uint32_t>(grid) - dead_points;
+  }
+
+  // Counting-sort cables by first-dead grid index (bucket `grid` holds the
+  // cables that survive the whole axis), preserving ascending cable order
+  // inside each bucket.
+  s.bucket_start.assign(grid + 2, 0);
+  for (topo::CableId c = 0; c < cables; ++c) {
+    ++s.bucket_start[s.death_index[c] + 1];
+  }
+  for (std::size_t g = 1; g <= grid + 1; ++g) {
+    s.bucket_start[g] += s.bucket_start[g - 1];
+  }
+  s.bucket_cursor.assign(s.bucket_start.begin(), s.bucket_start.end() - 1);
+  s.bucket_cables.resize(cables);
+  for (topo::CableId c = 0; c < cables; ++c) {
+    s.bucket_cables[s.bucket_cursor[s.death_index[c]]++] = c;
+  }
+
+  // Reverse-resurrection walk. Start from the most severe point (only the
+  // always-alive bucket active) and add cables back as severity drops; the
+  // union-find only ever takes insertions, which is what makes the whole
+  // grid cost one component build.
+  s.alive_cables_at_node.assign(nodes, 0);
+  s.uf.reset(nodes);
+  s.cables_pct.resize(grid);
+  s.nodes_pct.resize(grid);
+  s.largest_pct.resize(grid);
+  std::size_t alive_cables = 0;
+  std::size_t lit_nodes = 0;  // nodes with >= 1 alive cable
+  std::size_t largest = nodes > 0 ? 1 : 0;
+
+  const auto activate_bucket = [&](std::size_t bucket) {
+    for (std::uint32_t i = s.bucket_start[bucket];
+         i < s.bucket_start[bucket + 1]; ++i) {
+      const std::uint32_t c = s.bucket_cables[i];
+      ++alive_cables;
+      for (std::uint32_t k = node_offset_[c]; k < node_offset_[c + 1]; ++k) {
+        if (s.alive_cables_at_node[node_ids_[k]]++ == 0) ++lit_nodes;
+      }
+      for (std::uint32_t k = edge_offset_[c]; k < edge_offset_[c + 1]; ++k) {
+        const std::size_t merged =
+            s.uf.unite_returning_size(edge_u_[k], edge_v_[k]);
+        largest = std::max(largest, merged);
+      }
+    }
+  };
+
+  activate_bucket(grid);
+  for (std::size_t g = grid; g-- > 0;) {
+    // Alive set here is exactly {c : death_index[c] > g} — point g's state.
+    const std::size_t dead = cables - alive_cables;
+    s.cables_pct[g] = cables > 0 ? 100.0 * static_cast<double>(dead) /
+                                       static_cast<double>(cables)
+                                 : 0.0;
+    const std::size_t unreachable = connected_nodes_ - lit_nodes;
+    s.nodes_pct[g] = connected_nodes_ > 0
+                         ? 100.0 * static_cast<double>(unreachable) /
+                               static_cast<double>(connected_nodes_)
+                         : 0.0;
+    s.largest_pct[g] = connected_nodes_ > 0
+                           ? 100.0 * static_cast<double>(largest) /
+                                 static_cast<double>(connected_nodes_)
+                           : 0.0;
+    if (g > 0) activate_bucket(g);
+  }
+}
+
+SweepResult SweepEngine::run(std::size_t trials, std::uint64_t seed) const {
+  return run(trials, seed, sim_.config().threads);
+}
+
+SweepResult SweepEngine::run(std::size_t trials, std::uint64_t seed,
+                             std::size_t threads) const {
+  SweepResult result;
+  result.trials = trials;
+  result.points.resize(grid_size_);
+  for (std::size_t g = 0; g < grid_size_; ++g) {
+    result.points[g].axis = axis_[g];
+  }
+  if (trials == 0) return result;
+
+  // Same determinism scheme as FailureSimulator::run_trials: fixed-size
+  // trial chunks (boundaries depend only on `trials`), trial t always
+  // draws from child stream t, per-chunk accumulators merged in ascending
+  // chunk order — bit-identical aggregates for every thread count.
+  constexpr std::size_t kTrialChunk = 32;
+  const std::size_t chunks = (trials + kTrialChunk - 1) / kTrialChunk;
+  struct PointStats {
+    util::RunningStats cables;
+    util::RunningStats nodes;
+    util::RunningStats largest;
+  };
+  std::vector<PointStats> per_chunk(chunks * grid_size_);
+  const std::size_t workers =
+      std::min(util::resolve_thread_count(threads), chunks);
+  std::vector<SweepScratch> scratch(workers);
+  const util::Rng base(seed);
+
+  util::parallel_for(
+      chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+        SweepScratch& s = scratch[worker];
+        PointStats* out = per_chunk.data() + chunk * grid_size_;
+        const std::size_t begin = chunk * kTrialChunk;
+        const std::size_t end = std::min(begin + kTrialChunk, trials);
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng rng = base.split(t);
+          run_trial(rng, s);
+          for (std::size_t g = 0; g < grid_size_; ++g) {
+            out[g].cables.add(s.cables_pct[g]);
+            out[g].nodes.add(s.nodes_pct[g]);
+            out[g].largest.add(s.largest_pct[g]);
+          }
+        }
+      });
+
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    for (std::size_t g = 0; g < grid_size_; ++g) {
+      const PointStats& ps = per_chunk[chunk * grid_size_ + g];
+      result.points[g].cables_failed_pct.merge(ps.cables);
+      result.points[g].nodes_unreachable_pct.merge(ps.nodes);
+      result.points[g].largest_component_pct.merge(ps.largest);
+    }
+  }
+  return result;
+}
+
+}  // namespace solarnet::sim

@@ -21,11 +21,13 @@ void RunningStats::add(double x) noexcept {
 }
 
 double RunningStats::variance() const noexcept {
-  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  // Clamp m2_: rounding in add/merge can leave it a hair below zero for
+  // near-constant inputs, and sqrt of that would surface NaN sd columns.
+  return n_ >= 2 ? std::max(m2_, 0.0) / static_cast<double>(n_) : 0.0;
 }
 
 double RunningStats::sample_variance() const noexcept {
-  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  return n_ >= 2 ? std::max(m2_, 0.0) / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }

@@ -29,6 +29,45 @@ TEST(RunningStats, SingleValue) {
   EXPECT_EQ(s.max(), 5.0);
 }
 
+// Single-trial sweep points feed sd columns: every variance accessor must
+// come back 0 (never NaN) below two samples, including after merges that
+// land on n == 1.
+TEST(RunningStats, FewerThanTwoSamplesNeverNaN) {
+  for (const RunningStats& s : {[] { return RunningStats{}; }(),
+                                [] {
+                                  RunningStats one;
+                                  one.add(3.25);
+                                  return one;
+                                }(),
+                                [] {
+                                  RunningStats merged;
+                                  RunningStats one;
+                                  one.add(-7.5);
+                                  merged.merge(one);
+                                  merged.merge(RunningStats{});
+                                  return merged;
+                                }()}) {
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sample_variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.sample_stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(s.stddev()));
+    EXPECT_FALSE(std::isnan(s.sample_stddev()));
+  }
+}
+
+// Near-constant inputs can round m2 to a hair below zero; the accessors
+// must clamp instead of taking sqrt of a negative.
+TEST(RunningStats, NearConstantInputsStayNonNegative) {
+  RunningStats s;
+  const double base = 1.0e15;
+  for (int i = 0; i < 64; ++i) s.add(base + (i % 2 == 0 ? 0.125 : -0.125));
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_GE(s.sample_variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+  EXPECT_FALSE(std::isnan(s.sample_stddev()));
+}
+
 TEST(RunningStats, KnownMoments) {
   RunningStats s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

@@ -7,18 +7,21 @@
 //   solarnet countries [--model s1|s2] [--spacing 150]
 //   solarnet plan      [--from NODE --to NODE]
 //   solarnet repair    [--ships 60] [--model s1|s2]
+//   solarnet sweep     [--grid 0.001,0.01,0.1] [--trials 10] [--threads N]
 //   solarnet export    [--dir DIR]
 //   solarnet help
 #include <filesystem>
 #include <iostream>
 #include <memory>
 
+#include "analysis/connectivity.h"
 #include "analysis/country.h"
 #include "cli_args.h"
 #include "core/mitigation.h"
 #include "core/planner.h"
 #include "core/scenario.h"
 #include "core/world.h"
+#include "datasets/land.h"
 #include "datasets/loaders.h"
 #include "datasets/submarine.h"
 #include "gic/timeline.h"
@@ -51,6 +54,11 @@ commands:
                --from NODE --to NODE   (adds a custom candidate)
   repair     post-storm repair campaign (§3.2.2)
                --ships N (60)  --model s1|s2 (s1)  --seed N
+  sweep      batched probability-grid sweep (Figures 6/7; §4.3.2)
+               --grid P1,P2,... (paper grid 0.001..1)
+               --network submarine|intertubes|itu (submarine)
+               --spacing KM (150)  --trials N (10)  --seed N (1859)
+               --threads N (auto)
   mitigate   evaluate a defense package (§5)
                --cables N (2)  --lead-hours H (13)
   timeline   time-resolved expected damage during the storm
@@ -198,6 +206,50 @@ int cmd_repair(const Args& args) {
   return 0;
 }
 
+topo::InfrastructureNetwork network_by_name(const std::string& name) {
+  if (name == "submarine") return datasets::make_submarine_network({});
+  if (name == "intertubes") return datasets::make_intertubes_network({});
+  if (name == "itu") return datasets::make_itu_network({});
+  throw std::invalid_argument("unknown network '" + name +
+                              "' (submarine|intertubes|itu)");
+}
+
+int cmd_sweep(const Args& args) {
+  const auto net = network_by_name(args.get_or("network", "submarine"));
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = args.get_double_or("spacing", 150.0);
+  cfg.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  const sim::FailureSimulator simulator(net, cfg);
+  std::vector<double> grid;
+  if (args.has("grid")) {
+    for (const std::string& part :
+         util::split(args.get_or("grid", ""), ',')) {
+      grid.push_back(util::parse_double(part));
+    }
+    if (grid.empty()) throw std::invalid_argument("--grid is empty");
+  } else {
+    grid = analysis::default_probability_grid();
+  }
+  const auto trials = static_cast<std::size_t>(args.get_int_or("trials", 10));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 1859));
+  const auto points =
+      analysis::uniform_failure_sweep(simulator, grid, trials, seed);
+  std::cout << "batched sweep: " << net.cable_count() << " cables, "
+            << trials << " trials, one CRN draw per cable per trial\n";
+  util::TextTable t({"p(repeater)", "cables failed %", "sd",
+                     "nodes unreachable %", "sd"});
+  for (const auto& pt : points) {
+    t.add_row({util::format_fixed(pt.repeater_failure_probability, 3),
+               util::format_fixed(pt.cables_failed_mean_pct, 1),
+               util::format_fixed(pt.cables_failed_sd_pct, 1),
+               util::format_fixed(pt.nodes_unreachable_mean_pct, 1),
+               util::format_fixed(pt.nodes_unreachable_sd_pct, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_mitigate(const Args& args) {
   const auto net = datasets::make_submarine_network({});
   const auto s1 = gic::LatitudeBandFailureModel::s1();
@@ -273,6 +325,7 @@ int run(int argc, char** argv) {
   if (cmd == "countries") return cmd_countries(args);
   if (cmd == "plan") return cmd_plan(args);
   if (cmd == "repair") return cmd_repair(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "mitigate") return cmd_mitigate(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "export") return cmd_export(args);
