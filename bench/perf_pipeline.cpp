@@ -1,0 +1,544 @@
+// Trial-pipeline benchmark: the old-vs-new acceptance harness for the
+// unified trial-observer pipeline (one failure draw, every metric).
+//
+// main() runs hard validation gates before any timing:
+//   1. ConnectivityObserver is bit-identical to FailureSimulator::run_trials
+//      (same seed, same trial count, every moment),
+//   2. AvailabilityObserver is bit-identical to services::availability_sweep,
+//   3. DnsResolutionObserver matches a serial replay of the same split
+//      streams through DnsResolutionEvaluator exactly,
+//   4. CountryIsolationObserver converges to the analytic
+//      all_fail_probability / expected_survivors (4 SE at 512 trials) and is
+//      exact at the deterministic p = 1 endpoint,
+//   5. the full observer set is bit-identical across thread counts,
+//   6. the steady-state trial loop performs ZERO heap allocations,
+//   7. figure-checkpoint sanity: uniform p = 0.01 at 150 km spacing loses
+//      ~15.8% of submarine cables / ~11.0% of nodes (paper §4.3.1).
+// Any failure exits non-zero, so CI's bench smoke job doubles as an
+// equivalence gate. Then it times the old multi-metric report path (one
+// independent Monte-Carlo pass per metric, each redrawing failures and
+// re-decomposing components) against one pipeline pass fanning the shared
+// draw out to all five observers, asserts the >= 3x acceptance speedup,
+// and emits BENCH_pipeline.json.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "analysis/country.h"
+#include "analysis/dns_resolution.h"
+#include "bench_util.h"
+#include "datasets/datacenters.h"
+#include "datasets/infra_points.h"
+#include "datasets/submarine.h"
+#include "services/availability.h"
+#include "sim/monte_carlo.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+
+// --- global allocation counter ----------------------------------------------
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace solarnet;
+
+const topo::InfrastructureNetwork& submarine() {
+  static const auto net = datasets::make_submarine_network({});
+  return net;
+}
+
+// Single-threaded simulator so old-vs-new timing compares equal budgets.
+const sim::FailureSimulator& submarine_sim() {
+  static const sim::FailureSimulator s(submarine(), [] {
+    sim::TrialConfig cfg;
+    cfg.threads = 1;
+    return cfg;
+  }());
+  return s;
+}
+
+const gic::LatitudeBandFailureModel& s1_model() {
+  static const auto model = gic::LatitudeBandFailureModel::s1();
+  return model;
+}
+
+services::ServiceSpec datacenter_service(datasets::DataCenterOperator op) {
+  services::ServiceSpec spec;
+  spec.name = std::string(datasets::to_string(op));
+  for (const datasets::DataCenter& dc : datasets::datacenters_of(op)) {
+    spec.replicas.push_back(dc.location);
+  }
+  spec.write_quorum = 2;
+  return spec;
+}
+
+const std::vector<datasets::DnsRootInstance>& dns_roots() {
+  static const auto roots = datasets::make_dns_dataset({});
+  return roots;
+}
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "perf_pipeline equivalence check FAILED: %s\n", what);
+  std::exit(1);
+}
+
+void check_stats_identical(const util::RunningStats& a,
+                           const util::RunningStats& b, const char* what) {
+  if (a.count() != b.count() || a.mean() != b.mean() ||
+      a.sample_stddev() != b.sample_stddev() || a.min() != b.min() ||
+      a.max() != b.max()) {
+    fail(what);
+  }
+}
+
+// --- validation gates -------------------------------------------------------
+
+void check_connectivity_bit_identity() {
+  constexpr std::size_t kTrials = 256;
+  const sim::AggregateResult reference =
+      submarine_sim().run_trials(s1_model(), kTrials, 42);
+  sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+  sim::ConnectivityObserver connectivity;
+  pipeline.add_observer(connectivity);
+  pipeline.run(kTrials, 42, 1);
+  if (connectivity.result().trials != reference.trials) {
+    fail("connectivity trial counts diverged from run_trials");
+  }
+  check_stats_identical(connectivity.result().cables_failed_pct,
+                        reference.cables_failed_pct,
+                        "cables-failed stats diverged from run_trials");
+  check_stats_identical(connectivity.result().nodes_unreachable_pct,
+                        reference.nodes_unreachable_pct,
+                        "nodes-unreachable stats diverged from run_trials");
+}
+
+void check_availability_bit_identity() {
+  constexpr std::size_t kDraws = 256;
+  const services::ServiceSpec spec =
+      datacenter_service(datasets::DataCenterOperator::kGoogle);
+  const services::AvailabilitySweep reference = services::availability_sweep(
+      submarine_sim(), s1_model(), spec, kDraws, 77, 1);
+  sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+  services::AvailabilityObserver availability(submarine(), spec);
+  pipeline.add_observer(availability);
+  pipeline.run(kDraws, 77, 1);
+  if (availability.result().draws != reference.draws) {
+    fail("availability draw counts diverged from availability_sweep");
+  }
+  check_stats_identical(availability.result().read_availability,
+                        reference.read_availability,
+                        "read availability diverged from availability_sweep");
+  check_stats_identical(availability.result().write_availability,
+                        reference.write_availability,
+                        "write availability diverged from availability_sweep");
+}
+
+// Replays the same per-trial split streams through a serial
+// DnsResolutionEvaluator with the pipeline's chunked merge discipline; the
+// observer must reproduce every statistic exactly.
+void check_dns_exact_replay() {
+  constexpr std::size_t kTrials = 128;
+  constexpr std::uint64_t kSeed = 5;
+  constexpr double kThresholdPct = 10.0;
+  sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+  analysis::DnsResolutionObserver observer(submarine(), dns_roots(),
+                                           kThresholdPct);
+  pipeline.add_observer(observer);
+  pipeline.run(kTrials, kSeed, 0);
+
+  const auto table = submarine_sim().death_probability_table(s1_model());
+  analysis::DnsResolutionEvaluator evaluator(submarine(), dns_roots());
+  analysis::DnsResolutionReport report;
+  util::Bitset dead;
+  graph::AliveMask mask;
+  graph::ComponentScratch scratch;
+  graph::ComponentResult components;
+  const util::Rng base(kSeed);
+  const std::size_t chunks = sim::TrialPipeline::chunk_count(kTrials);
+  struct Chunk {
+    util::RunningStats availability;
+    util::RunningStats letters;
+    std::size_t degraded = 0, heavy = 0, joint = 0;
+  };
+  std::vector<Chunk> per_chunk(chunks);
+  const double cables = static_cast<double>(submarine().cable_count());
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    util::Rng rng = base.split(t);
+    submarine_sim().sample_cable_failures(table, rng, dead);
+    submarine().mask_for_failures(dead, mask);
+    graph::connected_components(submarine().csr(), mask, scratch, components);
+    evaluator.evaluate(dead, components, report);
+    Chunk& slot = per_chunk[t / sim::TrialPipeline::kTrialChunk];
+    slot.availability.add(report.resolution_availability);
+    slot.letters.add(report.mean_letters_reachable);
+    const double cables_pct =
+        100.0 * static_cast<double>(dead.count()) / cables;
+    const bool degraded =
+        analysis::resolution_degraded(report.resolution_availability);
+    const bool heavy = cables_pct > kThresholdPct;
+    if (degraded) ++slot.degraded;
+    if (heavy) ++slot.heavy;
+    if (degraded && heavy) ++slot.joint;
+  }
+  analysis::DnsResolutionSweep replay;
+  for (const Chunk& slot : per_chunk) {
+    replay.resolution_availability.merge(slot.availability);
+    replay.mean_letters_reachable.merge(slot.letters);
+    replay.degraded_trials += slot.degraded;
+    replay.heavy_loss_trials += slot.heavy;
+    replay.joint_trials += slot.joint;
+  }
+  check_stats_identical(observer.result().resolution_availability,
+                        replay.resolution_availability,
+                        "DNS resolution availability diverged from replay");
+  check_stats_identical(observer.result().mean_letters_reachable,
+                        replay.mean_letters_reachable,
+                        "DNS letters-reachable diverged from replay");
+  if (observer.result().degraded_trials != replay.degraded_trials ||
+      observer.result().heavy_loss_trials != replay.heavy_loss_trials ||
+      observer.result().joint_trials != replay.joint_trials) {
+    fail("DNS joint-statistic counters diverged from replay");
+  }
+  if (observer.result().joint_trials > observer.result().degraded_trials ||
+      observer.result().joint_trials > observer.result().heavy_loss_trials) {
+    fail("DNS joint count exceeds a marginal count");
+  }
+}
+
+void check_country_against_analytic() {
+  const std::vector<std::string> countries = {"US", "JP", "BR"};
+  {
+    constexpr std::size_t kTrials = 512;
+    sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+    analysis::CountryIsolationObserver isolation(submarine(), countries);
+    pipeline.add_observer(isolation);
+    pipeline.run(kTrials, 99, 0);
+    for (const analysis::CountryIsolationResult& r : isolation.results()) {
+      const auto cables =
+          analysis::international_cables(submarine(), r.country);
+      if (r.international_cable_count != cables.size()) {
+        fail("country cable set size diverged from international_cables");
+      }
+      const double p_all =
+          analysis::all_fail_probability(submarine_sim(), s1_model(), cables);
+      const double e_surv =
+          analysis::expected_survivors(submarine_sim(), s1_model(), cables);
+      const double se_iso =
+          std::sqrt(p_all * (1.0 - p_all) / static_cast<double>(kTrials));
+      if (std::abs(r.isolation_rate() - p_all) > 4.0 * se_iso + 1e-9) {
+        fail("country isolation rate diverged from analytic probability");
+      }
+      const double se_surv = r.surviving_cables.sample_stddev() /
+                             std::sqrt(static_cast<double>(kTrials));
+      if (std::abs(r.surviving_cables.mean() - e_surv) >
+          4.0 * se_surv + 1e-9) {
+        fail("country survivor mean diverged from analytic expectation");
+      }
+    }
+  }
+  {
+    // Deterministic endpoint: p = 1 kills every repeater-bearing cable.
+    const gic::UniformFailureModel certain(1.0);
+    sim::TrialPipeline pipeline(submarine_sim(), certain);
+    analysis::CountryIsolationObserver isolation(submarine(), countries);
+    pipeline.add_observer(isolation);
+    pipeline.run(32, 7, 0);
+    for (const analysis::CountryIsolationResult& r : isolation.results()) {
+      const auto cables =
+          analysis::international_cables(submarine(), r.country);
+      const double e_surv =
+          analysis::expected_survivors(submarine_sim(), certain, cables);
+      if (r.surviving_cables.mean() != e_surv) {
+        fail("p=1 endpoint survivor count diverged from analytic expectation");
+      }
+    }
+  }
+}
+
+void check_thread_bit_identity() {
+  constexpr std::size_t kTrials = 200;
+  const services::ServiceSpec spec =
+      datacenter_service(datasets::DataCenterOperator::kFacebook);
+  sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+  sim::ConnectivityObserver connectivity;
+  services::AvailabilityObserver availability(submarine(), spec);
+  analysis::DnsResolutionObserver dns(submarine(), dns_roots(), 10.0);
+  analysis::CountryIsolationObserver isolation(submarine(), {"US", "SG"});
+  pipeline.add_observer(connectivity);
+  pipeline.add_observer(availability);
+  pipeline.add_observer(dns);
+  pipeline.add_observer(isolation);
+
+  pipeline.run(kTrials, 63, 1);
+  const sim::ConnectivityObserver::Result conn_ref = connectivity.result();
+  const services::AvailabilitySweep avail_ref = availability.result();
+  const analysis::DnsResolutionSweep dns_ref = dns.result();
+  const std::vector<analysis::CountryIsolationResult> iso_ref =
+      isolation.results();
+
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    pipeline.run(kTrials, 63, threads);
+    check_stats_identical(connectivity.result().cables_failed_pct,
+                          conn_ref.cables_failed_pct,
+                          "cables-failed diverged across thread counts");
+    check_stats_identical(connectivity.result().largest_component_pct,
+                          conn_ref.largest_component_pct,
+                          "largest-component diverged across thread counts");
+    check_stats_identical(availability.result().read_availability,
+                          avail_ref.read_availability,
+                          "read availability diverged across thread counts");
+    check_stats_identical(availability.result().write_availability,
+                          avail_ref.write_availability,
+                          "write availability diverged across thread counts");
+    check_stats_identical(dns.result().resolution_availability,
+                          dns_ref.resolution_availability,
+                          "DNS availability diverged across thread counts");
+    if (dns.result().joint_trials != dns_ref.joint_trials) {
+      fail("DNS joint counter diverged across thread counts");
+    }
+    for (std::size_t i = 0; i < iso_ref.size(); ++i) {
+      if (isolation.results()[i].isolated_trials !=
+          iso_ref[i].isolated_trials) {
+        fail("country isolation diverged across thread counts");
+      }
+      check_stats_identical(isolation.results()[i].surviving_cables,
+                            iso_ref[i].surviving_cables,
+                            "country survivors diverged across thread counts");
+    }
+  }
+}
+
+// Once per-worker scratch and the observers' slots are warm, the per-trial
+// loop (draw + mask + components + all five observers) never allocates.
+// The counted pass replays the warm-up's exact draw sequence.
+void check_zero_steady_state_allocations() {
+  constexpr std::size_t kSteadyTrials = 64;
+  const services::ServiceSpec spec =
+      datacenter_service(datasets::DataCenterOperator::kGoogle);
+  sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+  sim::ConnectivityObserver connectivity;
+  services::AvailabilityObserver availability(submarine(), spec);
+  analysis::DnsResolutionObserver dns(submarine(), dns_roots(), 10.0);
+  analysis::CountryIsolationObserver isolation(submarine(), {"US", "SG"});
+  std::vector<sim::TrialObserver*> observers = {&connectivity, &availability,
+                                                &dns, &isolation};
+  for (sim::TrialObserver* o : observers) pipeline.add_observer(*o);
+
+  const std::size_t chunks = sim::TrialPipeline::chunk_count(kSteadyTrials);
+  for (sim::TrialObserver* o : observers) o->begin_run(pipeline, 1, chunks);
+  sim::PipelineScratch scratch;
+  const util::Rng base(55);
+  auto loop = [&] {
+    for (std::size_t t = 0; t < kSteadyTrials; ++t) {
+      pipeline.run_trial(t, base, scratch, 0,
+                         t / sim::TrialPipeline::kTrialChunk);
+    }
+  };
+  loop();  // warm every buffer over the same sequence
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  loop();
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  for (sim::TrialObserver* o : observers) o->end_run();
+  if (after != before) {
+    std::fprintf(stderr,
+                 "perf_pipeline equivalence check FAILED: steady-state trial "
+                 "loop allocated %zu times over %zu trials\n",
+                 after - before, kSteadyTrials);
+    std::exit(1);
+  }
+}
+
+// Paper §4.3.1 checkpoint: uniform p = 0.01 at the default 150 km repeater
+// spacing loses ~15.8% of submarine cables and ~11.0% of nodes.
+void check_figure_checkpoints() {
+  const gic::UniformFailureModel model(0.01);
+  const sim::AggregateResult agg =
+      submarine_sim().run_trials(model, 512, 2021);
+  std::printf(
+      "perf_pipeline: p=0.01 checkpoint: %.1f%% cables, %.1f%% nodes "
+      "(paper: 15.8%% / 11.0%%)\n",
+      agg.cables_failed_pct.mean(), agg.nodes_unreachable_pct.mean());
+  if (std::abs(agg.cables_failed_pct.mean() - 15.8) > 2.0 ||
+      std::abs(agg.nodes_unreachable_pct.mean() - 11.0) > 2.5) {
+    fail("figure checkpoint drifted from the paper's §4.3.1 values");
+  }
+}
+
+}  // namespace
+
+int main() {
+  check_connectivity_bit_identity();
+  check_availability_bit_identity();
+  check_dns_exact_replay();
+  check_country_against_analytic();
+  check_thread_bit_identity();
+  check_zero_steady_state_allocations();
+  check_figure_checkpoints();
+  std::printf("perf_pipeline: all equivalence checks passed\n");
+
+  // --- timing: the acceptance comparison ------------------------------------
+  // Old path: the pre-pipeline report drive — one independent Monte-Carlo
+  // pass per metric through the one-shot analysis entry points, the way the
+  // old scenario driver sequenced N analysis calls. Connectivity via
+  // run_trials, two availability_sweep passes, and a per-trial DNS loop
+  // through evaluate_dns_resolution — which, like every one-shot call,
+  // re-resolves the 1076 root instances to landing stations on each
+  // realization — plus a per-trial country isolation scan. Each pass
+  // redraws cable failures and (where needed) re-decomposes components.
+  // New path: construct the pipeline and its observers cold (replica/root
+  // resolution happens once, in observer construction), then one pass fans
+  // the shared draw out to all five observers. Both single-threaded on the
+  // 470-cable submarine network with the same trial count.
+  constexpr std::size_t kTrials = 48;
+  constexpr std::uint64_t kSeed = 1859;
+  const services::ServiceSpec google =
+      datacenter_service(datasets::DataCenterOperator::kGoogle);
+  const services::ServiceSpec facebook =
+      datacenter_service(datasets::DataCenterOperator::kFacebook);
+  const std::vector<std::string> countries = {"US", "GB", "SG", "JP", "BR"};
+
+  const double old_ms = benchutil::time_best_ms(
+      [&] {
+        const sim::AggregateResult agg =
+            submarine_sim().run_trials(s1_model(), kTrials, kSeed);
+        if (agg.trials != kTrials) std::exit(1);
+        const services::AvailabilitySweep g = services::availability_sweep(
+            submarine_sim(), s1_model(), google, kTrials, kSeed, 1);
+        const services::AvailabilitySweep f = services::availability_sweep(
+            submarine_sim(), s1_model(), facebook, kTrials, kSeed, 1);
+        if (g.draws != kTrials || f.draws != kTrials) std::exit(1);
+
+        // DNS through the one-shot API, as the old report driver had to.
+        const auto table =
+            submarine_sim().death_probability_table(s1_model());
+        util::Bitset dead;
+        util::RunningStats dns_avail;
+        const util::Rng base(kSeed);
+        std::vector<bool> dead_bits(submarine().cable_count(), false);
+        for (std::size_t t = 0; t < kTrials; ++t) {
+          util::Rng rng = base.split(t);
+          submarine_sim().sample_cable_failures(table, rng, dead);
+          for (std::size_t c = 0; c < dead_bits.size(); ++c) {
+            dead_bits[c] = dead[c];
+          }
+          const analysis::DnsResolutionReport report =
+              analysis::evaluate_dns_resolution(submarine(), dead_bits,
+                                                dns_roots());
+          dns_avail.add(report.resolution_availability);
+        }
+        if (dns_avail.count() != kTrials) std::exit(1);
+
+        // Standalone country isolation sweep: one more redraw per trial.
+        std::vector<std::vector<topo::CableId>> sets;
+        for (const std::string& c : countries) {
+          sets.push_back(analysis::international_cables(submarine(), c));
+        }
+        std::size_t isolated = 0;
+        for (std::size_t t = 0; t < kTrials; ++t) {
+          util::Rng rng = base.split(t);
+          submarine_sim().sample_cable_failures(table, rng, dead);
+          for (const auto& set : sets) {
+            std::size_t survivors = 0;
+            for (topo::CableId c : set) {
+              if (!dead[c]) ++survivors;
+            }
+            if (survivors == 0) ++isolated;
+          }
+        }
+        if (isolated > kTrials * countries.size()) std::exit(1);
+      },
+      2);
+
+  const double new_ms = benchutil::time_best_ms([&] {
+    // Pipeline + observer construction (death-table fold, replica and root
+    // resolution) counts toward the new path: it is what a cold report
+    // run pays.
+    sim::TrialPipeline pipeline(submarine_sim(), s1_model());
+    sim::ConnectivityObserver connectivity;
+    services::AvailabilityObserver g(submarine(), google);
+    services::AvailabilityObserver f(submarine(), facebook);
+    analysis::DnsResolutionObserver dns(submarine(), dns_roots(), 10.0);
+    analysis::CountryIsolationObserver isolation(submarine(), countries);
+    pipeline.add_observer(connectivity);
+    pipeline.add_observer(g);
+    pipeline.add_observer(f);
+    pipeline.add_observer(dns);
+    pipeline.add_observer(isolation);
+    pipeline.run(kTrials, kSeed, 1);
+    if (connectivity.result().trials != kTrials ||
+        g.result().draws != kTrials || dns.result().trials != kTrials) {
+      std::exit(1);
+    }
+  });
+
+  // Warm pipeline: observers and evaluators already built — the marginal
+  // cost of one more multi-metric pass (what each extra (network, model)
+  // section of a report pays after the first).
+  sim::TrialPipeline warm_pipeline(submarine_sim(), s1_model());
+  sim::ConnectivityObserver warm_conn;
+  services::AvailabilityObserver warm_g(submarine(), google);
+  services::AvailabilityObserver warm_f(submarine(), facebook);
+  analysis::DnsResolutionObserver warm_dns(submarine(), dns_roots(), 10.0);
+  analysis::CountryIsolationObserver warm_iso(submarine(), countries);
+  warm_pipeline.add_observer(warm_conn);
+  warm_pipeline.add_observer(warm_g);
+  warm_pipeline.add_observer(warm_f);
+  warm_pipeline.add_observer(warm_dns);
+  warm_pipeline.add_observer(warm_iso);
+  const double warm_ms = benchutil::time_best_ms([&] {
+    warm_pipeline.run(kTrials, kSeed, 1);
+    if (warm_conn.result().trials != kTrials) std::exit(1);
+  });
+
+  const double speedup = old_ms / new_ms;
+  std::printf(
+      "perf_pipeline: 5 metrics, %zu trials, 470-cable network, 1 thread\n",
+      kTrials);
+  std::printf("  old (per-metric one-shot passes): %10.3f ms\n", old_ms);
+  std::printf("  new (one pipeline pass, cold):    %10.3f ms\n", new_ms);
+  std::printf("  new (one pipeline pass, warm):    %10.3f ms\n", warm_ms);
+  std::printf("  speedup (old/new cold):           %10.2fx\n", speedup);
+
+  benchutil::write_bench_json(
+      "pipeline", {{"trials", static_cast<double>(kTrials), "count"},
+                   {"metrics", 5.0, "count"},
+                   {"old_report_path_ms", old_ms, "ms"},
+                   {"new_pipeline_cold_ms", new_ms, "ms"},
+                   {"new_pipeline_warm_ms", warm_ms, "ms"},
+                   {"speedup_cold", speedup, "x"}});
+
+  if (speedup < 3.0) {
+    std::fprintf(stderr,
+                 "perf_pipeline FAILED: speedup %.2fx below the 3x acceptance "
+                 "threshold\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -114,4 +114,60 @@ CountryConnectivity country_connectivity(
   return result;
 }
 
+CountryIsolationObserver::CountryIsolationObserver(
+    const topo::InfrastructureNetwork& net,
+    std::vector<std::string> countries)
+    : countries_(std::move(countries)) {
+  cables_.reserve(countries_.size());
+  for (const std::string& country : countries_) {
+    cables_.push_back(international_cables(net, country));
+  }
+}
+
+void CountryIsolationObserver::begin_run(
+    const sim::TrialPipeline& /*pipeline*/, std::size_t /*workers*/,
+    std::size_t chunks) {
+  chunks_.assign(chunks * countries_.size(), {});
+  results_.clear();
+}
+
+void CountryIsolationObserver::observe(const sim::TrialView& view,
+                                       std::size_t /*worker*/,
+                                       std::size_t chunk) {
+  const util::Bitset& dead = *view.cable_dead;
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    const std::vector<topo::CableId>& cables = cables_[i];
+    std::size_t survivors = 0;
+    for (topo::CableId c : cables) {
+      if (!dead[c]) ++survivors;
+    }
+    Slot& slot = chunks_[chunk * countries_.size() + i];
+    slot.survivors.add(static_cast<double>(survivors));
+    // A country with no international cables is vacuously "all failed"
+    // (matching all_fail_probability's empty-set convention of 1.0).
+    if (survivors == 0) ++slot.isolated;
+  }
+}
+
+void CountryIsolationObserver::end_run() {
+  results_.assign(countries_.size(), {});
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    results_[i].country = countries_[i];
+    results_[i].international_cable_count = cables_[i].size();
+  }
+  const std::size_t chunks =
+      countries_.empty() ? 0 : chunks_.size() / countries_.size();
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    for (std::size_t i = 0; i < countries_.size(); ++i) {
+      const Slot& slot = chunks_[chunk * countries_.size() + i];
+      results_[i].isolated_trials += slot.isolated;
+      results_[i].surviving_cables.merge(slot.survivors);
+    }
+  }
+  for (CountryIsolationResult& r : results_) {
+    r.trials = r.surviving_cables.count();
+  }
+  chunks_.clear();
+}
+
 }  // namespace solarnet::analysis

@@ -12,7 +12,9 @@
 
 #include "gic/failure_model.h"
 #include "sim/monte_carlo.h"
+#include "sim/pipeline.h"
 #include "topology/network.h"
+#include "util/stats.h"
 
 namespace solarnet::analysis {
 
@@ -68,5 +70,58 @@ CountryConnectivity country_connectivity(
     const topo::InfrastructureNetwork& net,
     const sim::FailureSimulator& simulator,
     const gic::RepeaterFailureModel& model, const std::string& country);
+
+// Monte-Carlo counterpart of CountryConnectivity, observed on the trial
+// pipeline's shared failure draws: per trial, how many of the country's
+// international cables survived, and was the country cut off entirely?
+// Converges to the analytic all_fail_probability / expected_survivors, but
+// is measured on the same realizations as every other observer — so joint
+// questions ("was the US isolated in the trials where DNS degraded?") stay
+// answerable.
+struct CountryIsolationResult {
+  std::string country;
+  std::size_t international_cable_count = 0;
+  std::size_t trials = 0;
+  std::size_t isolated_trials = 0;  // every international cable dead
+  util::RunningStats surviving_cables;
+
+  double isolation_rate() const noexcept {
+    return trials > 0 ? static_cast<double>(isolated_trials) /
+                            static_cast<double>(trials)
+                      : 0.0;
+  }
+};
+
+// Observes several countries at once; cable sets are resolved once at
+// construction and each trial costs O(sum of international cables). Does
+// not need the component decomposition (isolation is a pure cable-set
+// property, §4.3.4's definition).
+class CountryIsolationObserver final : public sim::TrialObserver {
+ public:
+  CountryIsolationObserver(const topo::InfrastructureNetwork& net,
+                           std::vector<std::string> countries);
+
+  // Valid after TrialPipeline::run(); one entry per country, input order.
+  const std::vector<CountryIsolationResult>& results() const noexcept {
+    return results_;
+  }
+
+  bool needs_components() const override { return false; }
+  void begin_run(const sim::TrialPipeline& pipeline, std::size_t workers,
+                 std::size_t chunks) override;
+  void observe(const sim::TrialView& view, std::size_t worker,
+               std::size_t chunk) override;
+  void end_run() override;
+
+ private:
+  struct Slot {
+    std::size_t isolated = 0;
+    util::RunningStats survivors;
+  };
+  std::vector<std::string> countries_;
+  std::vector<std::vector<topo::CableId>> cables_;  // per country
+  std::vector<Slot> chunks_;  // chunk-major: [chunk * countries + country]
+  std::vector<CountryIsolationResult> results_;
+};
 
 }  // namespace solarnet::analysis

@@ -1,64 +1,134 @@
 #include "analysis/dns_resolution.h"
 
-#include <set>
+#include <string>
 
-#include "services/availability.h"
+#include "graph/components.h"
 
 namespace solarnet::analysis {
+
+DnsResolutionEvaluator::DnsResolutionEvaluator(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<datasets::DnsRootInstance>& roots) {
+  // Treat each root letter as a service with quorum 1 (anycast: any
+  // reachable instance serves the zone); letters with no instances are
+  // skipped.
+  std::array<services::ServiceSpec, 13> specs;
+  for (int l = 0; l < 13; ++l) {
+    specs[l].name = std::string(1, static_cast<char>('a' + l));
+    specs[l].write_quorum = 1;
+  }
+  for (const datasets::DnsRootInstance& r : roots) {
+    specs[r.root_letter - 'a'].replicas.push_back(r.location);
+  }
+  for (services::ServiceSpec& spec : specs) {
+    if (spec.replicas.empty()) continue;
+    letters_.emplace_back(net, std::move(spec));
+  }
+}
+
+void DnsResolutionEvaluator::evaluate(const util::Bitset& cable_dead,
+                                      const graph::ComponentResult& components,
+                                      DnsResolutionReport& out) {
+  out.per_continent.clear();
+  out.resolution_availability = 0.0;
+  out.mean_letters_reachable = 0.0;
+
+  // Collate per continent across letters. Every letter reports the same
+  // fixed set of continent anchors, so the first letter seeds the rows and
+  // the rest fold into them by position.
+  bool first = true;
+  for (services::ServiceEvaluator& letter : letters_) {
+    letter.evaluate_with_components(cable_dead, components, letter_report_);
+    if (first) {
+      for (const services::ContinentAvailability& c :
+           letter_report_.per_continent) {
+        DnsResolutionReport::PerContinent pc;
+        pc.continent = c.continent;
+        pc.any_root_reachable = c.read_available;
+        pc.letters_reachable = c.read_available ? 1 : 0;
+        out.per_continent.push_back(pc);
+      }
+      first = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < letter_report_.per_continent.size(); ++i) {
+      if (!letter_report_.per_continent[i].read_available) continue;
+      out.per_continent[i].any_root_reachable = true;
+      ++out.per_continent[i].letters_reachable;
+    }
+  }
+
+  for (const auto& [cont, share] : services::continent_population_shares()) {
+    for (const auto& pc : out.per_continent) {
+      if (pc.continent != cont) continue;
+      if (pc.any_root_reachable) out.resolution_availability += share;
+      out.mean_letters_reachable +=
+          share * static_cast<double>(pc.letters_reachable);
+    }
+  }
+}
 
 DnsResolutionReport evaluate_dns_resolution(
     const topo::InfrastructureNetwork& net,
     const std::vector<bool>& cable_dead,
     const std::vector<datasets::DnsRootInstance>& roots) {
-  // Reuse the services machinery: treat each root letter as a service with
-  // quorum 1 and collect per-continent reads.
-  std::array<services::ServiceSpec, 13> letters;
-  for (int l = 0; l < 13; ++l) {
-    letters[l].name = std::string(1, static_cast<char>('a' + l));
-    letters[l].write_quorum = 1;
+  DnsResolutionEvaluator evaluator(net, roots);
+  util::Bitset dead(cable_dead.size());
+  for (std::size_t i = 0; i < cable_dead.size(); ++i) {
+    if (cable_dead[i]) dead.set(i);
   }
-  for (const datasets::DnsRootInstance& r : roots) {
-    letters[r.root_letter - 'a'].replicas.push_back(r.location);
-  }
-
+  const graph::AliveMask mask = net.mask_for_failures(cable_dead);
+  graph::ComponentScratch scratch;
+  graph::ComponentResult components;
+  graph::connected_components(net.csr(), mask, scratch, components);
   DnsResolutionReport report;
-  // Per-letter evaluation (skip letters with no instances).
-  std::vector<services::AvailabilityReport> letter_reports;
-  for (const services::ServiceSpec& spec : letters) {
-    if (spec.replicas.empty()) continue;
-    letter_reports.push_back(
-        services::evaluate_service(net, cable_dead, spec));
-  }
-
-  // Collate per continent.
-  std::set<geo::Continent> continents;
-  for (const auto& lr : letter_reports) {
-    for (const auto& pc : lr.per_continent) continents.insert(pc.continent);
-  }
-  for (geo::Continent cont : continents) {
-    DnsResolutionReport::PerContinent pc;
-    pc.continent = cont;
-    for (const auto& lr : letter_reports) {
-      for (const auto& c : lr.per_continent) {
-        if (c.continent == cont && c.read_available) {
-          pc.any_root_reachable = true;
-          ++pc.letters_reachable;
-        }
-      }
-    }
-    report.per_continent.push_back(pc);
-  }
-
-  for (const auto& [cont, share] :
-       services::continent_population_shares()) {
-    for (const auto& pc : report.per_continent) {
-      if (pc.continent != cont) continue;
-      if (pc.any_root_reachable) report.resolution_availability += share;
-      report.mean_letters_reachable +=
-          share * static_cast<double>(pc.letters_reachable);
-    }
-  }
+  evaluator.evaluate(dead, components, report);
   return report;
+}
+
+DnsResolutionObserver::DnsResolutionObserver(
+    const topo::InfrastructureNetwork& net,
+    const std::vector<datasets::DnsRootInstance>& roots,
+    double cable_loss_threshold_pct)
+    : prototype_(net, roots), threshold_pct_(cable_loss_threshold_pct) {}
+
+void DnsResolutionObserver::begin_run(const sim::TrialPipeline& /*pipeline*/,
+                                      std::size_t workers,
+                                      std::size_t chunks) {
+  // Fill-construct (the evaluator is copyable but not assignable).
+  workers_ = std::vector<DnsResolutionEvaluator>(workers, prototype_);
+  reports_.assign(workers, {});
+  chunks_.assign(chunks, {});
+  result_ = {};
+  result_.cable_loss_threshold_pct = threshold_pct_;
+}
+
+void DnsResolutionObserver::observe(const sim::TrialView& view,
+                                    std::size_t worker, std::size_t chunk) {
+  DnsResolutionReport& report = reports_[worker];
+  workers_[worker].evaluate(*view.cable_dead, *view.components, report);
+  Chunk& slot = chunks_[chunk];
+  slot.availability.add(report.resolution_availability);
+  slot.letters.add(report.mean_letters_reachable);
+  const bool degraded = resolution_degraded(report.resolution_availability);
+  const bool heavy = view.cables_failed_pct > threshold_pct_;
+  if (degraded) ++slot.degraded;
+  if (heavy) ++slot.heavy;
+  if (degraded && heavy) ++slot.joint;
+}
+
+void DnsResolutionObserver::end_run() {
+  for (const Chunk& slot : chunks_) {
+    result_.resolution_availability.merge(slot.availability);
+    result_.mean_letters_reachable.merge(slot.letters);
+    result_.degraded_trials += slot.degraded;
+    result_.heavy_loss_trials += slot.heavy;
+    result_.joint_trials += slot.joint;
+  }
+  result_.trials = result_.resolution_availability.count();
+  workers_.clear();
+  reports_.clear();
+  chunks_.clear();
 }
 
 }  // namespace solarnet::analysis

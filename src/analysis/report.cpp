@@ -68,6 +68,55 @@ std::string ResilienceReport::render() const {
     t.print(os);
   }
 
+  if (!service_availability.empty()) {
+    util::print_banner(os, "Service availability (shared-draw Monte-Carlo)");
+    util::TextTable t({"service", "draws", "read %", "sd", "write %", "sd"});
+    for (const services::AvailabilitySweep& s : service_availability) {
+      t.add_row({s.service, std::to_string(s.draws),
+                 util::format_fixed(100.0 * s.read_availability.mean(), 1),
+                 util::format_fixed(100.0 * s.read_availability.sample_stddev(),
+                                    1),
+                 util::format_fixed(100.0 * s.write_availability.mean(), 1),
+                 util::format_fixed(
+                     100.0 * s.write_availability.sample_stddev(), 1)});
+    }
+    t.print(os);
+  }
+
+  if (!country_isolation.empty()) {
+    util::print_banner(os, "Country isolation (shared-draw Monte-Carlo)");
+    util::TextTable t({"country", "intl cables", "P(isolated)",
+                       "E[survivors]"});
+    for (const CountryIsolationResult& c : country_isolation) {
+      t.add_row({c.country, std::to_string(c.international_cable_count),
+                 util::format_fixed(c.isolation_rate(), 3),
+                 util::format_fixed(c.surviving_cables.mean(), 1)});
+    }
+    t.print(os);
+  }
+
+  if (has_dns_resolution) {
+    util::print_banner(os, "DNS root resolution (shared-draw Monte-Carlo)");
+    os << "trials: " << dns_resolution.trials << ", resolution availability: "
+       << util::format_fixed(
+              100.0 * dns_resolution.resolution_availability.mean(), 1)
+       << "% (sd "
+       << util::format_fixed(
+              100.0 * dns_resolution.resolution_availability.sample_stddev(),
+              1)
+       << "), mean letters reachable: "
+       << util::format_fixed(dns_resolution.mean_letters_reachable.mean(), 1)
+       << "/13\n"
+       << "joint: P(resolution degraded AND > "
+       << util::format_fixed(dns_resolution.cable_loss_threshold_pct, 0)
+       << "% cables lost) = "
+       << util::format_fixed(dns_resolution.joint_probability(), 3)
+       << "  [degraded " << dns_resolution.degraded_trials << ", heavy loss "
+       << dns_resolution.heavy_loss_trials << ", joint "
+       << dns_resolution.joint_trials << " of " << dns_resolution.trials
+       << " trials]\n";
+  }
+
   if (has_dns) {
     util::print_banner(os, "DNS root servers");
     os << "instances: " << dns.instance_count

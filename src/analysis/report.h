@@ -8,8 +8,10 @@
 
 #include "analysis/connectivity.h"
 #include "analysis/country.h"
+#include "analysis/dns_resolution.h"
 #include "analysis/lengths.h"
 #include "analysis/systems.h"
+#include "services/availability.h"
 
 namespace solarnet::analysis {
 
@@ -23,6 +25,16 @@ struct ResilienceReport {
   std::vector<FootprintSummary> datacenter_footprints;
   DnsSummary dns;
   bool has_dns = false;
+
+  // Pipeline-driven Monte-Carlo sections: every metric below is observed
+  // on the *same* per-trial failure draws (sim::TrialPipeline), so rows are
+  // directly comparable across sections and the DNS joint statistic is a
+  // true cross-metric probability. Empty / has_* == false when a scenario
+  // skips them.
+  std::vector<services::AvailabilitySweep> service_availability;
+  std::vector<CountryIsolationResult> country_isolation;
+  DnsResolutionSweep dns_resolution;
+  bool has_dns_resolution = false;
 
   // Renders a human-readable multi-section text report.
   std::string render() const;

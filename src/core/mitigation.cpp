@@ -6,45 +6,30 @@
 #include "analysis/country.h"
 #include "geo/distance.h"
 #include "sim/monte_carlo.h"
-#include "util/bitset.h"
-#include "util/rng.h"
+#include "sim/pipeline.h"
 
 namespace solarnet::core {
 
 namespace {
 
-topo::InfrastructureNetwork copy_network(
-    const topo::InfrastructureNetwork& base, const std::string& suffix) {
-  topo::InfrastructureNetwork copy(base.name() + suffix);
-  for (const topo::Node& n : base.nodes()) copy.add_node(n);
-  for (const topo::Cable& c : base.cables()) copy.add_cable(c);
-  return copy;
-}
-
+// Mitigation scoring rides the trial pipeline: draw d samples from child
+// stream d (the run_trials discipline, replacing the old hand-rolled
+// sequential-rng loop), so the score is reproducible, thread-count
+// independent, and the before/after networks are evaluated under common
+// random numbers per draw index.
 double mean_service_availability(const topo::InfrastructureNetwork& net,
                                  const gic::RepeaterFailureModel& model,
                                  const services::ServiceSpec& service,
                                  const MitigationOptions& options) {
   sim::TrialConfig cfg;
   cfg.repeater_spacing_km = options.repeater_spacing_km;
+  cfg.threads = options.threads;
   const sim::FailureSimulator simulator(net, cfg);
-  // One evaluator for all draws: the nearest-landing-point resolution runs
-  // once, each draw reuses the scratch. The Bitset sampling overload
-  // consumes the rng stream exactly like the vector<bool> one, so results
-  // match the old per-draw evaluate_service loop bit for bit.
-  services::ServiceEvaluator evaluator(net, service);
-  services::AvailabilityReport report;
-  util::Bitset dead;
-  util::Rng rng(options.seed);
-  double total = 0.0;
-  for (std::size_t d = 0; d < options.availability_draws; ++d) {
-    simulator.sample_cable_failures(model, rng, dead);
-    evaluator.evaluate(dead, report);
-    total += report.read_availability;
-  }
-  return options.availability_draws > 0
-             ? total / static_cast<double>(options.availability_draws)
-             : 0.0;
+  sim::TrialPipeline pipeline(simulator, model);
+  services::AvailabilityObserver availability(net, service);
+  pipeline.add_observer(availability);
+  pipeline.run(options.availability_draws, options.seed);
+  return availability.result().read_availability.mean();
 }
 
 }  // namespace
@@ -71,10 +56,11 @@ MitigationReport evaluate_mitigation(const topo::InfrastructureNetwork& base,
   }
 
   // Rank and build the best candidates.
-  const TopologyPlanner planner(copy_network(base, ""), cfg);
+  const TopologyPlanner planner(base.clone_with_extra_cables(""), cfg);
   const auto ranked = planner.rank(plan.candidate_cables, model,
                                    options.corridor_a, options.corridor_b);
-  topo::InfrastructureNetwork augmented = copy_network(base, "+mitigation");
+  topo::InfrastructureNetwork augmented =
+      base.clone_with_extra_cables("+mitigation");
   const std::size_t build =
       std::min(plan.cables_to_build, ranked.size());
   for (std::size_t i = 0; i < build; ++i) {

@@ -56,6 +56,9 @@ struct MitigationOptions {
                                          "DE", "DK", "NO", "PT", "ES"};
   std::size_t availability_draws = 10;
   std::uint64_t seed = 5;
+  // Worker threads for the availability pipeline (TrialConfig::threads
+  // semantics; results are thread-count independent).
+  std::size_t threads = 0;
 };
 
 // Evaluates the plan against `model` on `base` (copied; base is not

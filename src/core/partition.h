@@ -16,7 +16,13 @@ namespace solarnet::core {
 struct PartitionReport {
   std::size_t components = 0;          // among nodes with >= 1 alive cable
   std::size_t isolated_nodes = 0;      // nodes that lost every cable
+  std::size_t surviving_nodes = 0;     // cable-bearing nodes not isolated
   double largest_component_share = 0.0;  // of surviving nodes
+  // Unordered pairs of surviving nodes left without a connecting path,
+  // derived in closed form from the component sizes
+  // ((S^2 - sum n_i^2) / 2 = sum_{i<j} n_i * n_j) rather than a node-pair
+  // scan.
+  std::size_t disconnected_pairs = 0;
   // connected[a][b]: some surviving path links continent a to continent b
   // (indices follow geo::Continent order).
   std::array<std::array<bool, 7>, 7> continent_connected{};

@@ -11,12 +11,10 @@ namespace solarnet::core {
 topo::InfrastructureNetwork with_cable(const topo::InfrastructureNetwork& net,
                                        const CandidateCable& candidate,
                                        double* out_length) {
-  topo::InfrastructureNetwork copy(net.name() + "+candidate");
-  for (const topo::Node& n : net.nodes()) copy.add_node(n);
-  for (const topo::Cable& c : net.cables()) copy.add_cable(c);
-
-  const auto a = copy.find_node(candidate.from_node);
-  const auto b = copy.find_node(candidate.to_node);
+  // clone_with_extra_cables preserves node ids, so endpoints resolved on
+  // the base stay valid in the copy.
+  const auto a = net.find_node(candidate.from_node);
+  const auto b = net.find_node(candidate.to_node);
   if (!a || !b) {
     throw std::invalid_argument("planner: unknown candidate endpoint '" +
                                 candidate.from_node + "' or '" +
@@ -24,16 +22,17 @@ topo::InfrastructureNetwork with_cable(const topo::InfrastructureNetwork& net,
   }
   double length = candidate.length_km;
   if (length <= 0.0) {
-    length = 1.1 * geo::haversine_km(copy.node(*a).location,
-                                     copy.node(*b).location);
+    length = 1.1 * geo::haversine_km(net.node(*a).location,
+                                     net.node(*b).location);
   }
   topo::Cable cable;
   cable.name = "Candidate " + candidate.from_node + " - " + candidate.to_node;
   cable.kind = topo::CableKind::kSubmarine;
   cable.segments.push_back({*a, *b, length});
-  copy.add_cable(std::move(cable));
   if (out_length) *out_length = length;
-  return copy;
+  std::vector<topo::Cable> extra;
+  extra.push_back(std::move(cable));
+  return net.clone_with_extra_cables("+candidate", std::move(extra));
 }
 
 CandidateEvaluation TopologyPlanner::evaluate(

@@ -1,8 +1,41 @@
 #include "core/scenario.h"
 
+#include <algorithm>
+
+#include "analysis/country.h"
+#include "analysis/dns_resolution.h"
+#include "datasets/datacenters.h"
+#include "services/availability.h"
 #include "sim/monte_carlo.h"
+#include "sim/pipeline.h"
 
 namespace solarnet::core {
+
+namespace {
+
+analysis::BandSweepResult to_band_result(
+    const sim::ConnectivityObserver::Result& r, const std::string& model_name,
+    double spacing_km, const char* tag) {
+  return {model_name + tag,
+          spacing_km,
+          r.cables_failed_pct.mean(),
+          r.cables_failed_pct.sample_stddev(),
+          r.nodes_unreachable_pct.mean(),
+          r.nodes_unreachable_pct.sample_stddev()};
+}
+
+services::ServiceSpec datacenter_service(datasets::DataCenterOperator op,
+                                         std::size_t write_quorum) {
+  std::vector<geo::GeoPoint> sites;
+  for (const datasets::DataCenter& dc : datasets::datacenters_of(op)) {
+    sites.push_back(dc.location);
+  }
+  return services::service_from_datacenters(
+      std::string(datasets::to_string(op)), sites,
+      std::max<std::size_t>(1, std::min(write_quorum, sites.size())));
+}
+
+}  // namespace
 
 analysis::ResilienceReport ScenarioRunner::run(
     const gic::RepeaterFailureModel& model,
@@ -19,28 +52,73 @@ analysis::ResilienceReport ScenarioRunner::run(
         world_.itu(), options.repeater_spacing_km));
   }
 
-  report.failure_results.push_back(analysis::band_failure_run(
-      world_.submarine(), model, options.repeater_spacing_km, options.trials,
-      options.seed, options.threads));
-  report.failure_results.back().model_name += " [submarine]";
-  report.failure_results.push_back(analysis::band_failure_run(
-      world_.intertubes(), model, options.repeater_spacing_km, options.trials,
-      options.seed + 1, options.threads));
-  report.failure_results.back().model_name += " [intertubes]";
-  if (world_.has_itu()) {
-    report.failure_results.push_back(analysis::band_failure_run(
-        world_.itu(), model, options.repeater_spacing_km, options.trials,
-        options.seed + 2, options.threads));
-    report.failure_results.back().model_name += " [itu]";
-  }
-
   sim::TrialConfig trial_config;
   trial_config.repeater_spacing_km = options.repeater_spacing_km;
   trial_config.threads = options.threads;
-  const sim::FailureSimulator simulator(world_.submarine(), trial_config);
-  for (const std::string& country : options.countries) {
-    report.countries.push_back(analysis::country_connectivity(
-        world_.submarine(), simulator, model, country));
+
+  // Submarine network: one pipeline pass carries every Monte-Carlo metric —
+  // connectivity, DC service availability, DNS resolution, country
+  // isolation — over the *same* trial draws, instead of the former
+  // N sequential analysis loops with uncorrelated RNGs.
+  {
+    const sim::FailureSimulator simulator(world_.submarine(), trial_config);
+    sim::TrialPipeline pipeline(simulator, model);
+
+    sim::ConnectivityObserver connectivity;
+    pipeline.add_observer(connectivity);
+    services::AvailabilityObserver google(
+        world_.submarine(),
+        datacenter_service(datasets::DataCenterOperator::kGoogle,
+                           options.service_write_quorum));
+    services::AvailabilityObserver facebook(
+        world_.submarine(),
+        datacenter_service(datasets::DataCenterOperator::kFacebook,
+                           options.service_write_quorum));
+    pipeline.add_observer(google);
+    pipeline.add_observer(facebook);
+    analysis::DnsResolutionObserver dns_resolution(
+        world_.submarine(), world_.dns_roots(),
+        options.dns_cable_loss_threshold_pct);
+    pipeline.add_observer(dns_resolution);
+    analysis::CountryIsolationObserver isolation(world_.submarine(),
+                                                 options.countries);
+    pipeline.add_observer(isolation);
+
+    pipeline.run(options.trials, options.seed);
+
+    report.failure_results.push_back(
+        to_band_result(connectivity.result(), model.name(),
+                       options.repeater_spacing_km, " [submarine]"));
+    report.service_availability.push_back(google.result());
+    report.service_availability.push_back(facebook.result());
+    report.dns_resolution = dns_resolution.result();
+    report.has_dns_resolution = true;
+    report.country_isolation = isolation.results();
+
+    // Analytic country connectivity (exact products, no Monte-Carlo noise)
+    // from the same simulator — the observed isolation rates above converge
+    // to these probabilities.
+    for (const std::string& country : options.countries) {
+      report.countries.push_back(analysis::country_connectivity(
+          world_.submarine(), simulator, model, country));
+    }
+  }
+
+  // Land networks: connectivity-only pipeline passes, keeping the
+  // historical per-network seed offsets.
+  const auto connectivity_pass = [&](const topo::InfrastructureNetwork& net,
+                                     std::uint64_t seed, const char* tag) {
+    const sim::FailureSimulator simulator(net, trial_config);
+    sim::TrialPipeline pipeline(simulator, model);
+    sim::ConnectivityObserver connectivity;
+    pipeline.add_observer(connectivity);
+    pipeline.run(options.trials, seed);
+    report.failure_results.push_back(to_band_result(
+        connectivity.result(), model.name(), options.repeater_spacing_km, tag));
+  };
+  connectivity_pass(world_.intertubes(), options.seed + 1, " [intertubes]");
+  if (world_.has_itu()) {
+    connectivity_pass(world_.itu(), options.seed + 2, " [itu]");
   }
 
   report.datacenter_footprints.push_back(

@@ -25,6 +25,12 @@ struct ScenarioOptions {
   // Countries included in the country-connectivity section.
   std::vector<std::string> countries = {"US", "GB", "CN", "IN", "SG", "ZA",
                                         "AU", "NZ", "BR"};
+  // Write quorum for the data-center service availability observers
+  // (clamped to the operator's site count).
+  std::size_t service_write_quorum = 2;
+  // Threshold for the DNS joint statistic: P(resolution degraded AND more
+  // than this % of cables lost) within the same trial.
+  double dns_cable_loss_threshold_pct = 10.0;
 };
 
 class ScenarioRunner {

@@ -116,21 +116,27 @@ ServiceEvaluator::ServiceEvaluator(const topo::InfrastructureNetwork& net,
   }
 }
 
-std::uint32_t ServiceEvaluator::component_of(topo::NodeId n,
-                                             const util::Bitset& cable_dead) {
+std::uint32_t ServiceEvaluator::component_of(
+    topo::NodeId n, const util::Bitset& cable_dead,
+    const graph::ComponentResult& components) const {
   if (n == topo::kInvalidNode) return graph::ComponentResult::kNoComponent;
   if (net_.node_unreachable(n, cable_dead)) return kIslandBase + n;
-  return cc_.component[n];
+  return components.component[n];
 }
 
 void ServiceEvaluator::evaluate(const util::Bitset& cable_dead,
                                 AvailabilityReport& out) {
   net_.mask_for_failures(cable_dead, mask_);
   graph::connected_components(*csr_, mask_, comp_scratch_, cc_);
+  evaluate_with_components(cable_dead, cc_, out);
+}
 
+void ServiceEvaluator::evaluate_with_components(
+    const util::Bitset& cable_dead, const graph::ComponentResult& components,
+    AvailabilityReport& out) {
   replica_components_.clear();
   for (topo::NodeId n : replica_nodes_) {
-    replica_components_.push_back(component_of(n, cable_dead));
+    replica_components_.push_back(component_of(n, cable_dead, components));
   }
 
   out.service = spec_.name;
@@ -140,7 +146,8 @@ void ServiceEvaluator::evaluate(const util::Bitset& cable_dead,
   for (const auto& [continent, anchor_node] : anchor_nodes_) {
     ContinentAvailability avail;
     avail.continent = continent;
-    const std::uint32_t client = component_of(anchor_node, cable_dead);
+    const std::uint32_t client =
+        component_of(anchor_node, cable_dead, components);
     if (client != graph::ComponentResult::kNoComponent) {
       std::size_t reachable = 0;
       for (std::uint32_t rc : replica_components_) {
@@ -259,6 +266,41 @@ AvailabilitySweep availability_sweep(const sim::FailureSimulator& simulator,
     sweep.write_availability.merge(c.write);
   }
   return sweep;
+}
+
+AvailabilityObserver::AvailabilityObserver(
+    const topo::InfrastructureNetwork& net, ServiceSpec spec)
+    : prototype_(net, std::move(spec)) {}
+
+void AvailabilityObserver::begin_run(const sim::TrialPipeline& /*pipeline*/,
+                                     std::size_t workers, std::size_t chunks) {
+  // Fill-construct (ServiceEvaluator is copyable but not assignable).
+  workers_ = std::vector<ServiceEvaluator>(workers, prototype_);
+  reports_.assign(workers, {});
+  chunks_.assign(chunks, {});
+  result_ = {};
+  result_.service = prototype_.spec().name;
+}
+
+void AvailabilityObserver::observe(const sim::TrialView& view,
+                                   std::size_t worker, std::size_t chunk) {
+  AvailabilityReport& report = reports_[worker];
+  workers_[worker].evaluate_with_components(*view.cable_dead, *view.components,
+                                            report);
+  Chunk& slot = chunks_[chunk];
+  slot.read.add(report.read_availability);
+  slot.write.add(report.write_availability);
+}
+
+void AvailabilityObserver::end_run() {
+  for (const Chunk& slot : chunks_) {
+    result_.read_availability.merge(slot.read);
+    result_.write_availability.merge(slot.write);
+  }
+  result_.draws = result_.read_availability.count();
+  workers_.clear();
+  reports_.clear();
+  chunks_.clear();
 }
 
 }  // namespace solarnet::services

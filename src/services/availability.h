@@ -21,6 +21,7 @@
 #include "geo/regions.h"
 #include "graph/components.h"
 #include "sim/monte_carlo.h"
+#include "sim/pipeline.h"
 #include "topology/network.h"
 #include "util/bitset.h"
 #include "util/stats.h"
@@ -76,8 +77,18 @@ class ServiceEvaluator {
   void evaluate(const util::Bitset& cable_dead, AvailabilityReport& out);
   AvailabilityReport evaluate(const util::Bitset& cable_dead);
 
+  // Same evaluation against a caller-provided component decomposition of
+  // the masked subgraph (must come from the same network and the same
+  // cable_dead mask — the trial pipeline's per-trial decomposition). Skips
+  // the internal mask + component build, so N services under one draw share
+  // one decomposition. Produces bit-identical reports to evaluate().
+  void evaluate_with_components(const util::Bitset& cable_dead,
+                                const graph::ComponentResult& components,
+                                AvailabilityReport& out);
+
  private:
-  std::uint32_t component_of(topo::NodeId n, const util::Bitset& cable_dead);
+  std::uint32_t component_of(topo::NodeId n, const util::Bitset& cable_dead,
+                             const graph::ComponentResult& components) const;
 
   const topo::InfrastructureNetwork& net_;
   const graph::Csr* csr_;  // net_'s cached CSR, resolved once at construction
@@ -124,5 +135,42 @@ AvailabilitySweep availability_sweep(const sim::FailureSimulator& simulator,
                                      const ServiceSpec& service,
                                      std::size_t draws, std::uint64_t seed,
                                      std::size_t threads = 0);
+
+// Trial-pipeline observer for one service: evaluates every trial's draw
+// against the pipeline's shared component decomposition (no per-service
+// mask/component rebuild) and accumulates read/write availability with the
+// fixed-chunk reduction. Registered on a sim::TrialPipeline it produces the
+// same AvailabilitySweep as availability_sweep() bit for bit — for the same
+// seed/draw count and any thread count — while sharing the failure draw
+// with every other observer. Construction resolves the replica/anchor
+// nodes once; begin_run hands each worker a copy of the resolved evaluator.
+class AvailabilityObserver final : public sim::TrialObserver {
+ public:
+  // Throws like ServiceEvaluator on a bad spec.
+  AvailabilityObserver(const topo::InfrastructureNetwork& net,
+                       ServiceSpec spec);
+
+  const ServiceSpec& spec() const noexcept { return prototype_.spec(); }
+  // Valid after TrialPipeline::run().
+  const AvailabilitySweep& result() const noexcept { return result_; }
+
+  bool needs_components() const override { return true; }
+  void begin_run(const sim::TrialPipeline& pipeline, std::size_t workers,
+                 std::size_t chunks) override;
+  void observe(const sim::TrialView& view, std::size_t worker,
+               std::size_t chunk) override;
+  void end_run() override;
+
+ private:
+  struct Chunk {
+    util::RunningStats read;
+    util::RunningStats write;
+  };
+  ServiceEvaluator prototype_;
+  std::vector<ServiceEvaluator> workers_;
+  std::vector<AvailabilityReport> reports_;  // per-worker scratch
+  std::vector<Chunk> chunks_;
+  AvailabilitySweep result_;
+};
 
 }  // namespace solarnet::services

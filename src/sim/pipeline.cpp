@@ -1,0 +1,122 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace solarnet::sim {
+
+TrialPipeline::TrialPipeline(const FailureSimulator& simulator,
+                             const gic::RepeaterFailureModel& model)
+    : sim_(simulator),
+      model_(model),
+      csr_(&simulator.network().csr()),
+      connected_nodes_(simulator.network().connected_node_count()) {
+  use_table_ = sim_.config().rule == CableDeathRule::kAnyRepeaterFails;
+  if (use_table_) table_ = sim_.death_probability_table(model_);
+}
+
+void TrialPipeline::add_observer(TrialObserver& observer) {
+  observers_.push_back(&observer);
+  needs_components_ = needs_components_ || observer.needs_components();
+}
+
+void TrialPipeline::run_trial(std::size_t trial, const util::Rng& base,
+                              PipelineScratch& scratch, std::size_t worker,
+                              std::size_t chunk) const {
+  util::Rng rng = base.split(trial);
+  if (use_table_) {
+    sim_.sample_cable_failures(table_, rng, scratch.cable_dead);
+  } else {
+    sim_.sample_cable_failures(model_, rng, scratch.cable_dead);
+  }
+  const std::size_t failed = scratch.cable_dead.count();
+  const std::size_t cables = network().cable_count();
+  network().unreachable_nodes(scratch.cable_dead, scratch.unreachable);
+  if (needs_components_) {
+    network().mask_for_failures(scratch.cable_dead, scratch.mask);
+    graph::connected_components(*csr_, scratch.mask, scratch.component_scratch,
+                                scratch.components);
+  }
+
+  TrialView view;
+  view.trial = trial;
+  view.cable_dead = &scratch.cable_dead;
+  view.cables_failed = failed;
+  view.cables_failed_pct =
+      cables > 0
+          ? 100.0 * static_cast<double>(failed) / static_cast<double>(cables)
+          : 0.0;
+  view.unreachable = &scratch.unreachable;
+  view.nodes_unreachable_pct =
+      connected_nodes_ > 0
+          ? 100.0 * static_cast<double>(scratch.unreachable.size()) /
+                static_cast<double>(connected_nodes_)
+          : 0.0;
+  view.components = needs_components_ ? &scratch.components : nullptr;
+  view.rng = &rng;
+  for (TrialObserver* observer : observers_) {
+    observer->observe(view, worker, chunk);
+  }
+}
+
+void TrialPipeline::run(std::size_t trials, std::uint64_t seed) const {
+  run(trials, seed, sim_.config().threads);
+}
+
+void TrialPipeline::run(std::size_t trials, std::uint64_t seed,
+                        std::size_t threads) const {
+  const std::size_t chunks = chunk_count(trials);
+  const std::size_t workers =
+      trials == 0 ? 0 : std::min(util::resolve_thread_count(threads), chunks);
+  for (TrialObserver* observer : observers_) {
+    observer->begin_run(*this, workers, chunks);
+  }
+  if (trials > 0) {
+    std::vector<PipelineScratch> scratch(workers);
+    const util::Rng base(seed);
+    util::parallel_for(
+        chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+          const std::size_t begin = chunk * kTrialChunk;
+          const std::size_t end = std::min(begin + kTrialChunk, trials);
+          for (std::size_t t = begin; t < end; ++t) {
+            run_trial(t, base, scratch[worker], worker, chunk);
+          }
+        });
+  }
+  for (TrialObserver* observer : observers_) {
+    observer->end_run();
+  }
+}
+
+void ConnectivityObserver::begin_run(const TrialPipeline& pipeline,
+                                     std::size_t /*workers*/,
+                                     std::size_t chunks) {
+  chunks_.assign(chunks, {});
+  connected_nodes_ = pipeline.network().connected_node_count();
+  result_ = {};
+}
+
+void ConnectivityObserver::observe(const TrialView& view, std::size_t /*worker*/,
+                                   std::size_t chunk) {
+  Chunk& slot = chunks_[chunk];
+  slot.cables.add(view.cables_failed_pct);
+  slot.nodes.add(view.nodes_unreachable_pct);
+  const std::size_t largest = view.components->largest_component_size();
+  slot.largest.add(connected_nodes_ > 0
+                       ? 100.0 * static_cast<double>(largest) /
+                             static_cast<double>(connected_nodes_)
+                       : 0.0);
+}
+
+void ConnectivityObserver::end_run() {
+  for (const Chunk& slot : chunks_) {
+    result_.cables_failed_pct.merge(slot.cables);
+    result_.nodes_unreachable_pct.merge(slot.nodes);
+    result_.largest_component_pct.merge(slot.largest);
+  }
+  result_.trials = result_.cables_failed_pct.count();
+  chunks_.clear();
+}
+
+}  // namespace solarnet::sim

@@ -1,0 +1,199 @@
+// Unified trial-observer pipeline: one failure draw, every metric.
+//
+// The paper's headline results (Figs 6-9, §4.3-§4.4) are all statistics
+// over the *same* storm realizations — cable loss, node reachability,
+// service/DNS availability and country isolation are facets of one failure
+// draw. TrialPipeline makes that structure explicit: each trial samples the
+// cable failures once (DeathProbabilityTable under the any-failure rule),
+// builds the alive mask and the CSR connected components once into
+// per-worker scratch, and fans a TrialView out to every registered
+// TrialObserver. Running N metrics costs one sampling + one component
+// decomposition per trial instead of N, and — because the observers all see
+// the same draw — cross-metric joint statistics (e.g. P(DNS degraded AND
+// >X% cables lost)) become expressible.
+//
+// Determinism contract (the run_trials discipline):
+//  - trial t always draws from Rng child stream t of the seed;
+//  - trials are grouped into fixed-size chunks (kTrialChunk) whose
+//    boundaries depend only on the trial count, never on the thread count;
+//  - observers keep one accumulator slot per chunk, filled by whichever
+//    worker claims the chunk, and merge the slots in ascending chunk order
+//    in end_run().
+// An observer that follows this contract produces bit-identical results for
+// every thread count. Observers whose per-trial update only touches their
+// (worker, chunk) slots need no locking: a chunk is processed by exactly
+// one worker, and workers have dense private ids.
+//
+// When to use which engine:
+//  - TrialPipeline: many metrics over one model/severity (the report path),
+//    or any metric needing the component decomposition per trial.
+//  - FailureSimulator::run_trials: cables/nodes aggregates only (no
+//    component build) — the cheapest single-metric path.
+//  - sim::SweepEngine: one metric across a whole severity grid (CRN-coupled
+//    axis, incremental connectivity) — the figure-sweep path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gic/failure_model.h"
+#include "graph/components.h"
+#include "sim/monte_carlo.h"
+#include "topology/network.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace solarnet::sim {
+
+class TrialPipeline;
+
+// Everything an observer may read about one trial. References point into
+// per-worker scratch and are only valid during the observe() call.
+struct TrialView {
+  std::size_t trial = 0;
+  // Per-cable death flags for this draw (size = network cable count).
+  const util::Bitset* cable_dead = nullptr;
+  std::size_t cables_failed = 0;
+  double cables_failed_pct = 0.0;
+  // Nodes that had >= 1 cable and lost all of them (paper §4.3.1).
+  const std::vector<topo::NodeId>* unreachable = nullptr;
+  double nodes_unreachable_pct = 0.0;
+  // Masked component decomposition over the network's CSR; null when no
+  // registered observer reports needs_components().
+  const graph::ComponentResult* components = nullptr;
+  // The trial's child rng after the failure draw. Observers that need
+  // extra randomness derive independent substreams from it instead of
+  // consuming the stream directly (which would couple observers).
+  const util::Rng* rng = nullptr;
+
+  util::Rng substream(std::uint64_t key) const { return rng->split(key); }
+};
+
+// A metric registered with the pipeline. Implementations own their results;
+// the pipeline only orchestrates calls. See the determinism contract above:
+// state written by observe() must be confined to the (worker, chunk) slots
+// sized in begin_run(), and end_run() must merge chunk slots in ascending
+// order.
+class TrialObserver {
+ public:
+  virtual ~TrialObserver() = default;
+
+  // Whether this observer reads TrialView::components. The pipeline skips
+  // the per-trial component build when no observer needs it.
+  virtual bool needs_components() const { return true; }
+
+  // Called once before any trial: size per-worker scratch and per-chunk
+  // accumulator slots, and reset previous results.
+  virtual void begin_run(const TrialPipeline& pipeline, std::size_t workers,
+                         std::size_t chunks) = 0;
+
+  // Called for every trial, from worker threads. Trials of one chunk
+  // arrive in ascending order on a single worker.
+  virtual void observe(const TrialView& view, std::size_t worker,
+                       std::size_t chunk) = 0;
+
+  // Called once after all trials, on the run() thread: reduce the chunk
+  // slots (in ascending chunk order) into the final result.
+  virtual void end_run() = 0;
+};
+
+// Reusable per-worker scratch for the trial loop; allocation-free once
+// warm. run() owns one per worker; benches driving run_trial() manually
+// own their own.
+struct PipelineScratch {
+  util::Bitset cable_dead;
+  graph::AliveMask mask;
+  graph::ComponentScratch component_scratch;
+  graph::ComponentResult components;
+  std::vector<topo::NodeId> unreachable;
+};
+
+class TrialPipeline {
+ public:
+  // Chunk size of the deterministic reduction; identical to run_trials so
+  // chunk-structured aggregates line up bit-for-bit.
+  static constexpr std::size_t kTrialChunk = 32;
+  static constexpr std::size_t chunk_count(std::size_t trials) {
+    return (trials + kTrialChunk - 1) / kTrialChunk;
+  }
+
+  // Folds the death-probability table once (any-failure rule); under
+  // kFractionFails trials sample the model directly. Simulator and model
+  // must outlive the pipeline.
+  TrialPipeline(const FailureSimulator& simulator,
+                const gic::RepeaterFailureModel& model);
+
+  const FailureSimulator& simulator() const noexcept { return sim_; }
+  const topo::InfrastructureNetwork& network() const noexcept {
+    return sim_.network();
+  }
+  const gic::RepeaterFailureModel& model() const noexcept { return model_; }
+
+  // Registers a metric (non-owning; the observer must outlive run()).
+  void add_observer(TrialObserver& observer);
+  std::size_t observer_count() const noexcept { return observers_.size(); }
+
+  // Runs `trials` draws (trial t from child stream t of `seed`) and fans
+  // each TrialView out to every observer. `threads` follows
+  // TrialConfig::threads (0 = hardware concurrency); the overload without
+  // it uses the simulator's configured thread count. Results live in the
+  // observers and are bit-identical for every thread count.
+  void run(std::size_t trials, std::uint64_t seed) const;
+  void run(std::size_t trials, std::uint64_t seed, std::size_t threads) const;
+
+  // One trial of the loop, for benches/tests that drive it manually: draw
+  // from base.split(trial) into `scratch`, rebuild mask/components, call
+  // every observer with the given (worker, chunk) slots. Callers must
+  // bracket the loop with the observers' begin_run()/end_run() themselves
+  // (run() does all of this). Allocation-free once scratch is warm.
+  void run_trial(std::size_t trial, const util::Rng& base,
+                 PipelineScratch& scratch, std::size_t worker,
+                 std::size_t chunk) const;
+
+ private:
+  const FailureSimulator& sim_;
+  const gic::RepeaterFailureModel& model_;
+  const graph::Csr* csr_;  // the network's cached CSR, resolved once
+  DeathProbabilityTable table_;
+  bool use_table_ = false;
+  std::size_t connected_nodes_ = 0;
+  std::vector<TrialObserver*> observers_;
+  bool needs_components_ = false;
+};
+
+// The baseline observer: per-trial cable-loss / node-unreachability
+// percentages (bit-identical to FailureSimulator::run_trials for the same
+// seed and trial count) plus the largest surviving component share, which
+// run_trials cannot see because it never decomposes components.
+class ConnectivityObserver final : public TrialObserver {
+ public:
+  struct Result {
+    std::size_t trials = 0;
+    util::RunningStats cables_failed_pct;
+    util::RunningStats nodes_unreachable_pct;
+    // Largest component size as % of cable-bearing nodes.
+    util::RunningStats largest_component_pct;
+  };
+
+  const Result& result() const noexcept { return result_; }
+
+  bool needs_components() const override { return true; }
+  void begin_run(const TrialPipeline& pipeline, std::size_t workers,
+                 std::size_t chunks) override;
+  void observe(const TrialView& view, std::size_t worker,
+               std::size_t chunk) override;
+  void end_run() override;
+
+ private:
+  struct Chunk {
+    util::RunningStats cables;
+    util::RunningStats nodes;
+    util::RunningStats largest;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t connected_nodes_ = 0;
+  Result result_;
+};
+
+}  // namespace solarnet::sim

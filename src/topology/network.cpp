@@ -58,6 +58,15 @@ CableId InfrastructureNetwork::add_cable(Cable cable) {
   return id;
 }
 
+InfrastructureNetwork InfrastructureNetwork::clone_with_extra_cables(
+    std::string_view name_suffix, std::vector<Cable> extra_cables) const {
+  InfrastructureNetwork copy(name_ + std::string(name_suffix));
+  for (const Node& n : nodes_) copy.add_node(n);
+  for (const Cable& c : cables_) copy.add_cable(c);
+  for (Cable& c : extra_cables) copy.add_cable(std::move(c));
+  return copy;
+}
+
 void InfrastructureNetwork::invalidate_csr() {
   const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
   csr_cache_.ptr.reset();

@@ -37,6 +37,15 @@ class InfrastructureNetwork {
   // entries whose source publishes no length).
   void set_cable_length_known(CableId id, bool known);
 
+  // Deep copy with `name_suffix` appended to the name and each cable of
+  // `extra_cables` appended after the originals (same validation as
+  // add_cable). Base node/cable ids are preserved in the copy, so callers
+  // can resolve endpoints against the base first; the copy starts with a
+  // cold CSR cache. This is the one clone path shared by the planner's
+  // `with_cable` and the mitigation evaluator.
+  InfrastructureNetwork clone_with_extra_cables(
+      std::string_view name_suffix, std::vector<Cable> extra_cables = {}) const;
+
   // --- access -------------------------------------------------------------
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t cable_count() const noexcept { return cables_.size(); }

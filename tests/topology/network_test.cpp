@@ -184,5 +184,53 @@ TEST_F(NetworkTest, MultiSegmentCableSharesFate) {
   }
 }
 
+TEST_F(NetworkTest, CloneWithExtraCablesPreservesIds) {
+  net_.set_cable_length_known(c1_, false);
+  const InfrastructureNetwork copy = net_.clone_with_extra_cables("+x");
+  EXPECT_EQ(copy.name(), net_.name() + "+x");
+  ASSERT_EQ(copy.node_count(), net_.node_count());
+  ASSERT_EQ(copy.cable_count(), net_.cable_count());
+  for (NodeId n = 0; n < net_.node_count(); ++n) {
+    EXPECT_EQ(copy.node(n).name, net_.node(n).name);
+    EXPECT_EQ(copy.node(n).country_code, net_.node(n).country_code);
+  }
+  for (CableId c = 0; c < net_.cable_count(); ++c) {
+    EXPECT_EQ(copy.cable(c).name, net_.cable(c).name);
+    EXPECT_EQ(copy.cable(c).length_known, net_.cable(c).length_known);
+    EXPECT_DOUBLE_EQ(copy.cable(c).total_length_km(),
+                     net_.cable(c).total_length_km());
+  }
+  EXPECT_FALSE(copy.cable(c1_).length_known);
+}
+
+TEST_F(NetworkTest, CloneAppendsExtraCablesWithoutTouchingBase) {
+  Cable extra;
+  extra.name = "extra";
+  extra.segments = {{b_, d_, 800.0}};
+  std::vector<Cable> extras;
+  extras.push_back(std::move(extra));
+  const InfrastructureNetwork copy =
+      net_.clone_with_extra_cables("+candidate", std::move(extras));
+  ASSERT_EQ(copy.cable_count(), net_.cable_count() + 1);
+  EXPECT_EQ(net_.cable_count(), 3u);  // base untouched
+  const CableId added = copy.cable_count() - 1;
+  EXPECT_EQ(copy.cable(added).name, "extra");
+  EXPECT_EQ(copy.cables_at(d_).size(), 1u);
+  EXPECT_EQ(net_.cables_at(d_).size(), 0u);
+  // The copy's CSR is built fresh (no stale shared cache): the new edge is
+  // present in the copy only.
+  EXPECT_EQ(copy.csr().edge_count(), net_.csr().edge_count() + 1);
+}
+
+TEST_F(NetworkTest, CloneValidatesExtraCables) {
+  Cable bad;
+  bad.name = "bad";
+  bad.segments = {{a_, static_cast<NodeId>(99), 500.0}};
+  std::vector<Cable> extras;
+  extras.push_back(std::move(bad));
+  EXPECT_THROW(net_.clone_with_extra_cables("+bad", std::move(extras)),
+               std::out_of_range);
+}
+
 }  // namespace
 }  // namespace solarnet::topo

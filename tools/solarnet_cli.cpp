@@ -3,6 +3,8 @@
 //   solarnet risk      [--start 2026 --years 10]
 //   solarnet scenario  [--storm carrington|1921|1989|moderate]
 //                      [--spacing 150 --trials 10]
+//   solarnet report    [--s1 | --s2 | --uniform P | --storm NAME]
+//                      [--trials 10 --seed 7 --threads N]
 //   solarnet model     [--s1 | --s2 | --uniform P] [--spacing 150]
 //   solarnet countries [--model s1|s2] [--spacing 150]
 //   solarnet plan      [--from NODE --to NODE]
@@ -48,6 +50,12 @@ commands:
   model      resilience report for a probabilistic model
                --s1 | --s2 | --uniform P (s1)  --spacing KM  --trials N
                --threads N (auto)
+  report     full trial-pipeline resilience report (all metrics share one
+             Monte-Carlo failure draw per trial; see docs/MODULES.md)
+               --s1 | --s2 | --uniform P (s1) | --storm NAME
+               --spacing KM (150)  --trials N (10)  --seed N (7)
+               --threads N (auto; aggregates are thread-count independent)
+               --quorum N (2)  --dns-threshold PCT (10)
   countries  country connectivity table under S1/S2
                --spacing KM (150)  --threads N (auto)
   plan       rank candidate cables for US<->Europe resilience (§5.1)
@@ -128,6 +136,31 @@ int cmd_model(const Args& args) {
   const core::World world = core::World::generate();
   const core::ScenarioRunner runner(world);
   std::cout << runner.run(*model, options_from_args(args)).render();
+  return 0;
+}
+
+// The full multi-metric report: connectivity, service availability, DNS
+// resolution, country isolation — every metric observed on the same
+// per-trial failure draws via sim::TrialPipeline. --threads controls the
+// pipeline's worker count; the printed aggregates are bit-identical for
+// every value.
+int cmd_report(const Args& args) {
+  const core::World world = core::World::generate();
+  const core::ScenarioRunner runner(world);
+  core::ScenarioOptions opts = options_from_args(args);
+  opts.seed = static_cast<std::uint64_t>(
+      args.get_int_or("seed", static_cast<long long>(opts.seed)));
+  opts.service_write_quorum = static_cast<std::size_t>(args.get_int_or(
+      "quorum", static_cast<long long>(opts.service_write_quorum)));
+  opts.dns_cable_loss_threshold_pct =
+      args.get_double_or("dns-threshold", opts.dns_cable_loss_threshold_pct);
+  if (args.has("storm")) {
+    const auto storm = storm_by_name(args.get_or("storm", "carrington"));
+    std::cout << runner.run_storm(storm, opts).render();
+    return 0;
+  }
+  const auto model = model_from_args(args);
+  std::cout << runner.run(*model, opts).render();
   return 0;
 }
 
@@ -322,6 +355,7 @@ int run(int argc, char** argv) {
   if (cmd == "risk") return cmd_risk(args);
   if (cmd == "scenario") return cmd_scenario(args);
   if (cmd == "model") return cmd_model(args);
+  if (cmd == "report") return cmd_report(args);
   if (cmd == "countries") return cmd_countries(args);
   if (cmd == "plan") return cmd_plan(args);
   if (cmd == "repair") return cmd_repair(args);
