@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/checkpoint.h"
+
 namespace solarnet::analysis {
 
 namespace {
@@ -146,6 +148,33 @@ void CountryIsolationObserver::observe(const sim::TrialView& view,
     // A country with no international cables is vacuously "all failed"
     // (matching all_fail_probability's empty-set convention of 1.0).
     if (survivors == 0) ++slot.isolated;
+  }
+}
+
+std::string CountryIsolationObserver::checkpoint_id() const {
+  std::string id = "country-isolation/v1";
+  for (const std::string& country : countries_) {
+    id += '/';
+    id += country;
+  }
+  return id;
+}
+
+void CountryIsolationObserver::save_chunk(std::size_t chunk,
+                                          util::ByteWriter& out) const {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    const Slot& slot = chunks_.at(chunk * countries_.size() + i);
+    out.u64(slot.isolated);
+    util::write_stats(out, slot.survivors);
+  }
+}
+
+void CountryIsolationObserver::load_chunk(std::size_t chunk,
+                                          util::ByteReader& in) {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    Slot& slot = chunks_.at(chunk * countries_.size() + i);
+    slot.isolated = in.u64();
+    slot.survivors = util::read_stats(in);
   }
 }
 

@@ -96,7 +96,7 @@ struct CountryIsolationResult {
 // construction and each trial costs O(sum of international cables). Does
 // not need the component decomposition (isolation is a pure cable-set
 // property, §4.3.4's definition).
-class CountryIsolationObserver final : public sim::TrialObserver {
+class CountryIsolationObserver final : public sim::CheckpointableObserver {
  public:
   CountryIsolationObserver(const topo::InfrastructureNetwork& net,
                            std::vector<std::string> countries);
@@ -112,6 +112,12 @@ class CountryIsolationObserver final : public sim::TrialObserver {
   void observe(const sim::TrialView& view, std::size_t worker,
                std::size_t chunk) override;
   void end_run() override;
+
+  // The country list is part of the id: it fixes the per-chunk slot layout,
+  // so a checkpoint for a different list must be rejected, not misapplied.
+  std::string checkpoint_id() const override;
+  void save_chunk(std::size_t chunk, util::ByteWriter& out) const override;
+  void load_chunk(std::size_t chunk, util::ByteReader& in) override;
 
  private:
   struct Slot {

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "graph/components.h"
+#include "util/checkpoint.h"
 
 namespace solarnet::analysis {
 
@@ -115,6 +116,26 @@ void DnsResolutionObserver::observe(const sim::TrialView& view,
   if (degraded) ++slot.degraded;
   if (heavy) ++slot.heavy;
   if (degraded && heavy) ++slot.joint;
+}
+
+void DnsResolutionObserver::save_chunk(std::size_t chunk,
+                                       util::ByteWriter& out) const {
+  const Chunk& slot = chunks_.at(chunk);
+  util::write_stats(out, slot.availability);
+  util::write_stats(out, slot.letters);
+  out.u64(slot.degraded);
+  out.u64(slot.heavy);
+  out.u64(slot.joint);
+}
+
+void DnsResolutionObserver::load_chunk(std::size_t chunk,
+                                       util::ByteReader& in) {
+  Chunk& slot = chunks_.at(chunk);
+  slot.availability = util::read_stats(in);
+  slot.letters = util::read_stats(in);
+  slot.degraded = in.u64();
+  slot.heavy = in.u64();
+  slot.joint = in.u64();
 }
 
 void DnsResolutionObserver::end_run() {

@@ -115,7 +115,7 @@ struct DnsResolutionSweep {
 // Trial-pipeline observer: per-trial DNS resolution availability over the
 // shared failure draw and component decomposition, with the fixed-chunk
 // deterministic reduction (bit-identical for every thread count).
-class DnsResolutionObserver final : public sim::TrialObserver {
+class DnsResolutionObserver final : public sim::CheckpointableObserver {
  public:
   DnsResolutionObserver(const topo::InfrastructureNetwork& net,
                         const std::vector<datasets::DnsRootInstance>& roots,
@@ -130,6 +130,10 @@ class DnsResolutionObserver final : public sim::TrialObserver {
   void observe(const sim::TrialView& view, std::size_t worker,
                std::size_t chunk) override;
   void end_run() override;
+
+  std::string checkpoint_id() const override { return "dns-resolution/v1"; }
+  void save_chunk(std::size_t chunk, util::ByteWriter& out) const override;
+  void load_chunk(std::size_t chunk, util::ByteReader& in) override;
 
  private:
   struct Chunk {

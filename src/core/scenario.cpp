@@ -1,11 +1,13 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "analysis/country.h"
 #include "analysis/dns_resolution.h"
 #include "datasets/datacenters.h"
 #include "services/availability.h"
+#include "sim/campaign.h"
 #include "sim/monte_carlo.h"
 #include "sim/pipeline.h"
 
@@ -65,7 +67,6 @@ analysis::ResilienceReport ScenarioRunner::run(
     sim::TrialPipeline pipeline(simulator, model);
 
     sim::ConnectivityObserver connectivity;
-    pipeline.add_observer(connectivity);
     services::AvailabilityObserver google(
         world_.submarine(),
         datacenter_service(datasets::DataCenterOperator::kGoogle,
@@ -74,17 +75,52 @@ analysis::ResilienceReport ScenarioRunner::run(
         world_.submarine(),
         datacenter_service(datasets::DataCenterOperator::kFacebook,
                            options.service_write_quorum));
-    pipeline.add_observer(google);
-    pipeline.add_observer(facebook);
     analysis::DnsResolutionObserver dns_resolution(
         world_.submarine(), world_.dns_roots(),
         options.dns_cable_loss_threshold_pct);
-    pipeline.add_observer(dns_resolution);
     analysis::CountryIsolationObserver isolation(world_.submarine(),
                                                  options.countries);
-    pipeline.add_observer(isolation);
+    sim::CheckpointableObserver* observers[] = {&connectivity, &google,
+                                                &facebook, &dns_resolution,
+                                                &isolation};
 
-    pipeline.run(options.trials, options.seed);
+    if (options.checkpoint_path.empty()) {
+      for (sim::CheckpointableObserver* o : observers) {
+        pipeline.add_observer(*o);
+      }
+      pipeline.run(options.trials, options.seed);
+    } else {
+      // Crash-safe path: same observers, same draws, bit-identical results
+      // — plus a checkpoint file a killed run resumes from.
+      sim::CampaignRunner campaign(pipeline);
+      for (sim::CheckpointableObserver* o : observers) {
+        campaign.add_observer(*o);
+      }
+      sim::CampaignOptions copt;
+      copt.trials = options.trials;
+      copt.seed = options.seed;
+      copt.threads = options.threads;
+      copt.checkpoint_path = options.checkpoint_path;
+      copt.checkpoint_every_chunks = options.checkpoint_every_chunks;
+      const sim::CampaignReport campaign_report = campaign.run(copt);
+      // Progress notes on stderr so the report on stdout stays
+      // byte-identical to a non-checkpointed run.
+      std::cerr << "campaign: " << campaign_report.chunks_executed << "/"
+                << campaign_report.chunks << " chunks executed";
+      if (campaign_report.resumed) {
+        std::cerr << " (resumed " << campaign_report.chunks_resumed
+                  << " from checkpoint)";
+      }
+      std::cerr << "\n";
+      if (!campaign_report.resume_status.is_ok()) {
+        std::cerr << "campaign: checkpoint rejected, restarted fresh: "
+                  << campaign_report.resume_status.to_string() << "\n";
+      }
+      if (!campaign_report.checkpoint_status.is_ok()) {
+        std::cerr << "campaign: checkpoint write failed: "
+                  << campaign_report.checkpoint_status.to_string() << "\n";
+      }
+    }
 
     report.failure_results.push_back(
         to_band_result(connectivity.result(), model.name(),

@@ -31,6 +31,14 @@ struct ScenarioOptions {
   // Threshold for the DNS joint statistic: P(resolution degraded AND more
   // than this % of cables lost) within the same trial.
   double dns_cable_loss_threshold_pct = 10.0;
+  // Non-empty: run the submarine Monte-Carlo pass through a
+  // sim::CampaignRunner that checkpoints to this path and resumes from it
+  // (bit-identically) when the file already holds a compatible partial
+  // campaign. The report itself is unchanged; campaign progress notes go
+  // to stderr.
+  std::string checkpoint_path;
+  // Checkpoint cadence in trial chunks (sim::CampaignOptions semantics).
+  std::size_t checkpoint_every_chunks = 64;
 };
 
 class ScenarioRunner {

@@ -1,10 +1,12 @@
 #include "datasets/loaders.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "util/csv.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace solarnet::datasets {
@@ -17,6 +19,33 @@ bool csv_to_bool(const std::string& s) {
   if (s == "1" || util::iequals(s, "true")) return true;
   if (s == "0" || util::iequals(s, "false")) return false;
   throw std::invalid_argument("loaders: malformed boolean '" + s + "'");
+}
+
+bool cell_bool(const util::CsvTable& table, std::size_t row,
+               std::string_view column) {
+  const std::string& text = table.cell(row, column);
+  try {
+    return csv_to_bool(text);
+  } catch (const std::invalid_argument&) {
+    throw util::Error(util::ErrorCode::kParseError,
+                      "'" + text + "' is not a boolean",
+                      table.context(row, column));
+  }
+}
+
+// Reads and validates a lat/lon pair. cell_double rejects non-numeric text
+// with file:line context; geo::validated rejects NaN/Inf and out-of-range
+// coordinates, which we re-throw with the same provenance instead of the
+// context-free invalid_argument the geo layer produces.
+geo::GeoPoint cell_point(const util::CsvTable& table, std::size_t row) {
+  const double lat = table.cell_double(row, "lat");
+  const double lon = table.cell_double(row, "lon");
+  try {
+    return geo::validated({lat, lon});
+  } catch (const std::exception& e) {
+    throw util::Error(util::ErrorCode::kInvalidData, e.what(),
+                      table.context(row, "lat/lon"));
+  }
 }
 
 }  // namespace
@@ -45,44 +74,81 @@ topo::InfrastructureNetwork load_network_csv(const std::string& network_name,
                                              const std::string& cables_path) {
   topo::InfrastructureNetwork net(network_name);
 
-  const util::CsvTable nodes(util::read_csv_file(nodes_path));
+  const util::CsvTable nodes(util::read_csv_document(nodes_path));
   for (std::size_t r = 0; r < nodes.row_count(); ++r) {
     topo::Node n;
     n.name = nodes.cell(r, "name");
-    n.location = {nodes.cell_double(r, "lat"), nodes.cell_double(r, "lon")};
+    n.location = cell_point(nodes, r);
     n.country_code = nodes.cell(r, "country");
-    n.kind = parse_node_kind(nodes.cell(r, "kind"));
-    n.coords_authoritative =
-        csv_to_bool(nodes.cell(r, "coords_authoritative"));
-    net.add_node(std::move(n));
+    try {
+      n.kind = parse_node_kind(nodes.cell(r, "kind"));
+    } catch (const std::invalid_argument& e) {
+      throw util::Error(util::ErrorCode::kInvalidData, e.what(),
+                        nodes.context(r, "kind"));
+    }
+    n.coords_authoritative = cell_bool(nodes, r, "coords_authoritative");
+    try {
+      net.add_node(std::move(n));
+    } catch (const std::invalid_argument& e) {
+      // Duplicate or empty node name.
+      throw util::Error(util::ErrorCode::kInvalidData, e.what(),
+                        nodes.context(r, "name"));
+    }
   }
 
-  const util::CsvTable cables(util::read_csv_file(cables_path));
-  // Group consecutive rows by cable name.
+  const util::CsvTable cables(util::read_csv_document(cables_path));
+  // Group consecutive rows by cable name; a name that reappears after its
+  // group ended would silently create a second cable with the same name,
+  // so reject it as a duplicate.
+  std::unordered_set<std::string> flushed_names;
   topo::Cable current;
   bool have_current = false;
   auto flush = [&] {
-    if (have_current) net.add_cable(std::move(current));
+    if (have_current) {
+      flushed_names.insert(current.name);
+      net.add_cable(std::move(current));
+    }
     current = topo::Cable{};
     have_current = false;
   };
   for (std::size_t r = 0; r < cables.row_count(); ++r) {
     const std::string& name = cables.cell(r, "cable");
     if (!have_current || current.name != name) {
+      if (flushed_names.count(name) != 0) {
+        throw util::Error(util::ErrorCode::kInvalidData,
+                          "cable '" + name +
+                              "' appears in non-consecutive row groups "
+                              "(duplicate cable?)",
+                          cables.context(r, "cable"));
+      }
       flush();
       current.name = name;
-      current.kind = parse_cable_kind(cables.cell(r, "kind"));
-      current.length_known = csv_to_bool(cables.cell(r, "length_known"));
+      try {
+        current.kind = parse_cable_kind(cables.cell(r, "kind"));
+      } catch (const std::invalid_argument& e) {
+        throw util::Error(util::ErrorCode::kInvalidData, e.what(),
+                          cables.context(r, "kind"));
+      }
+      current.length_known = cell_bool(cables, r, "length_known");
       have_current = true;
     }
     const auto a = net.find_node(cables.cell(r, "node_a"));
     const auto b = net.find_node(cables.cell(r, "node_b"));
     if (!a || !b) {
-      throw std::runtime_error("load_network_csv: cable '" + name +
-                               "' references unknown node");
+      throw util::Error(
+          util::ErrorCode::kInvalidData,
+          "cable '" + name + "' references unknown node '" +
+              cables.cell(r, !a ? "node_a" : "node_b") + "'",
+          cables.context(r, !a ? "node_a" : "node_b"));
     }
-    current.segments.push_back(
-        {*a, *b, cables.cell_double(r, "length_km")});
+    const double length_km = cables.cell_double(r, "length_km");
+    if (!std::isfinite(length_km) || length_km < 0.0) {
+      throw util::Error(util::ErrorCode::kInvalidData,
+                        "segment length must be finite and non-negative, got " +
+                            cables.cell(r, "length_km"),
+                        cables.context(r, "length_km"));
+    }
+    current.segments.push_back({*a, *b, length_km});
   }
   flush();
   return net;
@@ -119,15 +185,21 @@ void write_network_csv(const topo::InfrastructureNetwork& net,
 }
 
 RouterDataset load_router_csv(const std::string& path) {
-  const util::CsvTable table(util::read_csv_file(path));
+  const util::CsvTable table(util::read_csv_document(path));
   std::vector<RouterRecord> routers;
   routers.reserve(table.row_count());
   AsId max_as = 0;
   for (std::size_t r = 0; r < table.row_count(); ++r) {
     RouterRecord rec;
-    rec.location = geo::validated(
-        {table.cell_double(r, "lat"), table.cell_double(r, "lon")});
-    rec.as_id = static_cast<AsId>(table.cell_int(r, "as_id"));
+    rec.location = cell_point(table, r);
+    const long long as_id = table.cell_int(r, "as_id");
+    if (as_id < 0) {
+      throw util::Error(util::ErrorCode::kInvalidData,
+                        "as_id must be non-negative, got " +
+                            std::to_string(as_id),
+                        table.context(r, "as_id"));
+    }
+    rec.as_id = static_cast<AsId>(as_id);
     max_as = std::max(max_as, rec.as_id);
     routers.push_back(rec);
   }
@@ -146,13 +218,11 @@ void write_router_csv(const RouterDataset& ds, const std::string& path) {
 }
 
 std::vector<InfraPoint> load_points_csv(const std::string& path) {
-  const util::CsvTable table(util::read_csv_file(path));
+  const util::CsvTable table(util::read_csv_document(path));
   std::vector<InfraPoint> out;
   out.reserve(table.row_count());
   for (std::size_t r = 0; r < table.row_count(); ++r) {
-    out.push_back({table.cell(r, "name"),
-                   geo::validated({table.cell_double(r, "lat"),
-                                   table.cell_double(r, "lon")}),
+    out.push_back({table.cell(r, "name"), cell_point(table, r),
                    table.cell(r, "country")});
   }
   return out;
@@ -171,17 +241,20 @@ void write_points_csv(const std::vector<InfraPoint>& points,
 }
 
 std::vector<DnsRootInstance> load_dns_csv(const std::string& path) {
-  const util::CsvTable table(util::read_csv_file(path));
+  const util::CsvTable table(util::read_csv_document(path));
   std::vector<DnsRootInstance> out;
   out.reserve(table.row_count());
   for (std::size_t r = 0; r < table.row_count(); ++r) {
     const std::string& letter = table.cell(r, "letter");
     if (letter.size() != 1 || letter[0] < 'a' || letter[0] > 'm') {
+      // std::invalid_argument kept for callers that pattern-match the
+      // exception type; the message carries the file:line context.
       throw std::invalid_argument("load_dns_csv: bad root letter '" + letter +
-                                  "'");
+                                  "' (" +
+                                  table.context(r, "letter").to_string() +
+                                  ")");
     }
-    const geo::GeoPoint loc = geo::validated(
-        {table.cell_double(r, "lat"), table.cell_double(r, "lon")});
+    const geo::GeoPoint loc = cell_point(table, r);
     out.push_back(
         {letter[0], loc, table.cell(r, "country"), geo::continent_at(loc)});
   }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geo/distance.h"
+#include "util/checkpoint.h"
 #include "util/parallel.h"
 
 namespace solarnet::services {
@@ -290,6 +291,19 @@ void AvailabilityObserver::observe(const sim::TrialView& view,
   Chunk& slot = chunks_[chunk];
   slot.read.add(report.read_availability);
   slot.write.add(report.write_availability);
+}
+
+void AvailabilityObserver::save_chunk(std::size_t chunk,
+                                      util::ByteWriter& out) const {
+  const Chunk& slot = chunks_.at(chunk);
+  util::write_stats(out, slot.read);
+  util::write_stats(out, slot.write);
+}
+
+void AvailabilityObserver::load_chunk(std::size_t chunk, util::ByteReader& in) {
+  Chunk& slot = chunks_.at(chunk);
+  slot.read = util::read_stats(in);
+  slot.write = util::read_stats(in);
 }
 
 void AvailabilityObserver::end_run() {

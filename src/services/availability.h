@@ -144,7 +144,7 @@ AvailabilitySweep availability_sweep(const sim::FailureSimulator& simulator,
 // seed/draw count and any thread count — while sharing the failure draw
 // with every other observer. Construction resolves the replica/anchor
 // nodes once; begin_run hands each worker a copy of the resolved evaluator.
-class AvailabilityObserver final : public sim::TrialObserver {
+class AvailabilityObserver final : public sim::CheckpointableObserver {
  public:
   // Throws like ServiceEvaluator on a bad spec.
   AvailabilityObserver(const topo::InfrastructureNetwork& net,
@@ -160,6 +160,14 @@ class AvailabilityObserver final : public sim::TrialObserver {
   void observe(const sim::TrialView& view, std::size_t worker,
                std::size_t chunk) override;
   void end_run() override;
+
+  // The id carries the service name: a checkpoint written for one service
+  // is rejected for another even with identical chunk counts.
+  std::string checkpoint_id() const override {
+    return "availability/v1/" + prototype_.spec().name;
+  }
+  void save_chunk(std::size_t chunk, util::ByteWriter& out) const override;
+  void load_chunk(std::size_t chunk, util::ByteReader& in) override;
 
  private:
   struct Chunk {

@@ -9,17 +9,33 @@
 
 namespace solarnet::sim {
 
+void validate_trial_config(const TrialConfig& config) {
+  // Negated comparisons so NaN fails each check: NaN <= 0.0 is false, which
+  // the old spacing check silently accepted.
+  if (!std::isfinite(config.repeater_spacing_km) ||
+      !(config.repeater_spacing_km > 0.0)) {
+    throw std::invalid_argument(
+        "TrialConfig: repeater_spacing_km must be finite and positive, got " +
+        std::to_string(config.repeater_spacing_km));
+  }
+  if (config.rule == CableDeathRule::kFractionFails &&
+      !(config.death_fraction > 0.0 && config.death_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "TrialConfig: death_fraction must be in (0, 1], got " +
+        std::to_string(config.death_fraction));
+  }
+  if (config.threads > kMaxReasonableThreads) {
+    throw std::invalid_argument(
+        "TrialConfig: threads must be <= " +
+        std::to_string(kMaxReasonableThreads) + ", got " +
+        std::to_string(config.threads));
+  }
+}
+
 FailureSimulator::FailureSimulator(const topo::InfrastructureNetwork& net,
                                    TrialConfig config)
     : net_(net), config_(config) {
-  if (config_.repeater_spacing_km <= 0.0) {
-    throw std::invalid_argument("FailureSimulator: spacing must be positive");
-  }
-  if (config_.rule == CableDeathRule::kFractionFails &&
-      (config_.death_fraction <= 0.0 || config_.death_fraction > 1.0)) {
-    throw std::invalid_argument(
-        "FailureSimulator: death_fraction must be in (0, 1]");
-  }
+  validate_trial_config(config_);
   cable_offset_.reserve(net.cable_count() + 1);
   cable_offset_.push_back(0);
   for (topo::CableId c = 0; c < net.cable_count(); ++c) {

@@ -50,6 +50,19 @@ struct TrialConfig {
   std::size_t threads = 0;
 };
 
+// Validates a TrialConfig up front, throwing std::invalid_argument with a
+// field-by-field message on the first problem found:
+//   - repeater_spacing_km must be finite and strictly positive (NaN and
+//     Inf are rejected, not just non-positive values),
+//   - death_fraction must be in (0, 1] and finite when the rule is
+//     kFractionFails,
+//   - threads must be <= kMaxReasonableThreads (a fat-finger guard: a
+//     parsed-garbage thread count would otherwise try to spawn billions of
+//     workers).
+// FailureSimulator's constructor calls this on every config it accepts.
+inline constexpr std::size_t kMaxReasonableThreads = 65536;
+void validate_trial_config(const TrialConfig& config);
+
 // Per-cable death probabilities under the any-failure rule, fixed for a
 // given (simulator, model) pair. Building it costs one O(repeaters) pass;
 // sampling against it is O(cables) per draw.

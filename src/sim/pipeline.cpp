@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checkpoint.h"
 #include "util/parallel.h"
 
 namespace solarnet::sim {
@@ -107,6 +108,21 @@ void ConnectivityObserver::observe(const TrialView& view, std::size_t /*worker*/
                        ? 100.0 * static_cast<double>(largest) /
                              static_cast<double>(connected_nodes_)
                        : 0.0);
+}
+
+void ConnectivityObserver::save_chunk(std::size_t chunk,
+                                      util::ByteWriter& out) const {
+  const Chunk& slot = chunks_.at(chunk);
+  util::write_stats(out, slot.cables);
+  util::write_stats(out, slot.nodes);
+  util::write_stats(out, slot.largest);
+}
+
+void ConnectivityObserver::load_chunk(std::size_t chunk, util::ByteReader& in) {
+  Chunk& slot = chunks_.at(chunk);
+  slot.cables = util::read_stats(in);
+  slot.nodes = util::read_stats(in);
+  slot.largest = util::read_stats(in);
 }
 
 void ConnectivityObserver::end_run() {

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gic/failure_model.h"
@@ -43,6 +44,11 @@
 #include "util/bitset.h"
 #include "util/rng.h"
 #include "util/stats.h"
+
+namespace solarnet::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace solarnet::util
 
 namespace solarnet::sim {
 
@@ -96,6 +102,27 @@ class TrialObserver {
   // Called once after all trials, on the run() thread: reduce the chunk
   // slots (in ascending chunk order) into the final result.
   virtual void end_run() = 0;
+};
+
+// An observer whose per-chunk accumulator slots can be serialized, so a
+// sim::CampaignRunner can checkpoint a partially-run campaign and resume it
+// bit-identically. The contract extends the determinism contract above:
+//  - checkpoint_id() names the observer AND its wire format; bump the
+//    version suffix whenever save_chunk's layout changes, and include any
+//    configuration that changes the slot layout (e.g. a country list) so a
+//    checkpoint from a differently-configured observer is rejected instead
+//    of misapplied.
+//  - save_chunk(c) serializes chunk c's fully-accumulated slot; it is only
+//    called between segments (never concurrently with observe on c).
+//  - load_chunk(c) restores a slot previously produced by save_chunk on an
+//    observer with the same checkpoint_id; called after begin_run and
+//    before any trial of chunk c runs. A restored slot merged in end_run()
+//    must be bit-identical to one accumulated in-process.
+class CheckpointableObserver : public TrialObserver {
+ public:
+  virtual std::string checkpoint_id() const = 0;
+  virtual void save_chunk(std::size_t chunk, util::ByteWriter& out) const = 0;
+  virtual void load_chunk(std::size_t chunk, util::ByteReader& in) = 0;
 };
 
 // Reusable per-worker scratch for the trial loop; allocation-free once
@@ -166,7 +193,7 @@ class TrialPipeline {
 // percentages (bit-identical to FailureSimulator::run_trials for the same
 // seed and trial count) plus the largest surviving component share, which
 // run_trials cannot see because it never decomposes components.
-class ConnectivityObserver final : public TrialObserver {
+class ConnectivityObserver final : public CheckpointableObserver {
  public:
   struct Result {
     std::size_t trials = 0;
@@ -184,6 +211,10 @@ class ConnectivityObserver final : public TrialObserver {
   void observe(const TrialView& view, std::size_t worker,
                std::size_t chunk) override;
   void end_run() override;
+
+  std::string checkpoint_id() const override { return "connectivity/v1"; }
+  void save_chunk(std::size_t chunk, util::ByteWriter& out) const override;
+  void load_chunk(std::size_t chunk, util::ByteReader& in) override;
 
  private:
   struct Chunk {

@@ -1,0 +1,215 @@
+#include "util/checkpoint.h"
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/fault_injection.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace solarnet::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string errno_message(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t crc) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void ByteWriter::u8(std::uint8_t v) {
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::string_view data) { buffer_.append(data); }
+
+void ByteWriter::str(std::string_view s) {
+  if (s.size() > 0xffffffffu) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "ByteWriter::str: string exceeds u32 length prefix");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s);
+}
+
+ByteReader::ByteReader(std::string_view data, SourceContext context)
+    : data_(data), context_(std::move(context)) {}
+
+void ByteReader::overrun(std::size_t wanted) const {
+  throw Error(ErrorCode::kCorrupt,
+              "truncated record: wanted " + std::to_string(wanted) +
+                  " bytes at offset " + std::to_string(pos_) + " of " +
+                  std::to_string(data_.size()),
+              context_);
+}
+
+std::uint8_t ByteReader::u8() {
+  if (remaining() < 1) overrun(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (remaining() < 4) overrun(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (remaining() < 8) overrun(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) overrun(n);
+  const std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  return std::string(bytes(n));
+}
+
+void write_stats(ByteWriter& out, const RunningStats& stats) {
+  const RunningStats::State s = stats.state();
+  out.u64(s.n);
+  out.f64(s.mean);
+  out.f64(s.m2);
+  out.f64(s.min);
+  out.f64(s.max);
+}
+
+RunningStats read_stats(ByteReader& in) {
+  RunningStats::State s;
+  s.n = in.u64();
+  s.mean = in.f64();
+  s.m2 = in.f64();
+  s.min = in.f64();
+  s.max = in.f64();
+  return RunningStats::from_state(s);
+}
+
+bool file_exists(const std::string& path) noexcept {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+std::string read_file(const std::string& path) {
+  FaultInjector::probe(FaultSite::kFileRead);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw Error(ErrorCode::kIoError, errno_message("cannot open", path),
+                {path});
+  }
+  std::string out;
+  std::array<char, 1 << 16> buffer;
+  std::size_t n = 0;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), f)) > 0) {
+    out.append(buffer.data(), n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw Error(ErrorCode::kIoError, errno_message("read failed", path),
+                {path});
+  }
+  return out;
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  FaultInjector::probe(FaultSite::kCheckpointWrite);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error(ErrorCode::kIoError, errno_message("cannot open", tmp), {tmp});
+  }
+  const auto fail = [&](const char* op) -> Error {
+    Error e(ErrorCode::kIoError, errno_message(op, tmp), {tmp});
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return e;
+  };
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) != contents.size()) {
+    throw fail("write failed");
+  }
+  if (std::fflush(f) != 0) throw fail("flush failed");
+#ifdef __unix__
+  // Durability: the rename below must not land before the data does.
+  if (::fsync(::fileno(f)) != 0) throw fail("fsync failed");
+#endif
+  if (std::fclose(f) != 0) {
+    Error e(ErrorCode::kIoError, errno_message("close failed", tmp), {tmp});
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw e;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw Error(ErrorCode::kIoError,
+                "rename '" + tmp + "' -> '" + path + "': " + ec.message(),
+                {path});
+  }
+}
+
+}  // namespace solarnet::util

@@ -1,0 +1,93 @@
+// Binary serialization + crash-safe file primitives for campaign
+// checkpoints.
+//
+// ByteWriter/ByteReader implement a tiny little-endian framing format:
+// fixed-width integers, doubles as IEEE-754 bit patterns (so round-trips
+// are bit-exact — the resume bit-identity guarantee depends on this), and
+// length-prefixed strings/blobs. ByteReader throws
+// util::Error(ErrorCode::kCorrupt) on any overrun, carrying the
+// SourceContext it was constructed with, so a truncated checkpoint names
+// the file instead of crashing.
+//
+// atomic_write_file is the write-temp-then-rename primitive: the target
+// path always holds either the previous complete contents or the new
+// complete contents, never a torn write — a campaign killed mid-checkpoint
+// resumes from the previous checkpoint. read_file / atomic_write_file are
+// registered fault-injection sites (kFileRead / kCheckpointWrite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/stats.h"
+
+namespace solarnet::util {
+
+// CRC-32 (IEEE 802.3, reflected). `crc` chains partial computations;
+// 0 starts a fresh checksum.
+std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0) noexcept;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // IEEE-754 bit pattern; round-trips every value (incl. NaN payloads).
+  void f64(double v);
+  void bytes(std::string_view data);
+  // u32 length prefix + bytes.
+  void str(std::string_view s);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const std::string& data() const noexcept { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data, SourceContext context = {});
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string_view bytes(std::size_t n);
+  std::string str();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  const SourceContext& context() const noexcept { return context_; }
+
+ private:
+  [[noreturn]] void overrun(std::size_t wanted) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  SourceContext context_;
+};
+
+// RunningStats persistence: writes/reads the accumulator's exact state
+// (count, mean, M2, min, max) so a restored accumulator merges
+// bit-identically to one that never left memory.
+void write_stats(ByteWriter& out, const RunningStats& stats);
+RunningStats read_stats(ByteReader& in);
+
+bool file_exists(const std::string& path) noexcept;
+
+// Reads a whole file (binary). Throws Error(kIoError) when the file cannot
+// be opened or read. FaultInjector site kFileRead fires here.
+std::string read_file(const std::string& path);
+
+// Writes `contents` to `path` crash-safely: write to a temporary sibling,
+// flush + fsync, then atomically rename over `path`. Throws
+// Error(kIoError) on any failure (the temporary is cleaned up; the target
+// is left untouched). FaultInjector site kCheckpointWrite fires here,
+// before anything touches the filesystem.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace solarnet::util

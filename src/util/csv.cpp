@@ -1,10 +1,11 @@
 #include "util/csv.h"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
+#include "util/checkpoint.h"
 #include "util/strings.h"
 
 namespace solarnet::util {
@@ -32,21 +33,34 @@ std::string quote_field(std::string_view field) {
 
 }  // namespace
 
-std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options) {
-  std::vector<CsvRow> rows;
+CsvDocument parse_csv_document(std::string_view text, CsvOptions options,
+                               std::string path) {
+  CsvDocument doc;
+  doc.path = std::move(path);
   CsvRow row;
   std::string field;
   bool in_quotes = false;
   bool row_has_content = false;
+  // True immediately after a closing quote: the only legal next characters
+  // are a delimiter or a line ending. Anything else used to be silently
+  // appended, turning `"a"b,c` into a garbage row.
+  bool after_quote = false;
+  std::size_t line = 1;            // current 1-based source line
+  std::size_t row_line = 1;        // line the current row started on
+  std::size_t quote_open_line = 0;  // line of the opening quote, if in_quotes
 
   auto end_field = [&] {
     row.push_back(std::move(field));
     field.clear();
+    after_quote = false;
   };
   auto end_row = [&] {
     end_field();
     const bool blank = row.size() == 1 && row[0].empty() && !row_has_content;
-    if (!blank || !options.skip_blank_lines) rows.push_back(std::move(row));
+    if (!blank || !options.skip_blank_lines) {
+      doc.rows.push_back(std::move(row));
+      doc.lines.push_back(row_line);
+    }
     row.clear();
     row_has_content = false;
   };
@@ -60,16 +74,15 @@ std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options) {
           ++i;
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
+        if (c == '\n') ++line;
         field += c;
       }
       continue;
     }
-    if (c == '"' && field.empty()) {
-      in_quotes = true;
-      row_has_content = true;
-    } else if (c == options.delimiter) {
+    if (c == options.delimiter) {
       end_field();
       row_has_content = true;
     } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
@@ -78,25 +91,45 @@ std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options) {
       // branch, so quoted "\r" content survives round-trips.)
     } else if (c == '\n') {
       end_row();
+      ++line;
+      row_line = line;
+    } else if (after_quote) {
+      throw Error(ErrorCode::kParseError,
+                  "unexpected character '" + std::string(1, c) +
+                      "' after closing quote",
+                  {doc.path, line});
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      row_has_content = true;
+      quote_open_line = line;
     } else {
       field += c;
     }
   }
-  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quote");
+  if (in_quotes) {
+    throw Error(ErrorCode::kParseError,
+                "unterminated quote (opened on line " +
+                    std::to_string(quote_open_line) + ")",
+                {doc.path, quote_open_line});
+  }
   // Final record without trailing newline.
   if (!field.empty() || !row.empty() || row_has_content) {
     end_row();
   }
-  return rows;
+  return doc;
+}
+
+CsvDocument read_csv_document(const std::string& path, CsvOptions options) {
+  return parse_csv_document(read_file(path), options, path);
+}
+
+std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options) {
+  return parse_csv_document(text, options).rows;
 }
 
 std::vector<CsvRow> read_csv_file(const std::string& path,
                                   CsvOptions options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_csv(buffer.str(), options);
+  return read_csv_document(path, options).rows;
 }
 
 std::string to_csv(const std::vector<CsvRow>& rows, CsvOptions options) {
@@ -118,22 +151,46 @@ std::string to_csv(const std::vector<CsvRow>& rows, CsvOptions options) {
 void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
                     CsvOptions options) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  if (!out) {
+    throw Error(ErrorCode::kIoError, "write_csv_file: cannot open", {path});
+  }
   out << to_csv(rows, options);
-  if (!out) throw std::runtime_error("write_csv_file: write failed " + path);
+  if (!out) {
+    throw Error(ErrorCode::kIoError, "write_csv_file: write failed", {path});
+  }
 }
 
-CsvTable::CsvTable(std::vector<CsvRow> rows) {
-  if (rows.empty()) throw std::runtime_error("CsvTable: no header row");
-  header_ = std::move(rows.front());
-  rows_.assign(std::make_move_iterator(rows.begin() + 1),
-               std::make_move_iterator(rows.end()));
+CsvTable::CsvTable(std::vector<CsvRow> rows)
+    : CsvTable(CsvDocument{{}, std::move(rows), {}}) {}
+
+CsvTable::CsvTable(CsvDocument document) : path_(std::move(document.path)) {
+  if (document.rows.empty()) {
+    throw Error(ErrorCode::kInvalidData, "CsvTable: no header row", {path_});
+  }
+  header_ = std::move(document.rows.front());
+  rows_.assign(std::make_move_iterator(document.rows.begin() + 1),
+               std::make_move_iterator(document.rows.end()));
+  if (document.lines.size() == rows_.size() + 1) {
+    // Provenance present (one entry per original row incl. header).
+    lines_.assign(document.lines.begin() + 1, document.lines.end());
+  }
   std::unordered_map<std::string, int> seen;
   for (const std::string& name : header_) {
     if (++seen[name] > 1) {
-      throw std::runtime_error("CsvTable: duplicate column '" + name + "'");
+      throw Error(ErrorCode::kInvalidData,
+                  "CsvTable: duplicate column '" + name + "'",
+                  {path_, lines_.empty() ? std::size_t{0} : std::size_t{1},
+                   name});
     }
   }
+}
+
+std::size_t CsvTable::source_line(std::size_t row) const noexcept {
+  return row < lines_.size() ? lines_[row] : 0;
+}
+
+SourceContext CsvTable::context(std::size_t row, std::string_view column) const {
+  return {path_, source_line(row), std::string(column)};
 }
 
 bool CsvTable::has_column(std::string_view name) const {
@@ -148,27 +205,44 @@ std::size_t CsvTable::column_index(std::string_view name) const {
     if (header_[i] == name) return i;
   }
   throw std::out_of_range("CsvTable: unknown column '" + std::string(name) +
-                          "'");
+                          "'" + (path_.empty() ? "" : " in " + path_));
 }
 
 const std::string& CsvTable::cell(std::size_t row,
                                   std::string_view column) const {
-  if (row >= rows_.size()) throw std::out_of_range("CsvTable: row index");
+  if (row >= rows_.size()) {
+    throw std::out_of_range("CsvTable: row index " + std::to_string(row) +
+                            " out of range (" + std::to_string(rows_.size()) +
+                            " rows" + (path_.empty() ? "" : " in " + path_) +
+                            ")");
+  }
   const std::size_t col = column_index(column);
   if (col >= rows_[row].size()) {
     throw std::out_of_range("CsvTable: row " + std::to_string(row) +
                             " is missing column '" + std::string(column) +
-                            "'");
+                            "' (" + context(row, column).to_string() + ")");
   }
   return rows_[row][col];
 }
 
 double CsvTable::cell_double(std::size_t row, std::string_view column) const {
-  return parse_double(cell(row, column));
+  const std::string& text = cell(row, column);
+  try {
+    return parse_double(text);
+  } catch (const std::exception&) {
+    throw Error(ErrorCode::kParseError, "'" + text + "' is not a number",
+                context(row, column));
+  }
 }
 
 long long CsvTable::cell_int(std::size_t row, std::string_view column) const {
-  return parse_int(cell(row, column));
+  const std::string& text = cell(row, column);
+  try {
+    return parse_int(text);
+  } catch (const std::exception&) {
+    throw Error(ErrorCode::kParseError, "'" + text + "' is not an integer",
+                context(row, column));
+  }
 }
 
 }  // namespace solarnet::util

@@ -3,13 +3,25 @@
 // place of the synthetic generators, and by benches to dump figure data.
 //
 // Supported: quoted fields, embedded delimiters/newlines inside quotes,
-// doubled-quote escaping, CRLF and LF line endings, configurable delimiter.
+// doubled-quote escaping, CRLF and LF line endings, trailing blank lines,
+// configurable delimiter.
+//
+// Diagnostics: parse_csv_document / read_csv_document track the 1-based
+// source line each row starts on, and CsvTable carries that provenance
+// into every typed-access error — a malformed number in row 4000 of a
+// TeleGeography export fails with "file.csv:4001, field 'lat'", not a
+// garbage value. Structural errors (unterminated quote, stray characters
+// after a closing quote) throw util::Error(ErrorCode::kParseError) with
+// the same context.
 #pragma once
 
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.h"
 
 namespace solarnet::util {
 
@@ -21,12 +33,29 @@ struct CsvOptions {
 // One parsed record (row) of fields.
 using CsvRow = std::vector<std::string>;
 
-// Parses an entire CSV document from a string. Throws std::runtime_error on
-// structurally invalid input (unterminated quote).
-std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options = {});
+// A parsed CSV document with provenance: rows plus, per row, the 1-based
+// source line the row started on (quoted fields may span further lines).
+struct CsvDocument {
+  std::string path;  // "" = in-memory input
+  std::vector<CsvRow> rows;
+  std::vector<std::size_t> lines;  // same size as rows
+};
 
-// Parses a CSV file from disk. Throws std::runtime_error if the file cannot
-// be opened or is malformed.
+// Parses an entire CSV document from a string, keeping line provenance.
+// `path` only labels diagnostics. Throws util::Error(kParseError) on
+// structurally invalid input (unterminated quote, stray characters between
+// a closing quote and the next delimiter/newline).
+CsvDocument parse_csv_document(std::string_view text, CsvOptions options = {},
+                               std::string path = {});
+
+// Parses a CSV file from disk (via util::read_file — fault-injection site
+// kFileRead). Throws util::Error(kIoError) if the file cannot be opened,
+// util::Error(kParseError) if it is malformed.
+CsvDocument read_csv_document(const std::string& path, CsvOptions options = {});
+
+// Rows-only conveniences (provenance dropped), kept for callers that do
+// their own validation.
+std::vector<CsvRow> parse_csv(std::string_view text, CsvOptions options = {});
 std::vector<CsvRow> read_csv_file(const std::string& path,
                                   CsvOptions options = {});
 
@@ -38,26 +67,44 @@ void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
                     CsvOptions options = {});
 
 // Header-aware view over parsed rows: resolves column names to indices once
-// and provides typed access. The first row is the header.
+// and provides typed access. The first row is the header. Constructed from
+// a CsvDocument it reports errors with file:line context; the rows-only
+// constructor still works but reports positions as row indices.
 class CsvTable {
  public:
-  // Throws std::runtime_error on empty input or duplicate header names.
+  // Throws util::Error on empty input or duplicate header names.
   explicit CsvTable(std::vector<CsvRow> rows);
+  explicit CsvTable(CsvDocument document);
+  // Disambiguates CsvTable({...}) between the two overloads above.
+  CsvTable(std::initializer_list<CsvRow> rows)
+      : CsvTable(std::vector<CsvRow>(rows)) {}
 
   std::size_t row_count() const noexcept { return rows_.size(); }
   std::size_t column_count() const noexcept { return header_.size(); }
   const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::string& path() const noexcept { return path_; }
+
+  // 1-based source line of data row `row`; 0 when provenance is unknown
+  // (rows-only constructor or out-of-range row).
+  std::size_t source_line(std::size_t row) const noexcept;
+  // Context for error reporting on (row, column) — used by the dataset
+  // loaders to attach file:line to their semantic validation errors.
+  SourceContext context(std::size_t row, std::string_view column = {}) const;
 
   bool has_column(std::string_view name) const;
   // Throws std::out_of_range for unknown columns or row index.
   std::size_t column_index(std::string_view name) const;
   const std::string& cell(std::size_t row, std::string_view column) const;
+  // Throw util::Error(kParseError) with file/line/field context when the
+  // cell does not parse as a number.
   double cell_double(std::size_t row, std::string_view column) const;
   long long cell_int(std::size_t row, std::string_view column) const;
 
  private:
   std::vector<std::string> header_;
   std::vector<CsvRow> rows_;
+  std::vector<std::size_t> lines_;  // per data row; empty = unknown
+  std::string path_;
 };
 
 }  // namespace solarnet::util

@@ -1,0 +1,153 @@
+#include "util/fault_injection.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace solarnet::util {
+
+const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kAllocation:
+      return "allocation";
+    case FaultSite::kWorkerTask:
+      return "worker-task";
+    case FaultSite::kFileRead:
+      return "file-read";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint-write";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::span<const FaultSite> all_fault_sites() noexcept {
+  static constexpr std::array<FaultSite, kFaultSiteCount> kSites = {
+      FaultSite::kAllocation,
+      FaultSite::kWorkerTask,
+      FaultSite::kFileRead,
+      FaultSite::kCheckpointWrite,
+  };
+  return kSites;
+}
+
+FaultInjector& FaultInjector::instance() noexcept {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::refresh_any_armed() noexcept {
+  bool any = false;
+  for (const Site& s : sites_) {
+    any = any || s.mode != Site::Mode::kDisarmed;
+  }
+  any_armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_nth(FaultSite fault_site, std::uint64_t nth) {
+  if (nth == 0) {
+    throw std::invalid_argument("FaultInjector::arm_nth: nth is 1-based");
+  }
+  Site& s = site(fault_site);
+  s.mode = Site::Mode::kNth;
+  s.nth = nth;
+  s.armed_at.store(s.probes.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  refresh_any_armed();
+}
+
+void FaultInjector::arm_probability(FaultSite fault_site, double p,
+                                    std::uint64_t seed) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(
+        "FaultInjector::arm_probability: p must be in [0, 1]");
+  }
+  Site& s = site(fault_site);
+  s.mode = Site::Mode::kProbability;
+  s.probability = p;
+  s.seed = seed;
+  s.armed_at.store(s.probes.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  refresh_any_armed();
+}
+
+void FaultInjector::disarm(FaultSite fault_site) {
+  site(fault_site).mode = Site::Mode::kDisarmed;
+  refresh_any_armed();
+}
+
+void FaultInjector::disarm_all() {
+  for (const FaultSite s : all_fault_sites()) site(s).mode = Site::Mode::kDisarmed;
+  refresh_any_armed();
+}
+
+bool FaultInjector::armed(FaultSite fault_site) const noexcept {
+  return site(fault_site).mode != Site::Mode::kDisarmed;
+}
+
+std::uint64_t FaultInjector::probe_count(FaultSite fault_site) const noexcept {
+  return site(fault_site).probes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected_count(
+    FaultSite fault_site) const noexcept {
+  return site(fault_site).injected.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::reset_counters() noexcept {
+  for (const FaultSite fs : all_fault_sites()) {
+    Site& s = site(fs);
+    s.probes.store(0, std::memory_order_relaxed);
+    s.armed_at.store(0, std::memory_order_relaxed);
+    s.injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::probe_slow(FaultSite fault_site) {
+  Site& s = site(fault_site);
+  if (s.mode == Site::Mode::kDisarmed) return;
+  const std::uint64_t n = s.probes.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  if (s.mode == Site::Mode::kNth) {
+    // Probe index relative to the arming point, so schedules compose with
+    // earlier (counted but disarmed) probes of the same site.
+    const std::uint64_t since =
+        n - s.armed_at.load(std::memory_order_relaxed);
+    if (since == s.nth) {
+      fire = true;
+      s.mode = Site::Mode::kDisarmed;  // one-shot
+      refresh_any_armed();
+    }
+  } else if (s.mode == Site::Mode::kProbability) {
+    // Deterministic in (seed, probe index): the schedule replays exactly
+    // for a serial caller, regardless of wall-clock or thread timing.
+    SplitMix64 h(s.seed ^ (n * 0x9e3779b97f4a7c15ULL));
+    const double u =
+        static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+    fire = u < s.probability;
+  }
+  if (fire) {
+    s.injected.fetch_add(1, std::memory_order_relaxed);
+    throw Error(ErrorCode::kFaultInjected,
+                std::string("scheduled fault at site '") +
+                    to_string(fault_site) + "' (probe " + std::to_string(n) +
+                    ")");
+  }
+}
+
+ScopedFault::ScopedFault(FaultSite site, std::uint64_t nth) : site_(site) {
+  FaultInjector::instance().arm_nth(site, nth);
+}
+
+ScopedFault::ScopedFault(FaultSite site, double probability,
+                         std::uint64_t seed)
+    : site_(site) {
+  FaultInjector::instance().arm_probability(site, probability, seed);
+}
+
+ScopedFault::~ScopedFault() { FaultInjector::instance().disarm(site_); }
+
+}  // namespace solarnet::util

@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace solarnet::util {
+
+namespace {
+
+std::string describe(const std::exception_ptr& cause) {
+  try {
+    std::rethrow_exception(cause);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+ParallelError::ParallelError(std::size_t failed_task,
+                             std::size_t tasks_completed,
+                             std::size_t tasks_total, std::exception_ptr cause)
+    : Error(ErrorCode::kAborted,
+            "parallel_for: task " + std::to_string(failed_task) +
+                " threw after " + std::to_string(tasks_completed) + " of " +
+                std::to_string(tasks_total) +
+                " tasks completed: " + describe(cause)),
+      failed_task_(failed_task),
+      tasks_completed_(tasks_completed),
+      tasks_total_(tasks_total),
+      cause_(std::move(cause)) {}
 
 std::size_t default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -23,13 +52,20 @@ void parallel_for(std::size_t tasks, std::size_t threads,
   if (tasks == 0) return;
   const std::size_t workers = std::min(resolve_thread_count(threads), tasks);
   if (workers <= 1) {
-    for (std::size_t task = 0; task < tasks; ++task) fn(task, 0);
+    // Inline path: no worker is involved, so exceptions (including injected
+    // faults) propagate to the caller unchanged.
+    for (std::size_t task = 0; task < tasks; ++task) {
+      FaultInjector::probe(FaultSite::kWorkerTask);
+      fn(task, 0);
+    }
     return;
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
+  std::size_t error_task = 0;
   std::mutex error_mutex;
 
   const auto work = [&](std::size_t worker) {
@@ -37,10 +73,15 @@ void parallel_for(std::size_t tasks, std::size_t threads,
       const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
       if (task >= tasks) return;
       try {
+        FaultInjector::probe(FaultSite::kWorkerTask);
         fn(task, worker);
+        completed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        if (!error) {
+          error = std::current_exception();
+          error_task = task;
+        }
         failed.store(true, std::memory_order_relaxed);
       }
     }
@@ -51,7 +92,10 @@ void parallel_for(std::size_t tasks, std::size_t threads,
   for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
   work(0);
   for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  if (error) {
+    throw ParallelError(error_task, completed.load(std::memory_order_relaxed),
+                        tasks, std::move(error));
+  }
 }
 
 }  // namespace solarnet::util

@@ -5,7 +5,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+
+#include "util/status.h"
 
 namespace solarnet::util {
 
@@ -17,6 +20,35 @@ std::size_t default_thread_count() noexcept;
 // anything else unchanged.
 std::size_t resolve_thread_count(std::size_t requested) noexcept;
 
+// Thrown by the multi-worker path of parallel_for when a task throws: the
+// first worker exception, wrapped with how far the loop got before the
+// abort. Derives from util::Error (ErrorCode::kAborted), so existing
+// catch (const std::runtime_error&) / catch (const std::exception&)
+// boundaries keep working; callers that need the original exception can
+// rethrow_cause(). Note an aborted loop may leave caller-side per-task
+// state partially written — tasks_completed() counts tasks whose fn
+// returned normally, which is exactly the work that can be trusted.
+class ParallelError : public Error {
+ public:
+  ParallelError(std::size_t failed_task, std::size_t tasks_completed,
+                std::size_t tasks_total, std::exception_ptr cause);
+
+  // Index of the task whose exception aborted the loop.
+  std::size_t failed_task() const noexcept { return failed_task_; }
+  // Tasks that finished normally before the loop was joined.
+  std::size_t tasks_completed() const noexcept { return tasks_completed_; }
+  std::size_t tasks_total() const noexcept { return tasks_total_; }
+  // The original worker exception; never null.
+  const std::exception_ptr& cause() const noexcept { return cause_; }
+  [[noreturn]] void rethrow_cause() const { std::rethrow_exception(cause_); }
+
+ private:
+  std::size_t failed_task_;
+  std::size_t tasks_completed_;
+  std::size_t tasks_total_;
+  std::exception_ptr cause_;
+};
+
 // Runs fn(task, worker) for every task in [0, tasks). Tasks are claimed
 // from a shared counter by `threads` workers (resolved via
 // resolve_thread_count and clamped to `tasks`); `worker` is a dense id in
@@ -25,8 +57,12 @@ std::size_t resolve_thread_count(std::size_t requested) noexcept;
 // worker id 0 — no threads are spawned. Task execution order across
 // workers is unspecified; callers must not rely on it.
 //
-// If any task throws, remaining unclaimed tasks are abandoned, all workers
-// are joined, and the first captured exception is rethrown on the caller.
+// Error contract: on the single-worker inline path a task exception
+// propagates unchanged. On the multi-worker path, remaining unclaimed
+// tasks are abandoned, all workers are joined, and the first captured
+// exception is rethrown wrapped in ParallelError (carrying the failed task
+// index, the completed-task count, and the original exception).
+// util::FaultSite::kWorkerTask is probed at every task entry.
 void parallel_for(std::size_t tasks, std::size_t threads,
                   const std::function<void(std::size_t task,
                                            std::size_t worker)>& fn);

@@ -30,6 +30,27 @@ class RunningStats {
   // Merges another accumulator (parallel Welford/Chan formula).
   void merge(const RunningStats& other) noexcept;
 
+  // The accumulator's exact internal state, for checkpoint persistence
+  // (util/checkpoint.h). A round-trip through State is bit-exact: the
+  // restored accumulator adds/merges identically to the original.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  static RunningStats from_state(const State& s) noexcept {
+    RunningStats r;
+    r.n_ = s.n;
+    r.mean_ = s.mean;
+    r.m2_ = s.m2;
+    r.min_ = s.min;
+    r.max_ = s.max;
+    return r;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

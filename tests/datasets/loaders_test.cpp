@@ -86,6 +86,160 @@ TEST_F(LoadersTest, NetworkLoadRejectsUnknownNode) {
   EXPECT_THROW(load_network_csv("bad", nodes, cables), std::runtime_error);
 }
 
+TEST_F(LoadersTest, NetworkLoadRejectsBadCoordinates) {
+  const std::string cables = track(temp_path("solarnet_okc.csv"));
+  util::write_csv_file(cables, {{"cable", "kind", "node_a", "node_b",
+                                 "length_km", "length_known"}});
+  const struct {
+    const char* lat;
+    const char* lon;
+  } bad[] = {
+      {"nan", "0"},      // NaN latitude
+      {"0", "nan"},      // NaN longitude
+      {"91", "0"},       // out of range (longitudes merely normalize)
+      {"oops", "0"},     // not a number at all
+  };
+  for (const auto& b : bad) {
+    const std::string nodes = track(temp_path("solarnet_badcoord.csv"));
+    util::write_csv_file(
+        nodes, {{"name", "lat", "lon", "country", "kind",
+                 "coords_authoritative"},
+                {"A", b.lat, b.lon, "US", "landing-point", "1"}});
+    try {
+      load_network_csv("bad", nodes, cables);
+      FAIL() << "expected Error for lat=" << b.lat << " lon=" << b.lon;
+    } catch (const util::Error& e) {
+      // Data row is physical line 2: the diagnostic must say so.
+      EXPECT_NE(std::string(e.what()).find(nodes + ":2"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(LoadersTest, NetworkLoadRejectsDuplicateNodeWithLocation) {
+  const std::string nodes = track(temp_path("solarnet_dupn.csv"));
+  const std::string cables = track(temp_path("solarnet_dupc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "1"},
+              {"A", "1", "1", "US", "landing-point", "1"}});
+  util::write_csv_file(cables, {{"cable", "kind", "node_a", "node_b",
+                                 "length_km", "length_known"}});
+  try {
+    load_network_csv("bad", nodes, cables);
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+    EXPECT_NE(std::string(e.what()).find(nodes + ":3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LoadersTest, NetworkLoadRejectsNonConsecutiveDuplicateCable) {
+  const std::string nodes = track(temp_path("solarnet_ncn.csv"));
+  const std::string cables = track(temp_path("solarnet_ncc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "1"},
+              {"B", "1", "1", "GB", "landing-point", "1"}});
+  // Cable X's rows are split by cable Y: silently merging them would hide
+  // a duplicate-cable data bug.
+  util::write_csv_file(
+      cables,
+      {{"cable", "kind", "node_a", "node_b", "length_km", "length_known"},
+       {"X", "submarine", "A", "B", "100", "1"},
+       {"Y", "submarine", "A", "B", "200", "1"},
+       {"X", "submarine", "B", "A", "300", "1"}});
+  try {
+    load_network_csv("bad", nodes, cables);
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-consecutive"), std::string::npos);
+    EXPECT_NE(what.find(cables + ":4"), std::string::npos) << what;
+  }
+}
+
+TEST_F(LoadersTest, NetworkLoadRejectsBadCableLength) {
+  const std::string nodes = track(temp_path("solarnet_bln.csv"));
+  const std::string cables = track(temp_path("solarnet_blc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "1"},
+              {"B", "1", "1", "GB", "landing-point", "1"}});
+  for (const char* length : {"-5", "nan", "inf"}) {
+    util::write_csv_file(
+        cables,
+        {{"cable", "kind", "node_a", "node_b", "length_km", "length_known"},
+         {"X", "submarine", "A", "B", length, "1"}});
+    try {
+      load_network_csv("bad", nodes, cables);
+      FAIL() << "expected Error for length " << length;
+    } catch (const util::Error& e) {
+      EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData) << length;
+      EXPECT_EQ(e.context().field, "length_km") << length;
+    }
+  }
+}
+
+TEST_F(LoadersTest, NetworkLoadUnknownNodeErrorNamesTheNode) {
+  const std::string nodes = track(temp_path("solarnet_unn.csv"));
+  const std::string cables = track(temp_path("solarnet_unc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "1"}});
+  util::write_csv_file(
+      cables,
+      {{"cable", "kind", "node_a", "node_b", "length_km", "length_known"},
+       {"X", "submarine", "A", "GHOST", "100", "1"}});
+  try {
+    load_network_csv("bad", nodes, cables);
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GHOST"), std::string::npos);
+    EXPECT_NE(what.find(cables + ":2"), std::string::npos) << what;
+    EXPECT_EQ(e.context().field, "node_b");
+  }
+}
+
+TEST_F(LoadersTest, RouterLoadRejectsNegativeAsId) {
+  const std::string path = track(temp_path("solarnet_negasn.csv"));
+  util::write_csv_file(path, {{"lat", "lon", "as_id"}, {"0", "0", "-3"}});
+  try {
+    load_router_csv(path);
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+    EXPECT_EQ(e.context().field, "as_id");
+    EXPECT_EQ(e.context().line, 2u);
+  }
+}
+
+TEST_F(LoadersTest, MalformedBooleanGetsStructuredError) {
+  const std::string nodes = track(temp_path("solarnet_bbn.csv"));
+  const std::string cables = track(temp_path("solarnet_bbc.csv"));
+  util::write_csv_file(
+      nodes, {{"name", "lat", "lon", "country", "kind",
+               "coords_authoritative"},
+              {"A", "0", "0", "US", "landing-point", "maybe"}});
+  util::write_csv_file(cables, {{"cable", "kind", "node_a", "node_b",
+                                 "length_km", "length_known"}});
+  try {
+    load_network_csv("bad", nodes, cables);
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("maybe"), std::string::npos);
+    EXPECT_EQ(e.context().field, "coords_authoritative");
+  }
+}
+
 TEST_F(LoadersTest, ParseKindHelpers) {
   EXPECT_EQ(parse_node_kind("landing-point"), topo::NodeKind::kLandingPoint);
   EXPECT_EQ(parse_node_kind("dns-root"), topo::NodeKind::kDnsRoot);

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace solarnet::sim {
@@ -177,6 +180,48 @@ TEST_F(SimTest, ConfigValidation) {
   EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
   bad.death_fraction = 1.5;
   EXPECT_THROW(FailureSimulator(net_, bad), std::invalid_argument);
+}
+
+TEST_F(SimTest, ValidationRejectsNonFiniteSpacing) {
+  // NaN slips through a naive `spacing <= 0` check (every comparison with
+  // NaN is false) and would poison repeater counts downstream.
+  TrialConfig bad;
+  bad.repeater_spacing_km = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_trial_config(bad), std::invalid_argument);
+  bad.repeater_spacing_km = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate_trial_config(bad), std::invalid_argument);
+  bad.repeater_spacing_km = -150.0;
+  EXPECT_THROW(validate_trial_config(bad), std::invalid_argument);
+}
+
+TEST_F(SimTest, ValidationRejectsNonFiniteDeathFraction) {
+  TrialConfig bad;
+  bad.rule = CableDeathRule::kFractionFails;
+  bad.death_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_trial_config(bad), std::invalid_argument);
+}
+
+TEST_F(SimTest, ValidationRejectsAbsurdThreadCounts) {
+  TrialConfig bad;
+  bad.threads = kMaxReasonableThreads + 1;
+  EXPECT_THROW(validate_trial_config(bad), std::invalid_argument);
+  bad.threads = kMaxReasonableThreads;
+  EXPECT_NO_THROW(validate_trial_config(bad));
+}
+
+TEST_F(SimTest, ValidationMessagesNameTheValue) {
+  TrialConfig bad;
+  bad.repeater_spacing_km = -1.0;
+  try {
+    validate_trial_config(bad);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("-1"), std::string::npos);
+  }
+}
+
+TEST_F(SimTest, ValidationAcceptsDefaults) {
+  EXPECT_NO_THROW(validate_trial_config(TrialConfig{}));
 }
 
 TEST_F(SimTest, DeathFractionIgnoredUnderAnyRule) {

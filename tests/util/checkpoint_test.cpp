@@ -1,0 +1,231 @@
+#include "util/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include "util/fault_injection.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace solarnet::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Chaining partial buffers equals one shot over the concatenation.
+  const std::uint32_t partial = crc32("56789", crc32("1234"));
+  EXPECT_EQ(partial, crc32("123456789"));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(64, '\x5a');
+  const std::uint32_t clean = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(ByteRoundTrip, Integers) {
+  ByteWriter w;
+  w.u8(0);
+  w.u8(0xFF);
+  w.u32(0);
+  w.u32(0xDEADBEEFu);
+  w.u64(0);
+  w.u64(0xFEEDFACECAFEBEEFull);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u8(), 0xFFu);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), 0xFEEDFACECAFEBEEFull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, DoublesAreBitExact) {
+  const double values[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -12345.6789,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+  };
+  ByteWriter w;
+  for (const double v : values) w.f64(v);
+
+  ByteReader r(w.data());
+  for (const double v : values) {
+    // Compare bit patterns: NaN != NaN as doubles, and -0.0 == 0.0 would
+    // hide a sign-bit loss.
+    std::uint64_t expected = 0;
+    std::uint64_t got = 0;
+    const double read = r.f64();
+    std::memcpy(&expected, &v, sizeof expected);
+    std::memcpy(&got, &read, sizeof got);
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, StringsAndBytes) {
+  ByteWriter w;
+  w.str("");
+  w.str("connectivity/v1");
+  w.str(std::string("nul\0byte", 8));
+  w.bytes("raw");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "connectivity/v1");
+  EXPECT_EQ(r.str(), std::string("nul\0byte", 8));
+  EXPECT_EQ(r.bytes(3), "raw");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, OverrunThrowsCorruptWithContext) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data(), SourceContext{"campaign.ck"});
+  (void)r.u32();
+  try {
+    (void)r.u64();
+    FAIL() << "expected overrun";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorrupt);
+    EXPECT_NE(std::string(e.what()).find("campaign.ck"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(ByteReader, TruncatedStringLengthThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow...
+  w.bytes("short");
+  ByteReader r(w.data());
+  EXPECT_THROW((void)r.str(), Error);
+}
+
+TEST(StatsRoundTrip, RestoredAccumulatorMergesIdentically) {
+  RunningStats original;
+  // Irrational-ish values so mean/M2 exercise low mantissa bits.
+  for (int i = 1; i <= 97; ++i) original.add(std::sqrt(double(i)) * 0.37);
+
+  ByteWriter w;
+  write_stats(w, original);
+  ByteReader r(w.data());
+  const RunningStats restored = read_stats(r);
+  EXPECT_TRUE(r.at_end());
+
+  RunningStats tail;
+  for (int i = 1; i <= 31; ++i) tail.add(1.0 / double(i));
+
+  RunningStats merged_original = original;
+  merged_original.merge(tail);
+  RunningStats merged_restored = restored;
+  merged_restored.merge(tail);
+
+  EXPECT_EQ(merged_restored.count(), merged_original.count());
+  // Bit-exact, not approximate: the resume guarantee depends on it.
+  EXPECT_EQ(merged_restored.mean(), merged_original.mean());
+  EXPECT_EQ(merged_restored.sample_stddev(), merged_original.sample_stddev());
+  EXPECT_EQ(merged_restored.min(), merged_original.min());
+  EXPECT_EQ(merged_restored.max(), merged_original.max());
+}
+
+TEST(StatsRoundTrip, EmptyStats) {
+  ByteWriter w;
+  write_stats(w, RunningStats{});
+  ByteReader r(w.data());
+  const RunningStats restored = read_stats(r);
+  EXPECT_EQ(restored.count(), 0u);
+  EXPECT_EQ(restored.mean(), 0.0);
+}
+
+TEST(AtomicWriteFile, CreatesAndOverwrites) {
+  const std::string path = temp_path("solarnet_atomic_write_test.bin");
+  std::filesystem::remove(path);
+
+  atomic_write_file(path, "first contents");
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(read_file(path), "first contents");
+
+  atomic_write_file(path, "second, longer contents entirely");
+  EXPECT_EQ(read_file(path), "second, longer contents entirely");
+
+  // No temporary left behind.
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWriteFile, BinaryContentsSurvive) {
+  const std::string path = temp_path("solarnet_atomic_binary_test.bin");
+  std::string blob;
+  for (int i = 0; i < 256; ++i) blob.push_back(static_cast<char>(i));
+  atomic_write_file(path, blob);
+  EXPECT_EQ(read_file(path), blob);
+  std::filesystem::remove(path);
+}
+
+TEST(ReadFile, MissingFileThrowsIoErrorNamingPath) {
+  const std::string path = temp_path("solarnet_definitely_missing.bin");
+  std::filesystem::remove(path);
+  try {
+    (void)read_file(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(FaultSites, ReadFileProbesKFileRead) {
+  const std::string path = temp_path("solarnet_faulted_read.bin");
+  atomic_write_file(path, "ok");
+  {
+    const ScopedFault fault(FaultSite::kFileRead, std::uint64_t{1});
+    try {
+      (void)read_file(path);
+      FAIL() << "expected injected fault";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+    }
+  }
+  // Disarmed again: read succeeds, file intact.
+  EXPECT_EQ(read_file(path), "ok");
+  std::filesystem::remove(path);
+}
+
+TEST(FaultSites, CheckpointWriteFaultLeavesTargetUntouched) {
+  const std::string path = temp_path("solarnet_faulted_write.bin");
+  atomic_write_file(path, "previous checkpoint");
+  {
+    const ScopedFault fault(FaultSite::kCheckpointWrite, std::uint64_t{1});
+    EXPECT_THROW(atomic_write_file(path, "new checkpoint"), Error);
+  }
+  // The fault fires before any filesystem mutation: old contents survive,
+  // no temporary debris.
+  EXPECT_EQ(read_file(path), "previous checkpoint");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace solarnet::util

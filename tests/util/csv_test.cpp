@@ -139,6 +139,116 @@ TEST(CsvTable, ShortRowThrowsOnAccess) {
   EXPECT_THROW(table.cell(0, "c"), std::out_of_range);
 }
 
+TEST(ParseCsvDocument, TracksRowStartLines) {
+  const CsvDocument doc =
+      parse_csv_document("a,b\n1,2\n\n3,4\n", {}, "data.csv");
+  EXPECT_EQ(doc.path, "data.csv");
+  ASSERT_EQ(doc.rows.size(), 3u);
+  ASSERT_EQ(doc.lines.size(), 3u);
+  EXPECT_EQ(doc.lines[0], 1u);
+  EXPECT_EQ(doc.lines[1], 2u);
+  EXPECT_EQ(doc.lines[2], 4u);  // the blank line 3 was skipped, not rows
+}
+
+TEST(ParseCsvDocument, QuotedNewlinesCountTowardLineNumbers) {
+  // Row 2 starts on physical line 2; its quoted field spans lines 2-3, so
+  // row 3 starts on physical line 4.
+  const CsvDocument doc =
+      parse_csv_document("h\n\"two\nlines\"\nnext\n", {}, "q.csv");
+  ASSERT_EQ(doc.rows.size(), 3u);
+  EXPECT_EQ(doc.lines[1], 2u);
+  EXPECT_EQ(doc.lines[2], 4u);
+}
+
+TEST(ParseCsvDocument, CrLfAndTrailingBlanksKeepLineNumbers) {
+  const CsvDocument doc =
+      parse_csv_document("a,b\r\n1,2\r\n\r\n\r\n", {}, "crlf.csv");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1], (CsvRow{"1", "2"}));
+  EXPECT_EQ(doc.lines[1], 2u);
+}
+
+TEST(ParseCsvDocument, UnterminatedQuoteNamesOpeningLine) {
+  try {
+    parse_csv_document("a,b\n\"oops,2\n", {}, "bad.csv");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.csv:2"), std::string::npos);
+  }
+}
+
+TEST(ParseCsvDocument, StrayCharacterAfterClosingQuote) {
+  try {
+    parse_csv_document("\"a\"b,c\n", {}, "stray.csv");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("stray.csv:1"), std::string::npos);
+  }
+}
+
+TEST(CsvTable, CarriesProvenanceIntoTypedAccessErrors) {
+  const CsvDocument doc = parse_csv_document(
+      "name,lat\nParis,48.86\nAtlantis,not-a-number\n", {}, "cities.csv");
+  const CsvTable table(doc);
+  EXPECT_DOUBLE_EQ(table.cell_double(0, "lat"), 48.86);
+  // Row 1 is the third physical line of the file.
+  EXPECT_EQ(table.source_line(1), 3u);
+  try {
+    table.cell_double(1, "lat");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not-a-number"), std::string::npos);
+    EXPECT_NE(what.find("cities.csv:3"), std::string::npos);
+    EXPECT_NE(what.find("lat"), std::string::npos);
+  }
+}
+
+TEST(CsvTable, ContextPinpointsRowAndColumn) {
+  const CsvDocument doc =
+      parse_csv_document("a,b\n1,2\n3,4\n", {}, "t.csv");
+  const CsvTable table(doc);
+  const SourceContext ctx = table.context(1, "b");
+  EXPECT_EQ(ctx.file, "t.csv");
+  EXPECT_EQ(ctx.line, 3u);
+  EXPECT_EQ(ctx.field, "b");
+}
+
+TEST(CsvTable, BadIntegerNamesFileAndLine) {
+  const CsvDocument doc =
+      parse_csv_document("n\n4.5x\n", {}, "ints.csv");
+  const CsvTable table(doc);
+  try {
+    table.cell_int(0, "n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("ints.csv:2"), std::string::npos);
+  }
+}
+
+TEST(CsvTable, TablesWithoutProvenanceStillReport) {
+  // Rows-only construction (no document): typed-access failures still
+  // throw, just without file/line context.
+  const CsvTable table(parse_csv("x\nnope\n"));
+  EXPECT_THROW(table.cell_double(0, "x"), Error);
+}
+
+TEST(ReadCsvDocument, FileRoundTripKeepsPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "solarnet_csv_doc_test.csv")
+          .string();
+  write_csv_file(path, {{"h"}, {"v"}});
+  const CsvDocument doc = read_csv_document(path);
+  EXPECT_EQ(doc.path, path);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
 // Property sweep: random tables with adversarial content round-trip
 // losslessly through to_csv/parse_csv.
 class CsvRoundTripTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,146 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace solarnet::util {
+namespace {
+
+// The injector is process-global; every test leaves it disarmed.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    FaultInjector::instance().reset_counters();
+  }
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedProbesNeverThrow) {
+  for (const FaultSite site : all_fault_sites()) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_NO_THROW(FaultInjector::probe(site));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, NthProbeFiresExactlyOnce) {
+  FaultInjector::instance().arm_nth(FaultSite::kFileRead, 3);
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kFileRead));
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kFileRead));
+  EXPECT_THROW(FaultInjector::probe(FaultSite::kFileRead), Error);
+  // One-shot: disarms itself after firing.
+  EXPECT_FALSE(FaultInjector::instance().armed(FaultSite::kFileRead));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kFileRead));
+  }
+  EXPECT_EQ(FaultInjector::instance().injected_count(FaultSite::kFileRead),
+            1u);
+}
+
+TEST_F(FaultInjectionTest, NthIsRelativeToArmingPoint) {
+  // Accumulate counted probes (armed, but nth far in the future), then
+  // re-arm: the new schedule counts from the re-arming point, not from the
+  // site's lifetime probe count.
+  FaultInjector::instance().arm_nth(FaultSite::kWorkerTask, 1000);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kWorkerTask));
+  }
+  FaultInjector::instance().arm_nth(FaultSite::kWorkerTask, 2);
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kWorkerTask));
+  EXPECT_THROW(FaultInjector::probe(FaultSite::kWorkerTask), Error);
+}
+
+TEST_F(FaultInjectionTest, InjectedErrorIsStructured) {
+  FaultInjector::instance().arm_nth(FaultSite::kCheckpointWrite, 1);
+  try {
+    FaultInjector::probe(FaultSite::kCheckpointWrite);
+    FAIL() << "expected injected fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+    EXPECT_NE(std::string(e.what()).find(to_string(FaultSite::kCheckpointWrite)),
+              std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  FaultInjector::instance().arm_nth(FaultSite::kFileRead, 1);
+  // Other sites stay clean.
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kAllocation));
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kWorkerTask));
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kCheckpointWrite));
+  EXPECT_THROW(FaultInjector::probe(FaultSite::kFileRead), Error);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsDeterministic) {
+  const auto run_schedule = [](std::uint64_t seed) {
+    FaultInjector::instance().disarm_all();
+    FaultInjector::instance().reset_counters();
+    FaultInjector::instance().arm_probability(FaultSite::kWorkerTask, 0.3,
+                                              seed);
+    std::string fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        FaultInjector::probe(FaultSite::kWorkerTask);
+        fired += '.';
+      } catch (const Error&) {
+        fired += 'X';
+      }
+    }
+    FaultInjector::instance().disarm_all();
+    return fired;
+  };
+  const std::string a = run_schedule(42);
+  const std::string b = run_schedule(42);
+  const std::string c = run_schedule(43);
+  EXPECT_EQ(a, b);          // same seed -> identical schedule
+  EXPECT_NE(a, c);          // different seed -> different schedule
+  EXPECT_NE(a.find('X'), std::string::npos);  // p=0.3 fires somewhere in 64
+  EXPECT_NE(a.find('.'), std::string::npos);  // ... but not everywhere
+}
+
+TEST_F(FaultInjectionTest, ProbabilityValidation) {
+  EXPECT_THROW(
+      FaultInjector::instance().arm_probability(FaultSite::kFileRead, -0.1, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultInjector::instance().arm_probability(FaultSite::kFileRead, 1.5, 1),
+      std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    const ScopedFault fault(FaultSite::kFileRead, std::uint64_t{1});
+    EXPECT_TRUE(FaultInjector::instance().armed(FaultSite::kFileRead));
+  }
+  EXPECT_FALSE(FaultInjector::instance().armed(FaultSite::kFileRead));
+  EXPECT_NO_THROW(FaultInjector::probe(FaultSite::kFileRead));
+}
+
+TEST_F(FaultInjectionTest, CountersTrackProbesAndInjections) {
+  FaultInjector::instance().arm_probability(FaultSite::kAllocation, 1.0, 7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(FaultInjector::probe(FaultSite::kAllocation), Error);
+  }
+  FaultInjector::instance().disarm_all();
+  EXPECT_EQ(FaultInjector::instance().probe_count(FaultSite::kAllocation), 5u);
+  EXPECT_EQ(FaultInjector::instance().injected_count(FaultSite::kAllocation),
+            5u);
+  FaultInjector::instance().reset_counters();
+  EXPECT_EQ(FaultInjector::instance().probe_count(FaultSite::kAllocation), 0u);
+}
+
+TEST_F(FaultInjectionTest, SiteRegistryIsComplete) {
+  EXPECT_EQ(all_fault_sites().size(), kFaultSiteCount);
+  for (const FaultSite site : all_fault_sites()) {
+    EXPECT_NE(to_string(site), nullptr);
+    EXPECT_GT(std::string(to_string(site)).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace solarnet::util

@@ -7,7 +7,10 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/fault_injection.h"
 
 namespace solarnet::util {
 namespace {
@@ -90,6 +93,89 @@ TEST(Parallel, SumOverTasksIsCompleteUnderContention) {
     sum.fetch_add(task, std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(Parallel, MultiWorkerExceptionCarriesProgressContext) {
+  try {
+    parallel_for(100, 4, [&](std::size_t task, std::size_t) {
+      if (task == 17) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAborted);
+    EXPECT_EQ(e.failed_task(), 17u);
+    // Task 17 threw, so at most the other 99 can have completed.
+    EXPECT_LT(e.tasks_completed(), 100u);
+    EXPECT_EQ(e.tasks_total(), 100u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task 17"), std::string::npos);
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    try {
+      e.rethrow_cause();
+      FAIL() << "cause must rethrow";
+    } catch (const std::runtime_error& cause) {
+      EXPECT_STREQ(cause.what(), "boom");
+    }
+  }
+}
+
+TEST(Parallel, CompletedCountOnlyCountsNormalReturns) {
+  // Workers: one claims the throwing task 0 immediately; the loop may let
+  // others finish, but the count can never include the failed task itself.
+  try {
+    parallel_for(8, 2, [&](std::size_t task, std::size_t) {
+      if (task == 0) throw std::runtime_error("first task dies");
+    });
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError& e) {
+    EXPECT_EQ(e.failed_task(), 0u);
+    EXPECT_LE(e.tasks_completed(), 7u);
+  }
+}
+
+TEST(Parallel, InlinePathPropagatesUnwrapped) {
+  // Single worker: the exception must arrive unchanged, not as
+  // ParallelError — callers rely on the inline path being transparent.
+  try {
+    parallel_for(3, 1, [&](std::size_t task, std::size_t) {
+      if (task == 1) throw std::invalid_argument("inline");
+    });
+    FAIL() << "expected invalid_argument";
+  } catch (const ParallelError&) {
+    FAIL() << "inline path must not wrap";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "inline");
+  }
+}
+
+TEST(Parallel, WorkerTaskFaultSiteFiresOnBothPaths) {
+  // Inline path: injected fault propagates as the raw util::Error.
+  {
+    const ScopedFault fault(FaultSite::kWorkerTask, std::uint64_t{2});
+    try {
+      parallel_for(4, 1, [](std::size_t, std::size_t) {});
+      FAIL() << "expected injected fault";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+    }
+  }
+  // Multi-worker path: wrapped in ParallelError, cause preserved.
+  {
+    const ScopedFault fault(FaultSite::kWorkerTask, std::uint64_t{1});
+    try {
+      parallel_for(16, 4, [](std::size_t, std::size_t) {});
+      FAIL() << "expected ParallelError";
+    } catch (const ParallelError& e) {
+      try {
+        e.rethrow_cause();
+        FAIL() << "cause must rethrow";
+      } catch (const Error& cause) {
+        EXPECT_EQ(cause.code(), ErrorCode::kFaultInjected);
+      }
+    }
+  }
+  // Disarmed again: clean runs stay clean.
+  EXPECT_NO_THROW(parallel_for(8, 2, [](std::size_t, std::size_t) {}));
 }
 
 }  // namespace

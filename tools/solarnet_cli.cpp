@@ -56,6 +56,9 @@ commands:
                --spacing KM (150)  --trials N (10)  --seed N (7)
                --threads N (auto; aggregates are thread-count independent)
                --quorum N (2)  --dns-threshold PCT (10)
+               --checkpoint PATH (crash-safe campaign: checkpoint the
+                 Monte-Carlo pass to PATH and resume from it bit-identically)
+               --checkpoint-every CHUNKS (64)
   countries  country connectivity table under S1/S2
                --spacing KM (150)  --threads N (auto)
   plan       rank candidate cables for US<->Europe resilience (§5.1)
@@ -154,6 +157,10 @@ int cmd_report(const Args& args) {
       "quorum", static_cast<long long>(opts.service_write_quorum)));
   opts.dns_cable_loss_threshold_pct =
       args.get_double_or("dns-threshold", opts.dns_cable_loss_threshold_pct);
+  opts.checkpoint_path = args.get_or("checkpoint", "");
+  opts.checkpoint_every_chunks = static_cast<std::size_t>(args.get_int_or(
+      "checkpoint-every",
+      static_cast<long long>(opts.checkpoint_every_chunks)));
   if (args.has("storm")) {
     const auto storm = storm_by_name(args.get_or("storm", "carrington"));
     std::cout << runner.run_storm(storm, opts).render();
