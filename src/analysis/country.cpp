@@ -162,8 +162,14 @@ std::string CountryIsolationObserver::checkpoint_id() const {
 
 void CountryIsolationObserver::save_chunk(std::size_t chunk,
                                           util::ByteWriter& out) const {
+  // chunks_ is laid out chunk-major (chunk * countries + i), so the number
+  // of chunk slots is the flat size divided by the country count.
+  const std::size_t chunk_slots =
+      countries_.empty() ? 0 : chunks_.size() / countries_.size();
+  sim::check_chunk_slot("CountryIsolationObserver", "save_chunk", chunk,
+                        chunk_slots);
   for (std::size_t i = 0; i < countries_.size(); ++i) {
-    const Slot& slot = chunks_.at(chunk * countries_.size() + i);
+    const Slot& slot = chunks_[chunk * countries_.size() + i];
     out.u64(slot.isolated);
     util::write_stats(out, slot.survivors);
   }
@@ -171,8 +177,12 @@ void CountryIsolationObserver::save_chunk(std::size_t chunk,
 
 void CountryIsolationObserver::load_chunk(std::size_t chunk,
                                           util::ByteReader& in) {
+  const std::size_t chunk_slots =
+      countries_.empty() ? 0 : chunks_.size() / countries_.size();
+  sim::check_chunk_slot("CountryIsolationObserver", "load_chunk", chunk,
+                        chunk_slots);
   for (std::size_t i = 0; i < countries_.size(); ++i) {
-    Slot& slot = chunks_.at(chunk * countries_.size() + i);
+    Slot& slot = chunks_[chunk * countries_.size() + i];
     slot.isolated = in.u64();
     slot.survivors = util::read_stats(in);
   }

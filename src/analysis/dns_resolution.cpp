@@ -120,7 +120,9 @@ void DnsResolutionObserver::observe(const sim::TrialView& view,
 
 void DnsResolutionObserver::save_chunk(std::size_t chunk,
                                        util::ByteWriter& out) const {
-  const Chunk& slot = chunks_.at(chunk);
+  sim::check_chunk_slot("DnsResolutionObserver", "save_chunk", chunk,
+                        chunks_.size());
+  const Chunk& slot = chunks_[chunk];
   util::write_stats(out, slot.availability);
   util::write_stats(out, slot.letters);
   out.u64(slot.degraded);
@@ -130,7 +132,9 @@ void DnsResolutionObserver::save_chunk(std::size_t chunk,
 
 void DnsResolutionObserver::load_chunk(std::size_t chunk,
                                        util::ByteReader& in) {
-  Chunk& slot = chunks_.at(chunk);
+  sim::check_chunk_slot("DnsResolutionObserver", "load_chunk", chunk,
+                        chunks_.size());
+  Chunk& slot = chunks_[chunk];
   slot.availability = util::read_stats(in);
   slot.letters = util::read_stats(in);
   slot.degraded = in.u64();

@@ -7,6 +7,23 @@
 
 namespace solarnet::analysis {
 
+namespace {
+
+// Table cells backed by a RunningStats accumulator. An empty accumulator's
+// accessors all return a 0.0 sentinel (see RunningStats::empty()); printing
+// that as a measurement would fabricate "0.0% available" out of zero
+// samples, so empty renders as "n/a".
+std::string mean_cell(const util::RunningStats& s, double scale,
+                      int decimals) {
+  return s.empty() ? "n/a" : util::format_fixed(scale * s.mean(), decimals);
+}
+std::string sd_cell(const util::RunningStats& s, double scale, int decimals) {
+  return s.empty() ? "n/a"
+                   : util::format_fixed(scale * s.sample_stddev(), decimals);
+}
+
+}  // namespace
+
 std::string ResilienceReport::render() const {
   std::ostringstream os;
   os << "================================================================\n";
@@ -73,12 +90,10 @@ std::string ResilienceReport::render() const {
     util::TextTable t({"service", "draws", "read %", "sd", "write %", "sd"});
     for (const services::AvailabilitySweep& s : service_availability) {
       t.add_row({s.service, std::to_string(s.draws),
-                 util::format_fixed(100.0 * s.read_availability.mean(), 1),
-                 util::format_fixed(100.0 * s.read_availability.sample_stddev(),
-                                    1),
-                 util::format_fixed(100.0 * s.write_availability.mean(), 1),
-                 util::format_fixed(
-                     100.0 * s.write_availability.sample_stddev(), 1)});
+                 mean_cell(s.read_availability, 100.0, 1),
+                 sd_cell(s.read_availability, 100.0, 1),
+                 mean_cell(s.write_availability, 100.0, 1),
+                 sd_cell(s.write_availability, 100.0, 1)});
     }
     t.print(os);
   }
@@ -90,7 +105,7 @@ std::string ResilienceReport::render() const {
     for (const CountryIsolationResult& c : country_isolation) {
       t.add_row({c.country, std::to_string(c.international_cable_count),
                  util::format_fixed(c.isolation_rate(), 3),
-                 util::format_fixed(c.surviving_cables.mean(), 1)});
+                 mean_cell(c.surviving_cables, 1.0, 1)});
     }
     t.print(os);
   }
@@ -98,14 +113,11 @@ std::string ResilienceReport::render() const {
   if (has_dns_resolution) {
     util::print_banner(os, "DNS root resolution (shared-draw Monte-Carlo)");
     os << "trials: " << dns_resolution.trials << ", resolution availability: "
-       << util::format_fixed(
-              100.0 * dns_resolution.resolution_availability.mean(), 1)
+       << mean_cell(dns_resolution.resolution_availability, 100.0, 1)
        << "% (sd "
-       << util::format_fixed(
-              100.0 * dns_resolution.resolution_availability.sample_stddev(),
-              1)
+       << sd_cell(dns_resolution.resolution_availability, 100.0, 1)
        << "), mean letters reachable: "
-       << util::format_fixed(dns_resolution.mean_letters_reachable.mean(), 1)
+       << mean_cell(dns_resolution.mean_letters_reachable, 1.0, 1)
        << "/13\n"
        << "joint: P(resolution degraded AND > "
        << util::format_fixed(dns_resolution.cable_loss_threshold_pct, 0)

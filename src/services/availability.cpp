@@ -295,13 +295,17 @@ void AvailabilityObserver::observe(const sim::TrialView& view,
 
 void AvailabilityObserver::save_chunk(std::size_t chunk,
                                       util::ByteWriter& out) const {
-  const Chunk& slot = chunks_.at(chunk);
+  sim::check_chunk_slot("AvailabilityObserver", "save_chunk", chunk,
+                        chunks_.size());
+  const Chunk& slot = chunks_[chunk];
   util::write_stats(out, slot.read);
   util::write_stats(out, slot.write);
 }
 
 void AvailabilityObserver::load_chunk(std::size_t chunk, util::ByteReader& in) {
-  Chunk& slot = chunks_.at(chunk);
+  sim::check_chunk_slot("AvailabilityObserver", "load_chunk", chunk,
+                        chunks_.size());
+  Chunk& slot = chunks_[chunk];
   slot.read = util::read_stats(in);
   slot.write = util::read_stats(in);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/trial_batch.h"
 #include "topology/repeater.h"
 #include "util/parallel.h"
 
@@ -229,26 +230,68 @@ AggregateResult FailureSimulator::run_trials(
     util::RunningStats nodes;
   };
   std::vector<ChunkStats> per_chunk(chunks);
-  const std::size_t workers =
-      std::min(util::resolve_thread_count(config_.threads), chunks);
-  std::vector<TrialScratch> scratch(workers);
   const util::Rng base(seed);
 
-  util::parallel_for(
-      chunks, workers, [&](std::size_t chunk, std::size_t worker) {
-        TrialScratch& s = scratch[worker];
-        ChunkStats& out = per_chunk[chunk];
-        const std::size_t begin = chunk * kTrialChunk;
-        const std::size_t end = std::min(begin + kTrialChunk, trials);
-        for (std::size_t t = begin; t < end; ++t) {
-          util::Rng rng = base.split(t);
-          double cables_pct = 0.0;
-          double nodes_pct = 0.0;
-          trial_percentages(model, table_ptr, rng, s, cables_pct, nodes_pct);
-          out.cables.add(cables_pct);
-          out.nodes.add(nodes_pct);
-        }
-      });
+  if (table_ptr != nullptr && config_.engine != TrialEngine::kScalar) {
+    // Bit-parallel path: one 64-lane batch covers exactly two chunks
+    // (kLanes == 2 * kTrialChunk), so each batch task owns whole chunks and
+    // the per-chunk accumulators — filled in ascending lane order from
+    // integer counts, with the same percentage arithmetic as the scalar
+    // loop — stay bit-identical for every thread count and to kScalar.
+    static_assert(TrialBatchKernel::kLanes == 2 * kTrialChunk);
+    const TrialBatchKernel kernel(*this, table);
+    const std::size_t tasks =
+        (trials + TrialBatchKernel::kLanes - 1) / TrialBatchKernel::kLanes;
+    const std::size_t workers =
+        std::min(util::resolve_thread_count(config_.threads), tasks);
+    struct BatchScratch {
+      TrialBatch batch;
+      std::uint32_t cables[TrialBatchKernel::kLanes];
+      std::uint32_t nodes[TrialBatchKernel::kLanes];
+    };
+    std::vector<BatchScratch> scratch(workers);
+    const std::size_t cable_count = net_.cable_count();
+    util::parallel_for(
+        tasks, workers, [&](std::size_t task, std::size_t worker) {
+          BatchScratch& s = scratch[worker];
+          const std::size_t first = task * TrialBatchKernel::kLanes;
+          const auto lanes = static_cast<unsigned>(std::min<std::size_t>(
+              TrialBatchKernel::kLanes, trials - first));
+          kernel.sample(base, first, lanes, s.batch);
+          kernel.count_cables_failed(s.batch, s.cables);
+          kernel.count_unreachable_nodes(s.batch, s.nodes);
+          for (unsigned lane = 0; lane < lanes; ++lane) {
+            ChunkStats& out = per_chunk[(first + lane) / kTrialChunk];
+            out.cables.add(cable_count > 0
+                               ? 100.0 * static_cast<double>(s.cables[lane]) /
+                                     static_cast<double>(cable_count)
+                               : 0.0);
+            out.nodes.add(connected_nodes_ > 0
+                              ? 100.0 * static_cast<double>(s.nodes[lane]) /
+                                    static_cast<double>(connected_nodes_)
+                              : 0.0);
+          }
+        });
+  } else {
+    const std::size_t workers =
+        std::min(util::resolve_thread_count(config_.threads), chunks);
+    std::vector<TrialScratch> scratch(workers);
+    util::parallel_for(
+        chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+          TrialScratch& s = scratch[worker];
+          ChunkStats& out = per_chunk[chunk];
+          const std::size_t begin = chunk * kTrialChunk;
+          const std::size_t end = std::min(begin + kTrialChunk, trials);
+          for (std::size_t t = begin; t < end; ++t) {
+            util::Rng rng = base.split(t);
+            double cables_pct = 0.0;
+            double nodes_pct = 0.0;
+            trial_percentages(model, table_ptr, rng, s, cables_pct, nodes_pct);
+            out.cables.add(cables_pct);
+            out.nodes.add(nodes_pct);
+          }
+        });
+  }
 
   for (const ChunkStats& c : per_chunk) {
     agg.cables_failed_pct.merge(c.cables);

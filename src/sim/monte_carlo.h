@@ -40,6 +40,16 @@ enum class CableDeathRule {
   kFractionFails,     // extension: dies when >= death_fraction of repeaters fail
 };
 
+// Which engine run_trials (and TrialPipeline::run) uses for the trial loop.
+// kAuto picks the bit-parallel TrialBatch kernel whenever the rule admits it
+// (any-repeater-fails); the result is bit-identical to the scalar loop, so
+// kScalar exists for benchmarks and A/B verification, not for correctness.
+// kFractionFails always runs scalar regardless of this setting.
+enum class TrialEngine {
+  kAuto,
+  kScalar,
+};
+
 struct TrialConfig {
   double repeater_spacing_km = 150.0;
   CableDeathRule rule = CableDeathRule::kAnyRepeaterFails;
@@ -48,6 +58,7 @@ struct TrialConfig {
   // Worker threads for run_trials: 0 = hardware concurrency, 1 = serial.
   // The aggregate is bit-identical for every value (see run_trials).
   std::size_t threads = 0;
+  TrialEngine engine = TrialEngine::kAuto;
 };
 
 // Validates a TrialConfig up front, throwing std::invalid_argument with a

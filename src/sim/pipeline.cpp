@@ -1,9 +1,11 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/checkpoint.h"
 #include "util/parallel.h"
+#include "util/status.h"
 
 namespace solarnet::sim {
 
@@ -14,12 +16,26 @@ TrialPipeline::TrialPipeline(const FailureSimulator& simulator,
       csr_(&simulator.network().csr()),
       connected_nodes_(simulator.network().connected_node_count()) {
   use_table_ = sim_.config().rule == CableDeathRule::kAnyRepeaterFails;
-  if (use_table_) table_ = sim_.death_probability_table(model_);
+  if (use_table_) {
+    table_ = sim_.death_probability_table(model_);
+    if (sim_.config().engine != TrialEngine::kScalar) {
+      batch_kernel_ = std::make_unique<const TrialBatchKernel>(sim_, table_);
+    }
+  }
 }
 
 void TrialPipeline::add_observer(TrialObserver& observer) {
   observers_.push_back(&observer);
   needs_components_ = needs_components_ || observer.needs_components();
+  if (observer.supports_batch()) {
+    batch_observers_.push_back(&observer);
+    batch_needs_components_ =
+        batch_needs_components_ || observer.needs_components();
+  } else {
+    scalar_observers_.push_back(&observer);
+    scalar_needs_components_ =
+        scalar_needs_components_ || observer.needs_components();
+  }
 }
 
 void TrialPipeline::run_trial(std::size_t trial, const util::Rng& base,
@@ -74,20 +90,133 @@ void TrialPipeline::run(std::size_t trials, std::uint64_t seed,
     observer->begin_run(*this, workers, chunks);
   }
   if (trials > 0) {
-    std::vector<PipelineScratch> scratch(workers);
     const util::Rng base(seed);
-    util::parallel_for(
-        chunks, workers, [&](std::size_t chunk, std::size_t worker) {
-          const std::size_t begin = chunk * kTrialChunk;
-          const std::size_t end = std::min(begin + kTrialChunk, trials);
-          for (std::size_t t = begin; t < end; ++t) {
-            run_trial(t, base, scratch[worker], worker, chunk);
-          }
-        });
+    if (batch_kernel_ != nullptr) {
+      run_batched(trials, base, workers);
+    } else {
+      std::vector<PipelineScratch> scratch(workers);
+      util::parallel_for(
+          chunks, workers, [&](std::size_t chunk, std::size_t worker) {
+            const std::size_t begin = chunk * kTrialChunk;
+            const std::size_t end = std::min(begin + kTrialChunk, trials);
+            for (std::size_t t = begin; t < end; ++t) {
+              run_trial(t, base, scratch[worker], worker, chunk);
+            }
+          });
+    }
   }
   for (TrialObserver* observer : observers_) {
     observer->end_run();
   }
+}
+
+void TrialPipeline::run_batched(std::size_t trials, const util::Rng& base,
+                                std::size_t workers) const {
+  // One batch = kLanes trials = a whole number of chunks, so every chunk's
+  // accumulator is still written by exactly one worker, in ascending trial
+  // order — the determinism contract holds unchanged.
+  static_assert(TrialBatchKernel::kLanes % TrialPipeline::kTrialChunk == 0);
+  constexpr std::size_t kLanes = TrialBatchKernel::kLanes;
+  constexpr std::size_t kChunksPerBatch = kLanes / kTrialChunk;
+  const TrialBatchKernel& kernel = *batch_kernel_;
+  const std::size_t tasks = (trials + kLanes - 1) / kLanes;
+  workers = std::min(workers, tasks);
+
+  struct BatchScratch {
+    TrialBatch batch;
+    std::uint32_t cables[kLanes];
+    std::uint32_t nodes[kLanes];
+    std::uint32_t largest[kLanes];
+    double cables_pct[kLanes];
+    double nodes_pct[kLanes];
+    BatchConnectivityScratch components;
+    // Scalar reconstruction for observers without a batch path.
+    PipelineScratch scalar;
+  };
+  std::vector<BatchScratch> scratch(workers);
+  const std::size_t cables = network().cable_count();
+
+  util::parallel_for(tasks, workers, [&](std::size_t task, std::size_t worker) {
+    BatchScratch& s = scratch[worker];
+    const std::size_t first = task * kLanes;
+    const auto lanes =
+        static_cast<unsigned>(std::min<std::size_t>(kLanes, trials - first));
+    const std::size_t first_chunk = task * kChunksPerBatch;
+
+    kernel.sample(base, first, lanes, s.batch);
+    kernel.count_cables_failed(s.batch, s.cables);
+    kernel.count_unreachable_nodes(s.batch, s.nodes);
+    if (batch_needs_components_) {
+      kernel.largest_components(s.batch, s.components, s.largest);
+    }
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      s.cables_pct[lane] =
+          cables > 0 ? 100.0 * static_cast<double>(s.cables[lane]) /
+                           static_cast<double>(cables)
+                     : 0.0;
+      s.nodes_pct[lane] =
+          connected_nodes_ > 0
+              ? 100.0 * static_cast<double>(s.nodes[lane]) /
+                    static_cast<double>(connected_nodes_)
+              : 0.0;
+    }
+
+    if (!batch_observers_.empty()) {
+      BatchTrialView bview;
+      bview.first_trial = first;
+      bview.lanes = lanes;
+      bview.batch = &s.batch;
+      bview.cables_failed = s.cables;
+      bview.cables_failed_pct = s.cables_pct;
+      bview.nodes_unreachable = s.nodes;
+      bview.nodes_unreachable_pct = s.nodes_pct;
+      bview.largest_component = batch_needs_components_ ? s.largest : nullptr;
+      for (TrialObserver* observer : batch_observers_) {
+        observer->observe_batch(bview, worker, first_chunk);
+      }
+    }
+
+    if (!scalar_observers_.empty()) {
+      // Reconstruct each lane as a scalar TrialView: same dead bits, same
+      // unreachable list, same component decomposition, and the lane's
+      // post-draw rng state — everything a scalar observer would have seen.
+      for (unsigned lane = 0; lane < lanes; ++lane) {
+        kernel.extract_lane(s.batch, lane, s.scalar.cable_dead);
+        network().unreachable_nodes(s.scalar.cable_dead, s.scalar.unreachable);
+        if (scalar_needs_components_) {
+          network().mask_for_failures(s.scalar.cable_dead, s.scalar.mask);
+          graph::connected_components(*csr_, s.scalar.mask,
+                                      s.scalar.component_scratch,
+                                      s.scalar.components);
+        }
+        TrialView view;
+        view.trial = first + lane;
+        view.cable_dead = &s.scalar.cable_dead;
+        view.cables_failed = s.cables[lane];
+        view.cables_failed_pct = s.cables_pct[lane];
+        view.unreachable = &s.scalar.unreachable;
+        view.nodes_unreachable_pct = s.nodes_pct[lane];
+        view.components =
+            scalar_needs_components_ ? &s.scalar.components : nullptr;
+        view.rng = &s.batch.lane_rng[lane];
+        const std::size_t chunk = first_chunk + lane / kTrialChunk;
+        for (TrialObserver* observer : scalar_observers_) {
+          observer->observe(view, worker, chunk);
+        }
+      }
+    }
+  });
+}
+
+void check_chunk_slot(const char* observer, const char* operation,
+                      std::size_t chunk, std::size_t slots) {
+  if (chunk < slots) return;
+  std::string message = std::string(observer) + "::" + operation + ": chunk " +
+                        std::to_string(chunk) + " has no accumulator slot (" +
+                        std::to_string(slots) + " allocated); " + operation +
+                        " is only valid between begin_run() and end_run(), "
+                        "for chunks of the current run";
+  throw util::Error(util::ErrorCode::kInvalidArgument, message);
 }
 
 void ConnectivityObserver::begin_run(const TrialPipeline& pipeline,
@@ -110,16 +239,36 @@ void ConnectivityObserver::observe(const TrialView& view, std::size_t /*worker*/
                        : 0.0);
 }
 
+void ConnectivityObserver::observe_batch(const BatchTrialView& view,
+                                         std::size_t /*worker*/,
+                                         std::size_t first_chunk) {
+  // Same accumulation order and arithmetic as 64 scalar observe() calls:
+  // lanes ascending, each into its own chunk slot, percentages already
+  // computed with the scalar TrialView formulas.
+  for (unsigned lane = 0; lane < view.lanes; ++lane) {
+    Chunk& slot = chunks_[first_chunk + lane / TrialPipeline::kTrialChunk];
+    slot.cables.add(view.cables_failed_pct[lane]);
+    slot.nodes.add(view.nodes_unreachable_pct[lane]);
+    slot.largest.add(
+        connected_nodes_ > 0
+            ? 100.0 * static_cast<double>(view.largest_component[lane]) /
+                  static_cast<double>(connected_nodes_)
+            : 0.0);
+  }
+}
+
 void ConnectivityObserver::save_chunk(std::size_t chunk,
                                       util::ByteWriter& out) const {
-  const Chunk& slot = chunks_.at(chunk);
+  check_chunk_slot("ConnectivityObserver", "save_chunk", chunk, chunks_.size());
+  const Chunk& slot = chunks_[chunk];
   util::write_stats(out, slot.cables);
   util::write_stats(out, slot.nodes);
   util::write_stats(out, slot.largest);
 }
 
 void ConnectivityObserver::load_chunk(std::size_t chunk, util::ByteReader& in) {
-  Chunk& slot = chunks_.at(chunk);
+  check_chunk_slot("ConnectivityObserver", "load_chunk", chunk, chunks_.size());
+  Chunk& slot = chunks_[chunk];
   slot.cables = util::read_stats(in);
   slot.nodes = util::read_stats(in);
   slot.largest = util::read_stats(in);

@@ -34,12 +34,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gic/failure_model.h"
 #include "graph/components.h"
 #include "sim/monte_carlo.h"
+#include "sim/trial_batch.h"
 #include "topology/network.h"
 #include "util/bitset.h"
 #include "util/rng.h"
@@ -76,6 +78,28 @@ struct TrialView {
   util::Rng substream(std::uint64_t key) const { return rng->split(key); }
 };
 
+// Everything a batch-capable observer may read about one 64-trial batch on
+// the bit-parallel path. Lane t is trial first_trial + t; the per-lane
+// arrays hold `lanes` entries each. The counts come from the word-parallel
+// kernels and the percentages use the exact arithmetic of the scalar
+// TrialView, so accumulating them is bit-identical to observing the scalar
+// trials one by one. Pointers reference per-worker scratch and are only
+// valid during the observe_batch() call.
+struct BatchTrialView {
+  std::size_t first_trial = 0;
+  unsigned lanes = 0;
+  // Raw cable-major lane words (and per-lane post-draw rng states) for
+  // observers that want word-level access or extra randomness.
+  const TrialBatch* batch = nullptr;
+  const std::uint32_t* cables_failed = nullptr;
+  const double* cables_failed_pct = nullptr;
+  const std::uint32_t* nodes_unreachable = nullptr;
+  const double* nodes_unreachable_pct = nullptr;
+  // Largest surviving component size per lane; null when no batch-capable
+  // observer reports needs_components().
+  const std::uint32_t* largest_component = nullptr;
+};
+
 // A metric registered with the pipeline. Implementations own their results;
 // the pipeline only orchestrates calls. See the determinism contract above:
 // state written by observe() must be confined to the (worker, chunk) slots
@@ -98,6 +122,19 @@ class TrialObserver {
   // arrive in ascending order on a single worker.
   virtual void observe(const TrialView& view, std::size_t worker,
                        std::size_t chunk) = 0;
+
+  // Batch fast path. An observer that returns true here receives one
+  // observe_batch() per 64-trial batch on the bit-parallel pipeline path
+  // instead of 64 observe() calls (observe() is still required — the
+  // scalar path and kFractionFails use it). The batch spans whole chunks:
+  // lane t belongs to chunk first_chunk + t / TrialPipeline::kTrialChunk,
+  // and accumulating lanes in ascending order into those slots must match
+  // the scalar observe() sequence bit-for-bit.
+  virtual bool supports_batch() const { return false; }
+  // Only invoked when supports_batch() is true.
+  virtual void observe_batch(const BatchTrialView& /*view*/,
+                             std::size_t /*worker*/,
+                             std::size_t /*first_chunk*/) {}
 
   // Called once after all trials, on the run() thread: reduce the chunk
   // slots (in ascending chunk order) into the final result.
@@ -179,6 +216,14 @@ class TrialPipeline {
                  std::size_t chunk) const;
 
  private:
+  // The bit-parallel trial loop: batches of TrialBatchKernel::kLanes trials,
+  // batch-capable observers fed whole batches, the rest fed per-lane
+  // TrialViews reconstructed from the batch (bit-identical to the scalar
+  // loop either way). Chosen by run() when the table path is active and the
+  // simulator's TrialConfig::engine is not kScalar.
+  void run_batched(std::size_t trials, const util::Rng& base,
+                   std::size_t workers) const;
+
   const FailureSimulator& sim_;
   const gic::RepeaterFailureModel& model_;
   const graph::Csr* csr_;  // the network's cached CSR, resolved once
@@ -187,7 +232,23 @@ class TrialPipeline {
   std::size_t connected_nodes_ = 0;
   std::vector<TrialObserver*> observers_;
   bool needs_components_ = false;
+  // Built once in the constructor when the batch path is eligible, so run()
+  // does not pay kernel construction (or its allocations) per call.
+  std::unique_ptr<const TrialBatchKernel> batch_kernel_;
+  std::vector<TrialObserver*> batch_observers_;   // supports_batch()
+  std::vector<TrialObserver*> scalar_observers_;  // the rest
+  bool batch_needs_components_ = false;   // any batch observer needs them
+  bool scalar_needs_components_ = false;  // any scalar observer needs them
 };
+
+// Shared lifecycle guard for checkpointable observers: throws a structured
+// util::Error (kInvalidArgument) naming the observer, the operation and the
+// violation when `chunk` has no accumulator slot — either an out-of-range
+// chunk index or a save_chunk/load_chunk call outside the
+// begin_run()/end_run() window (end_run releases the slots). Replaces the
+// bare std::out_of_range that vector::at used to throw.
+void check_chunk_slot(const char* observer, const char* operation,
+                      std::size_t chunk, std::size_t slots);
 
 // The baseline observer: per-trial cable-loss / node-unreachability
 // percentages (bit-identical to FailureSimulator::run_trials for the same
@@ -210,6 +271,9 @@ class ConnectivityObserver final : public CheckpointableObserver {
                  std::size_t chunks) override;
   void observe(const TrialView& view, std::size_t worker,
                std::size_t chunk) override;
+  bool supports_batch() const override { return true; }
+  void observe_batch(const BatchTrialView& view, std::size_t worker,
+                     std::size_t first_chunk) override;
   void end_run() override;
 
   std::string checkpoint_id() const override { return "connectivity/v1"; }

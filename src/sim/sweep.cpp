@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "util/parallel.h"
 
@@ -93,6 +94,17 @@ SweepEngine::SweepEngine(const FailureSimulator& simulator,
 
 SweepEngine SweepEngine::uniform(const FailureSimulator& simulator,
                                  std::span<const double> probs) {
+  // Finiteness first, with the offending index: NaN compares false against
+  // everything, so a NaN grid point would sail through both the is_sorted
+  // gate below (NaN never reports a descending pair) and a naive
+  // !(p < 0 || p > 1) range check, then poison every table it touches.
+  for (std::size_t g = 0; g < probs.size(); ++g) {
+    if (!std::isfinite(probs[g])) {
+      throw std::invalid_argument(
+          "SweepEngine::uniform: non-finite probability at index " +
+          std::to_string(g));
+    }
+  }
   if (!std::is_sorted(probs.begin(), probs.end())) {
     throw std::invalid_argument(
         "SweepEngine::uniform: probabilities must be sorted ascending");

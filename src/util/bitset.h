@@ -103,6 +103,14 @@ class Bitset {
 
   std::span<const Word> words() const noexcept { return words_; }
 
+  // Word-level write used by the batch kernels that assemble a per-trial
+  // dead set from transposed lane words. The tail invariant is preserved:
+  // writing the last word masks the bits beyond size().
+  void set_word(std::size_t wi, Word w) noexcept {
+    words_[wi] = w;
+    if (wi + 1 == words_.size()) mask_tail();
+  }
+
   friend bool operator==(const Bitset& a, const Bitset& b) noexcept {
     return a.size_ == b.size_ && a.words_ == b.words_;
   }
@@ -123,5 +131,27 @@ class Bitset {
   std::vector<Word> words_;
   std::size_t size_ = 0;
 };
+
+// In-place transpose of a 64x64 bit matrix stored as 64 row words: after
+// the call, bit c of m[r] is the old bit r of m[c]. Recursive block-swap
+// (Hacker's Delight 7-3 generalized to 64 bits): 6 rounds of masked
+// exchanges, no memory traffic beyond the 512-byte matrix itself. The
+// trial-batch kernels use this to turn "one word per cable holding 64
+// trials' bits" into "one word per trial holding 64 cables' bits", so
+// per-trial counts become popcounts.
+inline void transpose_64x64(std::uint64_t m[64]) noexcept {
+  std::uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      // Swap the high-bit block of row k with the low-bit block of row
+      // k|j (B/C blocks of [[A,B],[C,D]]) — the LSB-first-index form;
+      // shifting the other operand would transpose about the
+      // anti-diagonal instead.
+      const std::uint64_t t = ((m[k] >> j) ^ m[k | j]) & mask;
+      m[k | j] ^= t;
+      m[k] ^= t << j;
+    }
+  }
+}
 
 }  // namespace solarnet::util

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace solarnet::util {
 
@@ -67,7 +68,26 @@ double quantile(std::span<const double> sorted_values, double q) {
   return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac;
 }
 
+namespace {
+
+// Shared finiteness gate for the copying statistics entry points. NaN in a
+// std::sort violates strict weak ordering (undefined behavior), and any
+// non-finite value makes the result meaningless — reject with the index so
+// the caller can find the bad sample.
+void require_finite(std::span<const double> values, const char* function) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      throw std::invalid_argument(std::string(function) +
+                                  ": non-finite value at index " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
 double quantile_unsorted(std::span<const double> values, double q) {
+  require_finite(values, "quantile_unsorted");
   std::vector<double> copy(values.begin(), values.end());
   std::sort(copy.begin(), copy.end());
   return quantile(copy, q);
@@ -75,6 +95,7 @@ double quantile_unsorted(std::span<const double> values, double q) {
 
 double mean(std::span<const double> values) {
   if (values.empty()) throw std::invalid_argument("mean: empty input");
+  require_finite(values, "mean");
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());

@@ -16,6 +16,12 @@ class RunningStats {
   void add(double x) noexcept;
 
   std::size_t count() const noexcept { return n_; }
+  // True when no sample has been added. Callers that render statistics
+  // must check this: every accessor below returns 0.0 for an empty
+  // accumulator (a sentinel, not a measurement), and printing that 0.0 as
+  // if it were an observed min/max/mean silently fabricates data. The
+  // report layer prints "n/a" instead.
+  bool empty() const noexcept { return n_ == 0; }
   double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   // Population variance (divide by n). Zero when fewer than two samples.
   double variance() const noexcept;
@@ -23,6 +29,7 @@ class RunningStats {
   double sample_variance() const noexcept;
   double stddev() const noexcept;
   double sample_stddev() const noexcept;
+  // 0.0 when empty — check empty() before treating these as observations.
   double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
   double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
   double sum() const noexcept { return mean_ * static_cast<double>(n_); }
@@ -64,9 +71,16 @@ class RunningStats {
 // Throws std::invalid_argument on empty input or q outside [0, 1].
 double quantile(std::span<const double> sorted_values, double q);
 
-// Convenience: copies, sorts, then computes the quantile.
+// Convenience: copies, sorts, then computes the quantile. Rejects
+// non-finite values (std::invalid_argument naming the offending index):
+// NaN breaks std::sort's strict-weak-ordering precondition — undefined
+// behavior, not just a wrong quantile — and an Inf endpoint turns the
+// interpolation into NaN.
 double quantile_unsorted(std::span<const double> values, double q);
 
+// Arithmetic mean. Throws std::invalid_argument on empty input or (with
+// the offending index) on non-finite values, which would silently poison
+// the sum.
 double mean(std::span<const double> values);
 double median(std::span<const double> values);
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,7 +13,9 @@
 #include "analysis/dns_resolution.h"
 #include "gic/failure_model.h"
 #include "services/availability.h"
+#include "util/checkpoint.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace solarnet::sim {
 namespace {
@@ -466,6 +469,69 @@ TEST_F(PipelineTest, SubstreamsAreObserverIndependent) {
   reversed.run(40, 3);
   EXPECT_EQ(a_again.values(), a_vals);
   EXPECT_EQ(b_again.values(), b_vals);
+}
+
+TEST_F(PipelineTest, ChunkCheckpointAfterEndRunThrowsStructuredError) {
+  // end_run() releases the per-chunk accumulator slots; a later
+  // save_chunk/load_chunk is a lifecycle violation and must surface as a
+  // structured util::Error naming the observer and the valid window — not
+  // as std::out_of_range from an .at() on the cleared vector.
+  const gic::UniformFailureModel model(0.3);
+  const FailureSimulator simulator(net_, {});
+  TrialPipeline pipeline(simulator, model);
+  ConnectivityObserver connectivity;
+  services::AvailabilityObserver availability(net_, two_replica_service());
+  analysis::DnsResolutionObserver dns(net_, two_letters());
+  analysis::CountryIsolationObserver country(net_, {"US", "PT"});
+  pipeline.add_observer(connectivity);
+  pipeline.add_observer(availability);
+  pipeline.add_observer(dns);
+  pipeline.add_observer(country);
+  pipeline.run(40, 3);
+
+  util::ByteWriter sink;
+  try {
+    connectivity.save_chunk(0, sink);
+    FAIL() << "save_chunk after end_run was accepted";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidArgument);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ConnectivityObserver"), std::string::npos) << what;
+    EXPECT_NE(what.find("begin_run"), std::string::npos) << what;
+  }
+  EXPECT_THROW(availability.save_chunk(0, sink), util::Error);
+  EXPECT_THROW(dns.save_chunk(0, sink), util::Error);
+  EXPECT_THROW(country.save_chunk(0, sink), util::Error);
+
+  util::ByteReader reader("");
+  EXPECT_THROW(connectivity.load_chunk(0, reader), util::Error);
+  EXPECT_THROW(availability.load_chunk(0, reader), util::Error);
+  EXPECT_THROW(dns.load_chunk(0, reader), util::Error);
+  EXPECT_THROW(country.load_chunk(0, reader), util::Error);
+}
+
+TEST_F(PipelineTest, ChunkCheckpointRejectsOutOfRangeChunk) {
+  const gic::UniformFailureModel model(0.3);
+  const FailureSimulator simulator(net_, {});
+  TrialPipeline pipeline(simulator, model);
+  ConnectivityObserver connectivity;
+  connectivity.begin_run(pipeline, 1, 3);
+
+  // In-range chunks serialize fine (even before any trial was observed)...
+  util::ByteWriter ok;
+  EXPECT_NO_THROW(connectivity.save_chunk(2, ok));
+  // ...but an index beyond the slots allocated by begin_run is rejected
+  // with the offending chunk in the message.
+  util::ByteWriter bad;
+  try {
+    connectivity.save_chunk(3, bad);
+    FAIL() << "out-of-range chunk was accepted";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidArgument);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chunk 3"), std::string::npos) << what;
+  }
+  connectivity.end_run();
 }
 
 }  // namespace

@@ -111,6 +111,40 @@ TEST_F(SweepTest, RejectsBadGrids) {
                std::invalid_argument);  // axis size mismatch
 }
 
+TEST_F(SweepTest, UniformRejectsNonFiniteGridPoints) {
+  // NaN compares false to everything, so it sails through both
+  // std::is_sorted (no descending pair ever reported) and the
+  // !(p >= 0 && p <= 1) range check unless finiteness is gated explicitly.
+  const FailureSimulator sim(net_, {});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const struct {
+    std::vector<double> grid;
+    const char* needle;  // expected fragment of the error message
+  } cases[] = {
+      {{nan}, "index 0"},
+      {{0.1, nan}, "index 1"},
+      {{nan, 0.1, 0.5}, "index 0"},
+      {{0.1, nan, 0.5}, "index 1"},
+      {{0.0, 0.5, inf}, "index 2"},
+      {{-inf, 0.5}, "index 0"},
+  };
+  for (const auto& c : cases) {
+    try {
+      SweepEngine::uniform(sim, c.grid);
+      FAIL() << "grid of size " << c.grid.size()
+             << " with non-finite point was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << e.what();
+    }
+  }
+  // A clean grid still passes.
+  EXPECT_NO_THROW(SweepEngine::uniform(sim, std::vector<double>{0.0, 0.5, 1.0}));
+}
+
 // The CRN kernel must consume exactly one uniform per repeater-bearing
 // cable in ascending cable order and threshold it against the grid — so an
 // independent replay of the same child stream predicts every death index.

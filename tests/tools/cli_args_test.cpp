@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace solarnet::cli {
 namespace {
 
@@ -60,6 +63,29 @@ TEST(Args, KeysListsEverything) {
   const Args a = parse({"plan", "--from", "Miami", "--to", "Dakar"});
   const auto keys = a.keys();
   EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(Args, GetTrialsOrReturnsValueOrFallback) {
+  EXPECT_EQ(parse({"risk", "--trials", "5000"}).get_trials_or(10), 5000u);
+  EXPECT_EQ(parse({"risk"}).get_trials_or(10), 10u);
+  EXPECT_EQ(parse({"risk", "--trials", "1"}).get_trials_or(10), 1u);
+}
+
+TEST(Args, GetTrialsOrRejectsNonPositiveCounts) {
+  // --trials 0 used to be accepted and silently produced a run where every
+  // statistic was an empty accumulator (reported as 0.0). Reject it with a
+  // message that says why.
+  for (const char* bad : {"0", "-3"}) {
+    const Args a = parse({"risk", "--trials", bad});
+    try {
+      a.get_trials_or(10);
+      FAIL() << "--trials " << bad << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--trials must be >= 1"), std::string::npos) << what;
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+    }
+  }
 }
 
 }  // namespace

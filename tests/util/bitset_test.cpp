@@ -155,5 +155,38 @@ TEST(Bitset, MatchesVectorBoolReference) {
   }
 }
 
+TEST(Bitset, SetWordWritesWholeWordsAndMasksTail) {
+  Bitset b(70);  // two words, 6 valid bits in the tail word
+  b.set_word(0, ~std::uint64_t{0});
+  EXPECT_EQ(b.count(), 64u);
+  // Writing the last word must preserve the invariant that bits at
+  // positions >= size() stay zero, even when the written word has them set.
+  b.set_word(1, ~std::uint64_t{0});
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+  b.set_word(0, 0b101);
+  EXPECT_TRUE(b[0]);
+  EXPECT_FALSE(b[1]);
+  EXPECT_TRUE(b[2]);
+  EXPECT_EQ(b.count(), 8u);  // 2 in word 0 + 6 tail bits
+}
+
+TEST(Bitset, Transpose64x64MatchesNaiveBitIndexing) {
+  Rng rng(321);
+  std::uint64_t m[64];
+  for (auto& w : m) w = rng.next_u64();
+  std::uint64_t t[64];
+  for (int i = 0; i < 64; ++i) t[i] = m[i];
+  transpose_64x64(t);
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      EXPECT_EQ((t[r] >> c) & 1, (m[c] >> r) & 1) << r << "," << c;
+    }
+  }
+  // Involution: transposing twice restores the original matrix.
+  transpose_64x64(t);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t[i], m[i]);
+}
+
 }  // namespace
 }  // namespace solarnet::util

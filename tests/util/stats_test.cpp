@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
@@ -17,6 +20,26 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, EmptySurfacesEmptiness) {
+  // min()/max() return a 0.0 sentinel when no sample was ever added —
+  // callers must be able to tell that apart from a real observed 0.0, and
+  // empty() is that signal.
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  s.add(-3.5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+  // Merging an empty accumulator into a non-empty one (and vice versa)
+  // keeps emptiness truthful.
+  RunningStats other;
+  EXPECT_TRUE(other.empty());
+  other.merge(s);
+  EXPECT_FALSE(other.empty());
 }
 
 TEST(RunningStats, SingleValue) {
@@ -206,6 +229,42 @@ TEST(Quantile, RejectsBadInput) {
 TEST(Quantile, UnsortedVariantSorts) {
   const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_DOUBLE_EQ(quantile_unsorted(v, 0.5), 3.0);
+}
+
+TEST(Quantile, UnsortedRejectsNonFiniteWithIndex) {
+  // NaN violates std::sort's strict-weak-ordering precondition (undefined
+  // behavior), so the copying variant must reject it before sorting — and
+  // name the offending index so the bad sample can be found.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> with_nan = {1.0, 2.0, nan, 4.0};
+  try {
+    quantile_unsorted(with_nan, 0.5);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("index 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(quantile_unsorted(std::vector<double>{inf, 1.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(quantile_unsorted(std::vector<double>{-inf}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(median(with_nan), std::invalid_argument);
+}
+
+TEST(MeanMedian, MeanRejectsNonFiniteWithIndex) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> v = {nan, 2.0};
+  try {
+    mean(v);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("index 0"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(mean(std::vector<double>{
+                   1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
 }
 
 TEST(MeanMedian, Basics) {

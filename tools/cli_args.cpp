@@ -1,5 +1,7 @@
 #include "cli_args.h"
 
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace solarnet::cli {
@@ -50,6 +52,17 @@ long long Args::get_int_or(const std::string& key, long long fallback) const {
   const auto v = get(key);
   if (!v || v->empty()) return fallback;
   return util::parse_int(*v);
+}
+
+std::size_t Args::get_trials_or(std::size_t fallback) const {
+  const long long trials =
+      get_int_or("trials", static_cast<long long>(fallback));
+  if (trials <= 0) {
+    throw std::invalid_argument(
+        "--trials must be >= 1 (got " + std::to_string(trials) +
+        "): zero trials would leave every statistic empty");
+  }
+  return static_cast<std::size_t>(trials);
 }
 
 std::vector<std::string> Args::keys() const {

@@ -22,6 +22,12 @@ class Args {
   double get_double_or(const std::string& key, double fallback) const;
   long long get_int_or(const std::string& key, long long fallback) const;
 
+  // --trials, validated: every subcommand needs >= 1 trial, because zero
+  // trials leave every RunningStats accumulator empty and the report would
+  // render sentinel zeros as measurements. Throws std::invalid_argument
+  // with a clear message on 0 or negative values.
+  std::size_t get_trials_or(std::size_t fallback) const;
+
   // Keys consumed by none of the accessors above — for unknown-flag
   // warnings.
   std::vector<std::string> keys() const;

@@ -120,7 +120,7 @@ int cmd_risk(const Args& args) {
 core::ScenarioOptions options_from_args(const Args& args) {
   core::ScenarioOptions opts;
   opts.repeater_spacing_km = args.get_double_or("spacing", 150.0);
-  opts.trials = static_cast<std::size_t>(args.get_int_or("trials", 10));
+  opts.trials = args.get_trials_or(10);
   // 0 = hardware concurrency; results do not depend on the thread count.
   opts.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
   return opts;
@@ -270,7 +270,7 @@ int cmd_sweep(const Args& args) {
   } else {
     grid = analysis::default_probability_grid();
   }
-  const auto trials = static_cast<std::size_t>(args.get_int_or("trials", 10));
+  const std::size_t trials = args.get_trials_or(10);
   const auto seed =
       static_cast<std::uint64_t>(args.get_int_or("seed", 1859));
   const auto points =
