@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "util/checkpoint.h"
 #include "util/csv.h"
+#include "util/status.h"
 
 namespace solarnet::benchutil {
 
@@ -42,26 +44,30 @@ struct BenchRecord {
 // Writes BENCH_<bench>.json with the given records:
 //   {"bench": "sweep", "records": [{"name": ..., "value": ..., "unit": ...}]}
 // The file lands in the current working directory (CI runs the perf
-// binaries from the repo root and uploads BENCH_*.json as artifacts).
-// Record names must not need JSON escaping (plain identifiers).
+// binaries from the repo root and uploads BENCH_*.json as artifacts), via
+// util::atomic_write_file so a bench killed mid-write (CI timeout, OOM)
+// can never leave a torn artifact behind — the file either holds the
+// previous complete run or the new one. Record names must not need JSON
+// escaping (plain identifiers).
 inline void write_bench_json(const std::string& bench,
                              const std::vector<BenchRecord>& records) {
   const std::string path = "BENCH_" + bench + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
-               bench.c_str());
+  std::string json = "{\n  \"bench\": \"" + bench + "\",\n  \"records\": [\n";
+  char line[256];
   for (std::size_t i = 0; i < records.size(); ++i) {
-    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
-                 records[i].name.c_str(), records[i].value,
-                 records[i].unit.c_str(),
-                 i + 1 < records.size() ? "," : "");
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                  records[i].name.c_str(), records[i].value,
+                  records[i].unit.c_str(),
+                  i + 1 < records.size() ? "," : "");
+    json += line;
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  json += "  ]\n}\n";
+  try {
+    util::atomic_write_file(path, json);
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "write_bench_json: %s\n", e.what());
+  }
 }
 
 // Wall-clock milliseconds for the best of `repeats` runs of fn() — a

@@ -57,6 +57,7 @@ analysis::ResilienceReport ScenarioRunner::run(
   sim::TrialConfig trial_config;
   trial_config.repeater_spacing_km = options.repeater_spacing_km;
   trial_config.threads = options.threads;
+  trial_config.engine = options.engine;
 
   // Submarine network: one pipeline pass carries every Monte-Carlo metric —
   // connectivity, DC service availability, DNS resolution, country

@@ -11,6 +11,7 @@
 #include "core/world.h"
 #include "gic/failure_model.h"
 #include "gic/storm.h"
+#include "sim/monte_carlo.h"
 
 namespace solarnet::core {
 
@@ -22,6 +23,11 @@ struct ScenarioOptions {
   // 0 = hardware concurrency, 1 = serial; results are thread-count
   // independent).
   std::size_t threads = 0;
+  // Trial-loop engine (sim::TrialConfig::engine semantics): kAuto uses the
+  // bit-parallel batch kernel when eligible, kScalar forces the scalar
+  // loop. Results are bit-identical either way; the knob exists for
+  // benchmarks and A/B verification.
+  sim::TrialEngine engine = sim::TrialEngine::kAuto;
   // Countries included in the country-connectivity section.
   std::vector<std::string> countries = {"US", "GB", "CN", "IN", "SG", "ZA",
                                         "AU", "NZ", "BR"};

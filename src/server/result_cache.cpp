@@ -1,0 +1,103 @@
+#include "server/result_cache.h"
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace solarnet::server {
+
+ResultCache::ResultCache(Options options) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("ResultCache: shards must be positive");
+  }
+  shard_budget_ = options.byte_budget / options.shards;
+  shards_ = std::vector<Shard>(options.shards);
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::string_view key) noexcept {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> ResultCache::lookup(std::string_view key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Promote to front: splice relinks the node in place, so neither the
+  // index's string_view key nor the stored iterator is invalidated, and no
+  // allocation happens.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::evict_over_budget(Shard& shard, std::size_t budget) {
+  while (shard.bytes > budget && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::insert(std::string_view key,
+                         std::shared_ptr<const std::string> value) {
+  if (!value) {
+    throw std::invalid_argument("ResultCache::insert: null value");
+  }
+  const std::size_t bytes = key.size() + value->size();
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (bytes > shard_budget_) {
+    // Dropped outright: admitting it would evict every resident entry and
+    // still leave the shard over budget, so the entry (and, if the key was
+    // resident, its stale predecessor) simply does not get cached.
+    const auto resident = shard.index.find(key);
+    if (resident != shard.index.end()) {
+      shard.bytes -= resident->second->bytes;
+      shard.lru.erase(resident->second);
+      shard.index.erase(resident);
+      ++shard.evictions;
+    }
+    return;
+  }
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place (same key must mean same bytes under the
+    // determinism contract, but coalesced leaders can race to insert —
+    // last write wins, accounting stays exact).
+    Entry& entry = *it->second;
+    shard.bytes -= entry.bytes;
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{std::string(key), std::move(value), bytes});
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.inserts;
+  }
+  evict_over_budget(shard, shard_budget_);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.inserts += shard.inserts;
+    out.evictions += shard.evictions;
+    out.bytes += shard.bytes;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace solarnet::server

@@ -1,0 +1,99 @@
+// Content-addressed result cache for the scenario server.
+//
+// Maps canonical request keys (see server/request.h) to immutable response
+// bodies. Because a key is an injective encoding of everything the
+// determinism contract says shapes the response bytes, a hit can be served
+// without recomputation and is guaranteed bit-identical to a fresh
+// TrialPipeline / SweepEngine run — the perf_serve gate checks exactly
+// this.
+//
+// Shape: N independent shards (key-hash selects the shard), each an LRU
+// list + an index keyed by string_views into the list nodes' own key
+// storage, under a per-shard slice of the byte budget. Sharding bounds
+// lock contention when many connections hit concurrently; per-shard state
+// is a plain mutex + intrusive-ish std::list whose splice-based promotion
+// makes a hit allocation-free (the zero-steady-state-allocation gate in
+// bench/perf_serve.cpp depends on this).
+//
+// Values are shared_ptr<const string>: a lookup hands back a reference the
+// caller can hold while the entry is concurrently evicted — eviction drops
+// the cache's reference, never the bytes a reader is streaming out.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace solarnet::server {
+
+class ResultCache {
+ public:
+  struct Options {
+    // Total byte budget across all shards (keys + values both count).
+    // Each shard enforces budget/shards, so a single shard can never
+    // starve the others.
+    std::size_t byte_budget = 64u << 20;
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached body and promotes the entry to most-recently-used,
+  // or nullptr on miss. Allocation-free.
+  std::shared_ptr<const std::string> lookup(std::string_view key);
+
+  // Inserts (or replaces) the body for `key`, then evicts
+  // least-recently-used entries until the shard is back under budget. An
+  // entry larger than a whole shard's budget is dropped immediately rather
+  // than evicting everything else to make room that still would not
+  // suffice.
+  void insert(std::string_view key, std::shared_ptr<const std::string> value);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+    std::size_t bytes = 0;  // key + value, the units of the budget
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recent. Iterators and element addresses are stable, so
+    // the index can key on views into the entries' own key strings.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::string_view key) noexcept;
+  static void evict_over_budget(Shard& shard, std::size_t budget);
+
+  std::size_t shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace solarnet::server

@@ -1,0 +1,578 @@
+#include "server/scenario_service.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/connectivity.h"
+#include "core/world.h"
+#include "datasets/datacenters.h"
+#include "gic/failure_model.h"
+#include "sim/monte_carlo.h"
+#include "util/fingerprint.h"
+#include "util/status.h"
+
+namespace solarnet::server {
+
+namespace {
+
+// --- JSON emission helpers --------------------------------------------------
+// Doubles via std::to_chars: the shortest decimal that round-trips to the
+// exact same bits, so textual equality of two bodies is bit-equality of the
+// underlying aggregates — the foundation of the served == direct gate.
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+// {"mean":..,"stddev":..,"min":..,"max":..}
+void append_stats(std::string& out, const util::RunningStats& s) {
+  out += "{\"mean\":";
+  append_double(out, s.mean());
+  out += ",\"stddev\":";
+  append_double(out, s.sample_stddev());
+  out += ",\"min\":";
+  append_double(out, s.min());
+  out += ",\"max\":";
+  append_double(out, s.max());
+  out += '}';
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// The request echo both bodies open with, so a client matching responses to
+// requests over a pipelined connection can do so without extra framing.
+void append_request_echo(std::string& out, const ScenarioRequest& req) {
+  out += "{\"ok\":true,\"cmd\":\"";
+  out += to_string(req.kind);
+  out += "\",\"network\":\"";
+  out += req.network;
+  out += "\",\"spacing\":";
+  append_double(out, req.spacing_km);
+  out += ",\"trials\":";
+  append_u64(out, req.trials);
+  out += ",\"seed\":";
+  append_u64(out, req.seed);
+}
+
+services::ServiceSpec datacenter_service(datasets::DataCenterOperator op,
+                                         std::size_t write_quorum) {
+  std::vector<geo::GeoPoint> sites;
+  for (const datasets::DataCenter& dc : datasets::datacenters_of(op)) {
+    sites.push_back(dc.location);
+  }
+  return services::service_from_datacenters(
+      std::string(datasets::to_string(op)), sites,
+      std::max<std::size_t>(1, std::min(write_quorum, sites.size())));
+}
+
+std::unique_ptr<gic::RepeaterFailureModel> make_model(
+    const ScenarioRequest& req) {
+  if (req.model == "uniform") return gic::make_uniform(req.uniform_p);
+  if (req.model == "s2") return gic::make_s2();
+  return gic::make_s1();
+}
+
+sim::TrialConfig trial_config_for(const ScenarioRequest& req,
+                                  std::size_t threads) {
+  sim::TrialConfig config;
+  config.repeater_spacing_km = req.spacing_km;
+  config.threads = threads;
+  config.engine = req.engine;
+  return config;
+}
+
+Body make_body(std::string text) {
+  return std::make_shared<const std::string>(std::move(text));
+}
+
+}  // namespace
+
+// --- resident engine bundles ------------------------------------------------
+
+// Member order is construction order: the model outlives the pipeline that
+// references it, the simulator outlives both the pipeline and the sweep
+// engine. Observers are registered once here; TrialPipeline::run resets
+// them via begin_run, so one bundle serves any number of sequential runs.
+struct ScenarioService::ReportEngine {
+  ReportEngine(const topo::InfrastructureNetwork& net,
+               const std::vector<datasets::DnsRootInstance>& roots,
+               const ScenarioRequest& req, const ServiceOptions& options)
+      : model(make_model(req)),
+        simulator(net, trial_config_for(req, options.threads)),
+        pipeline(simulator, *model),
+        google(net, datacenter_service(datasets::DataCenterOperator::kGoogle,
+                                       req.quorum)),
+        facebook(net,
+                 datacenter_service(datasets::DataCenterOperator::kFacebook,
+                                    req.quorum)),
+        dns(net, roots, req.dns_threshold_pct),
+        isolation(net, options.countries) {
+    pipeline.add_observer(connectivity);
+    pipeline.add_observer(google);
+    pipeline.add_observer(facebook);
+    pipeline.add_observer(dns);
+    pipeline.add_observer(isolation);
+  }
+
+  std::unique_ptr<gic::RepeaterFailureModel> model;
+  sim::FailureSimulator simulator;
+  sim::TrialPipeline pipeline;
+  sim::ConnectivityObserver connectivity;
+  services::AvailabilityObserver google;
+  services::AvailabilityObserver facebook;
+  analysis::DnsResolutionObserver dns;
+  analysis::CountryIsolationObserver isolation;
+};
+
+struct ScenarioService::SweepEngineEntry {
+  SweepEngineEntry(const topo::InfrastructureNetwork& net,
+                   const ScenarioRequest& req, const ServiceOptions& options)
+      : simulator(net, trial_config_for(req, options.threads)),
+        grid(req.grid.empty() ? analysis::default_probability_grid()
+                              : req.grid),
+        engine(sim::SweepEngine::uniform(simulator, grid)) {}
+
+  sim::FailureSimulator simulator;
+  std::vector<double> grid;
+  sim::SweepEngine engine;
+};
+
+// --- body serializers -------------------------------------------------------
+
+std::string serialize_report_body(
+    const ScenarioRequest& req, const sim::ConnectivityObserver::Result& conn,
+    const services::AvailabilitySweep& google,
+    const services::AvailabilitySweep& facebook,
+    const analysis::DnsResolutionSweep& dns,
+    const std::vector<analysis::CountryIsolationResult>& isolation) {
+  std::string out;
+  out.reserve(2048);
+  append_request_echo(out, req);
+  out += ",\"model\":\"";
+  out += req.model;
+  out += '"';
+  if (req.model == "uniform") {
+    out += ",\"p\":";
+    append_double(out, req.uniform_p);
+  }
+
+  out += ",\"connectivity\":{\"trials\":";
+  append_u64(out, conn.trials);
+  out += ",\"cables_failed_pct\":";
+  append_stats(out, conn.cables_failed_pct);
+  out += ",\"nodes_unreachable_pct\":";
+  append_stats(out, conn.nodes_unreachable_pct);
+  out += ",\"largest_component_pct\":";
+  append_stats(out, conn.largest_component_pct);
+  out += '}';
+
+  out += ",\"services\":[";
+  bool first = true;
+  for (const services::AvailabilitySweep* sweep : {&google, &facebook}) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, sweep->service);
+    out += "\",\"draws\":";
+    append_u64(out, sweep->draws);
+    out += ",\"read_availability\":";
+    append_stats(out, sweep->read_availability);
+    out += ",\"write_availability\":";
+    append_stats(out, sweep->write_availability);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"dns\":{\"trials\":";
+  append_u64(out, dns.trials);
+  out += ",\"resolution_availability\":";
+  append_stats(out, dns.resolution_availability);
+  out += ",\"mean_letters_reachable\":";
+  append_stats(out, dns.mean_letters_reachable);
+  out += ",\"cable_loss_threshold_pct\":";
+  append_double(out, dns.cable_loss_threshold_pct);
+  out += ",\"degraded_trials\":";
+  append_u64(out, dns.degraded_trials);
+  out += ",\"heavy_loss_trials\":";
+  append_u64(out, dns.heavy_loss_trials);
+  out += ",\"joint_trials\":";
+  append_u64(out, dns.joint_trials);
+  out += '}';
+
+  out += ",\"isolation\":[";
+  first = true;
+  for (const analysis::CountryIsolationResult& country : isolation) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"country\":\"";
+    append_escaped(out, country.country);
+    out += "\",\"international_cables\":";
+    append_u64(out, country.international_cable_count);
+    out += ",\"trials\":";
+    append_u64(out, country.trials);
+    out += ",\"isolated_trials\":";
+    append_u64(out, country.isolated_trials);
+    out += ",\"surviving_cables\":";
+    append_stats(out, country.surviving_cables);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string serialize_sweep_body(const ScenarioRequest& req,
+                                 const sim::SweepResult& result) {
+  std::string out;
+  out.reserve(256 + 192 * result.points.size());
+  append_request_echo(out, req);
+  out += ",\"points\":[";
+  bool first = true;
+  for (const sim::SweepPointAggregate& point : result.points) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"p\":";
+    append_double(out, point.axis);
+    out += ",\"cables_failed_pct\":";
+    append_stats(out, point.cables_failed_pct);
+    out += ",\"nodes_unreachable_pct\":";
+    append_stats(out, point.nodes_unreachable_pct);
+    out += ",\"largest_component_pct\":";
+    append_stats(out, point.largest_component_pct);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string serialize_error_body(std::string_view message) {
+  std::string out = "{\"ok\":false,\"error\":\"";
+  append_escaped(out, message);
+  out += "\"}";
+  return out;
+}
+
+// --- service ----------------------------------------------------------------
+
+ServiceContext ServiceContext::from_world(const core::World& world) {
+  ServiceContext context;
+  context.submarine = &world.submarine();
+  context.intertubes = &world.intertubes();
+  context.itu = world.has_itu() ? &world.itu() : nullptr;
+  context.dns_roots = &world.dns_roots();
+  return context;
+}
+
+ScenarioService::ScenarioService(ServiceContext context,
+                                 ServiceOptions options)
+    : context_(context),
+      options_(std::move(options)),
+      cache_(options_.cache) {
+  if (context_.submarine == nullptr || context_.intertubes == nullptr ||
+      context_.dns_roots == nullptr) {
+    throw std::invalid_argument(
+        "ScenarioService: submarine, intertubes and dns_roots are required");
+  }
+  submarine_fp_ = context_.submarine->content_fingerprint();
+  intertubes_fp_ = context_.intertubes->content_fingerprint();
+  if (context_.itu != nullptr) itu_fp_ = context_.itu->content_fingerprint();
+
+  // Everything that shapes response bodies but lives in the service config
+  // rather than the request: the body format, the isolation country list,
+  // the data-center operator set, and the DNS root deployment.
+  util::Fingerprint salt(0x7372762d73616c74ULL);  // "srv-salt"
+  salt.fold_bytes("serve-body/v1");
+  salt.fold(options_.countries.size());
+  for (const std::string& country : options_.countries) {
+    salt.fold_bytes(country);
+  }
+  for (const auto op : {datasets::DataCenterOperator::kGoogle,
+                        datasets::DataCenterOperator::kFacebook}) {
+    salt.fold_bytes(datasets::to_string(op));
+  }
+  salt.fold(context_.dns_roots->size());
+  for (const datasets::DnsRootInstance& root : *context_.dns_roots) {
+    salt.fold(static_cast<std::uint64_t>(root.root_letter));
+    salt.fold_double(root.location.lat_deg);
+    salt.fold_double(root.location.lon_deg);
+  }
+  observer_salt_ = salt.value();
+}
+
+ScenarioService::~ScenarioService() = default;
+
+const topo::InfrastructureNetwork& ScenarioService::network_for(
+    const ScenarioRequest& req, std::uint64_t* fp) const {
+  if (req.network == "submarine") {
+    *fp = submarine_fp_;
+    return *context_.submarine;
+  }
+  if (req.network == "intertubes") {
+    *fp = intertubes_fp_;
+    return *context_.intertubes;
+  }
+  if (context_.itu == nullptr) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "this server was started without the ITU network",
+                      {"request", 0, "network"});
+  }
+  *fp = itu_fp_;
+  return *context_.itu;
+}
+
+Body ScenarioService::handle_line(std::string_view line,
+                                  RequestScratch& scratch) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    parse_request(line, scratch.request);
+    return handle(scratch.request, scratch);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return make_body(serialize_error_body(e.what()));
+  }
+}
+
+Body ScenarioService::handle(const ScenarioRequest& request,
+                             RequestScratch& scratch) {
+  switch (request.kind) {
+    case RequestKind::kStats:
+      return stats_body();
+    case RequestKind::kShutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      static const Body body =
+          make_body("{\"ok\":true,\"cmd\":\"shutdown\"}");
+      return body;
+    }
+    case RequestKind::kReport:
+    case RequestKind::kSweep:
+      break;
+  }
+  std::uint64_t fp = 0;
+  network_for(request, &fp);  // validates the network choice up front
+  build_cache_key(request, fp, observer_salt_, scratch.cache_key);
+  return cached_or_compute(request, scratch);
+}
+
+Body ScenarioService::cached_or_compute(const ScenarioRequest& req,
+                                        RequestScratch& scratch) {
+  const std::string_view key(scratch.cache_key.data());
+  if (Body hit = cache_.lookup(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Miss path (allocations fine from here on): coalesce concurrent
+  // identical requests onto one computation.
+  std::shared_future<Body> future;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    // A leader may have inserted between our lookup and this lock.
+    if (Body hit = cache_.lookup(key)) return hit;
+    const auto it = inflight_.find(std::string(key));
+    if (it != inflight_.end()) {
+      future = it->second.future;
+    } else {
+      leader = true;
+      auto promise = std::make_shared<std::promise<Body>>();
+      future = promise->get_future().share();
+      inflight_.emplace(std::string(key),
+                        InFlight{std::move(promise), future});
+    }
+  }
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return future.get();  // rethrows the leader's exception, if any
+  }
+
+  Body body;
+  try {
+    body = compute(req);
+  } catch (...) {
+    std::shared_ptr<std::promise<Body>> promise;
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const auto it = inflight_.find(std::string(key));
+      promise = it->second.promise;
+      inflight_.erase(it);
+    }
+    promise->set_exception(std::current_exception());
+    throw;
+  }
+
+  // Insert into the cache BEFORE retiring the in-flight entry: at every
+  // instant a concurrent identical request finds the result in at least
+  // one of the two, so no third computation can start.
+  cache_.insert(key, body);
+  std::shared_ptr<std::promise<Body>> promise;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(std::string(key));
+    promise = it->second.promise;
+    inflight_.erase(it);
+  }
+  promise->set_value(body);
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  return body;
+}
+
+Body ScenarioService::compute(const ScenarioRequest& req) {
+  std::uint64_t fp = 0;
+  const topo::InfrastructureNetwork& net = network_for(req, &fp);
+  if (req.kind == RequestKind::kSweep) return compute_sweep(req, net);
+  return compute_report(req, net);
+}
+
+Body ScenarioService::compute_report(const ScenarioRequest& req,
+                                     const topo::InfrastructureNetwork& net) {
+  util::ByteWriter key_writer;
+  std::uint64_t fp = 0;
+  network_for(req, &fp);
+  build_engine_key(req, fp, observer_salt_, key_writer);
+  const std::string engine_key = key_writer.take();
+
+  std::unique_ptr<ReportEngine> engine;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto& pool = report_pool_[engine_key];
+    if (!pool.empty()) {
+      engine = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+  if (!engine) {
+    // Built outside the pool lock: a slow scenario build must not stall
+    // unrelated requests acquiring their own engines.
+    engine = std::make_unique<ReportEngine>(net, *context_.dns_roots, req,
+                                            options_);
+  }
+
+  Body body;
+  try {
+    engine->pipeline.run(req.trials, req.seed, options_.threads);
+    body = make_body(serialize_report_body(
+        req, engine->connectivity.result(), engine->google.result(),
+        engine->facebook.result(), engine->dns.result(),
+        engine->isolation.results()));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    report_pool_[engine_key].push_back(std::move(engine));
+    throw;
+  }
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  report_pool_[engine_key].push_back(std::move(engine));
+  return body;
+}
+
+Body ScenarioService::compute_sweep(const ScenarioRequest& req,
+                                    const topo::InfrastructureNetwork& net) {
+  util::ByteWriter key_writer;
+  std::uint64_t fp = 0;
+  network_for(req, &fp);
+  build_engine_key(req, fp, observer_salt_, key_writer);
+  const std::string engine_key = key_writer.take();
+
+  std::unique_ptr<SweepEngineEntry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto& pool = sweep_pool_[engine_key];
+    if (!pool.empty()) {
+      entry = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+  if (!entry) {
+    entry = std::make_unique<SweepEngineEntry>(net, req, options_);
+  }
+
+  Body body;
+  try {
+    const sim::SweepResult result =
+        entry->engine.run(req.trials, req.seed, options_.threads);
+    body = make_body(serialize_sweep_body(req, result));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    sweep_pool_[engine_key].push_back(std::move(entry));
+    throw;
+  }
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  sweep_pool_[engine_key].push_back(std::move(entry));
+  return body;
+}
+
+Body ScenarioService::stats_body() const {
+  const Stats s = stats();
+  std::string out = "{\"ok\":true,\"cmd\":\"stats\",\"requests\":";
+  append_u64(out, s.requests);
+  out += ",\"cache_hits\":";
+  append_u64(out, s.cache_hits);
+  out += ",\"cache_misses\":";
+  append_u64(out, s.cache_misses);
+  out += ",\"coalesced\":";
+  append_u64(out, s.coalesced);
+  out += ",\"computed\":";
+  append_u64(out, s.computed);
+  out += ",\"errors\":";
+  append_u64(out, s.errors);
+  out += ",\"cache_bytes\":";
+  append_u64(out, s.cache.bytes);
+  out += ",\"cache_entries\":";
+  append_u64(out, s.cache.entries);
+  out += ",\"cache_evictions\":";
+  append_u64(out, s.cache.evictions);
+  out += '}';
+  return make_body(std::move(out));
+}
+
+ScenarioService::Stats ScenarioService::stats() const {
+  Stats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.cache_hits = hits_.load(std::memory_order_relaxed);
+  out.cache_misses = misses_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.computed = computed_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace solarnet::server

@@ -1,0 +1,169 @@
+#include "server/serve_loop.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/scenario_service.h"
+#include "util/status.h"
+
+namespace solarnet::server {
+
+namespace {
+
+std::string_view strip_cr(std::string_view line) noexcept {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+[[noreturn]] void io_fail(const char* what, const std::string& path) {
+  throw util::Error(util::ErrorCode::kIoError,
+                    std::string(what) + ": " + std::strerror(errno), {path});
+}
+
+// MSG_NOSIGNAL so a client that hung up turns into a send error on this
+// connection instead of a SIGPIPE for the whole server.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+// Open connection fds, so a shutdown request on one connection can unblock
+// every other connection thread sitting in recv().
+struct ConnectionRegistry {
+  std::mutex mutex;
+  std::vector<int> fds;
+
+  void add(int fd) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    fds.push_back(fd);
+  }
+  void remove(int fd) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+  }
+  void shutdown_all() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+void connection_loop(ScenarioService& service, int fd, int listen_fd,
+                     ConnectionRegistry& registry) {
+  RequestScratch scratch;
+  std::string buffer;
+  char chunk[4096];
+  bool saw_shutdown = false;
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // hangup, error, or shutdown_all()
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string_view line =
+        strip_cr(std::string_view(buffer.data(), newline));
+    if (!line.empty()) {
+      const Body body = service.handle_line(line, scratch);
+      if (!send_all(fd, *body) || !send_all(fd, "\n")) break;
+    }
+    buffer.erase(0, newline + 1);
+    if (service.shutdown_requested()) {
+      saw_shutdown = true;
+      break;
+    }
+  }
+  registry.remove(fd);
+  ::close(fd);
+  if (saw_shutdown) {
+    // Unblock the accept loop and every sibling connection. shutdown() on
+    // the listener makes pending/future accept() calls fail immediately.
+    ::shutdown(listen_fd, SHUT_RDWR);
+    registry.shutdown_all();
+  }
+}
+
+}  // namespace
+
+std::size_t serve_stdin(ScenarioService& service, std::istream& in,
+                        std::ostream& out) {
+  RequestScratch scratch;
+  std::string line;
+  std::size_t handled = 0;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = strip_cr(line);
+    if (stripped.empty()) continue;
+    const Body body = service.handle_line(stripped, scratch);
+    out << *body << '\n';
+    out.flush();
+    ++handled;
+    if (service.shutdown_requested()) break;
+  }
+  return handled;
+}
+
+void serve_unix_socket(ScenarioService& service, const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "socket path must be 1.." +
+                          std::to_string(sizeof(addr.sun_path) - 1) +
+                          " characters",
+                      {path});
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) io_fail("socket", path);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd);
+    errno = saved;
+    io_fail("bind", path);
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const int saved = errno;
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    io_fail("listen", path);
+  }
+
+  ConnectionRegistry registry;
+  std::vector<std::thread> threads;
+  while (!service.shutdown_requested()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down by a connection thread, or fatal
+    }
+    registry.add(fd);
+    threads.emplace_back([&service, fd, listen_fd, &registry] {
+      connection_loop(service, fd, listen_fd, registry);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+}
+
+}  // namespace solarnet::server

@@ -1,0 +1,35 @@
+// Front ends for ScenarioService: newline-delimited JSON over stdin/stdout
+// or over a Unix-domain stream socket. Both speak the same protocol — one
+// request object per line in, one response object per line out — and both
+// run until the service's shutdown flag is raised (or, for stdin, EOF).
+//
+// The socket front end is thread-per-connection: connections are expected
+// to be few (local analysis tools, notebooks), and the service itself is
+// what bounds throughput — requests coalesce and cache inside it, so many
+// connections asking the same questions cost one computation.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace solarnet::server {
+
+class ScenarioService;
+
+// Reads request lines from `in`, writes one response line per request to
+// `out` (flushed after each, so a driving process can pipeline). Returns
+// when `in` hits EOF or a shutdown request is served. Returns the number
+// of lines handled.
+std::size_t serve_stdin(ScenarioService& service, std::istream& in,
+                        std::ostream& out);
+
+// Listens on a Unix-domain stream socket at `path` (an existing socket
+// file is unlinked first; the file is removed again on return). Serves
+// until a shutdown request arrives on any connection, then drains: the
+// listener stops accepting, open connections are shut down, worker threads
+// joined. Throws util::Error(kIoError) on socket setup failure and
+// util::Error(kInvalidArgument) when `path` does not fit sockaddr_un.
+void serve_unix_socket(ScenarioService& service, const std::string& path);
+
+}  // namespace solarnet::server

@@ -6,8 +6,8 @@
 
 #include "util/checkpoint.h"
 #include "util/fault_injection.h"
+#include "util/fingerprint.h"
 #include "util/parallel.h"
-#include "util/rng.h"
 
 namespace solarnet::sim {
 
@@ -31,23 +31,17 @@ void CampaignRunner::add_observer(CheckpointableObserver& observer) {
 
 std::uint64_t CampaignRunner::fingerprint(const CampaignOptions& options,
                                           std::size_t chunks) const {
-  std::uint64_t acc = 0x534e4350ULL;  // "SNCP"
-  const auto fold = [&acc](std::uint64_t v) {
-    util::SplitMix64 sm(acc ^ v);
-    acc = sm.next();
-  };
-  fold(options.trials);
-  fold(options.seed);
-  fold(TrialPipeline::kTrialChunk);
-  fold(chunks);
-  fold(pipeline_.network().cable_count());
-  fold(pipeline_.network().connected_node_count());
+  util::Fingerprint fp(0x534e4350ULL);  // "SNCP"
+  fp.fold(options.trials);
+  fp.fold(options.seed);
+  fp.fold(TrialPipeline::kTrialChunk);
+  fp.fold(chunks);
+  fp.fold(pipeline_.network().cable_count());
+  fp.fold(pipeline_.network().connected_node_count());
   for (const CheckpointableObserver* observer : observers_) {
-    const std::string id = observer->checkpoint_id();
-    fold(id.size());
-    fold(util::crc32(id));
+    fp.fold_bytes(observer->checkpoint_id());
   }
-  return acc;
+  return fp.value();
 }
 
 std::string CampaignRunner::serialize(const CampaignOptions& options,

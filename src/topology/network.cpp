@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "geo/distance.h"
+#include "util/fingerprint.h"
 
 namespace solarnet::topo {
 
@@ -70,6 +71,7 @@ InfrastructureNetwork InfrastructureNetwork::clone_with_extra_cables(
 void InfrastructureNetwork::invalidate_csr() {
   const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
   csr_cache_.ptr.reset();
+  csr_cache_.fingerprint_valid = false;
 }
 
 const graph::Csr& InfrastructureNetwork::csr() const {
@@ -80,11 +82,45 @@ const graph::Csr& InfrastructureNetwork::csr() const {
   return *csr_cache_.ptr;
 }
 
+std::uint64_t InfrastructureNetwork::content_fingerprint() const {
+  const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
+  if (csr_cache_.fingerprint_valid) return csr_cache_.fingerprint;
+  util::Fingerprint fp(0x736e2d6e657477ULL);  // "sn-netw"
+  fp.fold(nodes_.size());
+  for (const Node& n : nodes_) {
+    fp.fold_bytes(n.name);
+    fp.fold_double(n.location.lat_deg);
+    fp.fold_double(n.location.lon_deg);
+    fp.fold_bytes(n.country_code);
+    fp.fold(static_cast<std::uint64_t>(n.kind));
+    fp.fold(n.coords_authoritative ? 1 : 0);
+  }
+  fp.fold(cables_.size());
+  for (const Cable& c : cables_) {
+    fp.fold_bytes(c.name);
+    fp.fold(static_cast<std::uint64_t>(c.kind));
+    fp.fold(c.length_known ? 1 : 0);
+    fp.fold(c.segments.size());
+    for (const CableSegment& s : c.segments) {
+      fp.fold(s.a);
+      fp.fold(s.b);
+      fp.fold_double(s.length_km);
+    }
+  }
+  csr_cache_.fingerprint = fp.value();
+  csr_cache_.fingerprint_valid = true;
+  return csr_cache_.fingerprint;
+}
+
 void InfrastructureNetwork::set_cable_length_known(CableId id, bool known) {
   if (id >= cables_.size()) {
     throw std::out_of_range("network: set_cable_length_known");
   }
   cables_[id].length_known = known;
+  // The graph is unchanged (no CSR invalidation needed) but the content
+  // digest covers length_known, so drop the cached fingerprint.
+  const std::lock_guard<std::mutex> lock(csr_cache_.mutex);
+  csr_cache_.fingerprint_valid = false;
 }
 
 const Node& InfrastructureNetwork::node(NodeId id) const {

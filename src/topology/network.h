@@ -69,6 +69,14 @@ class InfrastructureNetwork {
   // graph/traversal.h) traverse; build it (by calling this once) before
   // fanning trial workers out over the network.
   const graph::Csr& csr() const;
+  // Order-sensitive 64-bit digest of the network's content: every node
+  // (name, coordinates, country, kind, authoritativeness) and cable (name,
+  // kind, segments with exact length bits, length_known) in id order. Two
+  // networks with equal fingerprints are, for fingerprinting purposes, the
+  // same scenario substrate — the server's result cache keys on this
+  // instead of the (non-identifying) network name. Computed lazily and
+  // cached; add_node / add_cable / set_cable_length_known invalidate it.
+  std::uint64_t content_fingerprint() const;
   CableId cable_of_edge(graph::EdgeId e) const;
   const std::vector<graph::EdgeId>& edges_of_cable(CableId c) const;
 
@@ -117,24 +125,29 @@ class InfrastructureNetwork {
   graph::Graph graph_;
   std::vector<CableId> edge_to_cable_;
   std::vector<std::vector<graph::EdgeId>> cable_to_edges_;
-  // Lazily built CSR snapshot of graph_, rebuilt on demand after
-  // add_node/add_cable invalidate it. The cache (not the network) carries
-  // the mutex, with copy/move defined to drop the cached snapshot, so the
-  // network stays movable and a copied network rebuilds its own CSR.
+  // Lazily built CSR snapshot of graph_ plus the cached content
+  // fingerprint, rebuilt on demand after mutation invalidates them. The
+  // cache (not the network) carries the mutex, with copy/move defined to
+  // drop the cached state, so the network stays movable and a copied
+  // network rebuilds its own CSR and fingerprint.
   struct CsrCache {
     CsrCache() = default;
     CsrCache(const CsrCache&) noexcept {}
     CsrCache(CsrCache&&) noexcept {}
     CsrCache& operator=(const CsrCache&) noexcept {
       ptr.reset();
+      fingerprint_valid = false;
       return *this;
     }
     CsrCache& operator=(CsrCache&&) noexcept {
       ptr.reset();
+      fingerprint_valid = false;
       return *this;
     }
     std::mutex mutex;
     std::shared_ptr<const graph::Csr> ptr;
+    std::uint64_t fingerprint = 0;
+    bool fingerprint_valid = false;
   };
   mutable CsrCache csr_cache_;
 };

@@ -43,6 +43,10 @@ class ByteWriter {
   std::size_t size() const noexcept { return buffer_.size(); }
   const std::string& data() const noexcept { return buffer_; }
   std::string take() { return std::move(buffer_); }
+  // Empties the buffer but keeps its capacity, so a writer reused as
+  // per-request scratch (the server's cache-key builder) stops allocating
+  // once warm.
+  void clear() noexcept { buffer_.clear(); }
 
  private:
   std::string buffer_;

@@ -1,0 +1,60 @@
+// Order-sensitive 64-bit configuration fingerprints.
+//
+// A Fingerprint folds a sequence of values through SplitMix64 so that any
+// change to the sequence (a different value, a reordering, an insertion)
+// almost surely changes the digest. It exists to *reject mismatches* —
+// a checkpoint applied to a different campaign, a cached result served for
+// a different network — not to deduplicate adversarial inputs: callers
+// that need collision-freedom (the server's result cache) store the full
+// canonical encoding and use the fingerprint only for bucketing.
+//
+// Shared by sim::CampaignRunner (checkpoint identity),
+// topo::InfrastructureNetwork::content_fingerprint (network content hash),
+// and the server's cache-key machinery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace solarnet::util {
+
+class Fingerprint {
+ public:
+  // `salt` separates fingerprint domains: two folds of the same sequence
+  // under different salts are unrelated.
+  explicit Fingerprint(std::uint64_t salt) noexcept : acc_(salt) {}
+
+  void fold(std::uint64_t v) noexcept {
+    SplitMix64 sm(acc_ ^ v);
+    acc_ = sm.next();
+  }
+
+  // IEEE-754 bit pattern, so -0.0 vs 0.0 and NaN payloads all count.
+  void fold_double(double v) noexcept { fold(std::bit_cast<std::uint64_t>(v)); }
+
+  // Length-prefixed byte fold: "ab" + "c" and "a" + "bc" digest differently.
+  void fold_bytes(std::string_view s) noexcept {
+    fold(s.size());
+    std::uint64_t word = 0;
+    unsigned filled = 0;
+    for (const unsigned char ch : s) {
+      word = (word << 8) | ch;
+      if (++filled == 8) {
+        fold(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) fold(word);
+  }
+
+  std::uint64_t value() const noexcept { return acc_; }
+
+ private:
+  std::uint64_t acc_;
+};
+
+}  // namespace solarnet::util

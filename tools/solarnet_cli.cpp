@@ -28,6 +28,8 @@
 #include "datasets/submarine.h"
 #include "gic/timeline.h"
 #include "recovery/repair.h"
+#include "server/scenario_service.h"
+#include "server/serve_loop.h"
 #include "solar/cycle.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -55,6 +57,7 @@ commands:
                --s1 | --s2 | --uniform P (s1) | --storm NAME
                --spacing KM (150)  --trials N (10)  --seed N (7)
                --threads N (auto; aggregates are thread-count independent)
+               --engine auto|scalar (auto; bit-identical results either way)
                --quorum N (2)  --dns-threshold PCT (10)
                --checkpoint PATH (crash-safe campaign: checkpoint the
                  Monte-Carlo pass to PATH and resume from it bit-identically)
@@ -69,7 +72,13 @@ commands:
                --grid P1,P2,... (paper grid 0.001..1)
                --network submarine|intertubes|itu (submarine)
                --spacing KM (150)  --trials N (10)  --seed N (1859)
-               --threads N (auto)
+               --threads N (auto)  --engine auto|scalar (auto)
+  serve      resident scenario server: keeps the networks, repeater
+             layouts and evaluators hot and answers NDJSON requests from
+             a content-addressed result cache (request schema and cache
+             semantics in docs/MODULES.md)
+               --socket PATH (unix stream socket) | default: stdin/stdout
+               --cache-mb N (64)  --threads N (auto)
   mitigate   evaluate a defense package (§5)
                --cables N (2)  --lead-hours H (13)
   timeline   time-resolved expected damage during the storm
@@ -117,12 +126,21 @@ int cmd_risk(const Args& args) {
   return 0;
 }
 
+sim::TrialEngine engine_from_args(const Args& args) {
+  const std::string name = args.get_or("engine", "auto");
+  if (name == "auto") return sim::TrialEngine::kAuto;
+  if (name == "scalar") return sim::TrialEngine::kScalar;
+  throw std::invalid_argument("unknown engine '" + name +
+                              "' (auto|scalar)");
+}
+
 core::ScenarioOptions options_from_args(const Args& args) {
   core::ScenarioOptions opts;
   opts.repeater_spacing_km = args.get_double_or("spacing", 150.0);
   opts.trials = args.get_trials_or(10);
   // 0 = hardware concurrency; results do not depend on the thread count.
   opts.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  opts.engine = engine_from_args(args);
   return opts;
 }
 
@@ -259,6 +277,7 @@ int cmd_sweep(const Args& args) {
   sim::TrialConfig cfg;
   cfg.repeater_spacing_km = args.get_double_or("spacing", 150.0);
   cfg.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  cfg.engine = engine_from_args(args);
   const sim::FailureSimulator simulator(net, cfg);
   std::vector<double> grid;
   if (args.has("grid")) {
@@ -287,6 +306,43 @@ int cmd_sweep(const Args& args) {
                util::format_fixed(pt.nodes_unreachable_sd_pct, 1)});
   }
   t.print(std::cout);
+  return 0;
+}
+
+// Long-lived scenario server. The expensive state (the generated World
+// with its three networks, the repeater layouts and resolved evaluators
+// that accumulate in the service's engine pools) is built once; requests
+// are newline-delimited JSON answered through the content-addressed result
+// cache. Protocol notes go to stderr so stdout stays pure NDJSON in
+// --stdin mode.
+int cmd_serve(const Args& args) {
+  core::WorldConfig world_cfg;
+  world_cfg.build_population = false;  // no served request needs these two
+  world_cfg.build_routers = false;
+  const core::World world = core::World::generate(world_cfg);
+
+  server::ServiceOptions opts;
+  opts.cache.byte_budget =
+      static_cast<std::size_t>(args.get_int_or("cache-mb", 64)) << 20;
+  opts.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  server::ScenarioService service(server::ServiceContext::from_world(world),
+                                  opts);
+
+  if (args.has("socket")) {
+    const std::string path = args.get_or("socket", "");
+    std::cerr << "solarnet serve: listening on unix socket " << path
+              << " (send {\"cmd\":\"shutdown\"} to stop)\n";
+    server::serve_unix_socket(service, path);
+  } else {
+    std::cerr << "solarnet serve: reading NDJSON requests from stdin "
+                 "(--socket PATH for a socket)\n";
+    server::serve_stdin(service, std::cin, std::cout);
+  }
+  const server::ScenarioService::Stats stats = service.stats();
+  std::cerr << "solarnet serve: " << stats.requests << " requests, "
+            << stats.cache_hits << " cache hits, " << stats.computed
+            << " computed, " << stats.coalesced << " coalesced, "
+            << stats.errors << " errors\n";
   return 0;
 }
 
@@ -367,6 +423,7 @@ int run(int argc, char** argv) {
   if (cmd == "plan") return cmd_plan(args);
   if (cmd == "repair") return cmd_repair(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "mitigate") return cmd_mitigate(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "export") return cmd_export(args);
