@@ -110,6 +110,23 @@ std::string ResilienceReport::render() const {
     t.print(os);
   }
 
+  if (!traffic.empty()) {
+    util::print_banner(os, "Post-failure traffic routing (shared-draw "
+                           "Monte-Carlo)");
+    util::TextTable t({"network", "pairs", "offered Tbps", "delivered %",
+                       "sd", "stranded Gbps", "max util", "overloaded"});
+    for (const routing::TrafficSweep& s : traffic) {
+      t.add_row({s.network, std::to_string(s.demand_pairs),
+                 util::format_fixed(s.offered_gbps / 1000.0, 1),
+                 mean_cell(s.delivered_fraction, 100.0, 1),
+                 sd_cell(s.delivered_fraction, 100.0, 1),
+                 mean_cell(s.stranded_gbps, 1.0, 1),
+                 mean_cell(s.max_utilization, 1.0, 2),
+                 mean_cell(s.overloaded_cables, 1.0, 1)});
+    }
+    t.print(os);
+  }
+
   if (has_dns_resolution) {
     util::print_banner(os, "DNS root resolution (shared-draw Monte-Carlo)");
     os << "trials: " << dns_resolution.trials << ", resolution availability: "

@@ -11,6 +11,7 @@
 #include "analysis/dns_resolution.h"
 #include "analysis/lengths.h"
 #include "analysis/systems.h"
+#include "routing/traffic_observer.h"
 #include "services/availability.h"
 
 namespace solarnet::analysis {
@@ -35,6 +36,10 @@ struct ResilienceReport {
   std::vector<CountryIsolationResult> country_isolation;
   DnsResolutionSweep dns_resolution;
   bool has_dns_resolution = false;
+  // Post-failure traffic routing (§5.5 cross-layer impact): per-trial
+  // demand-matrix assignment over the same shared draws. Empty when the
+  // scenario runs without --traffic.
+  std::vector<routing::TrafficSweep> traffic;
 
   // Renders a human-readable multi-section text report.
   std::string render() const;

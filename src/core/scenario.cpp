@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <iostream>
 
+#include <memory>
+
 #include "analysis/country.h"
 #include "analysis/dns_resolution.h"
 #include "datasets/datacenters.h"
+#include "routing/demand.h"
+#include "routing/traffic_observer.h"
 #include "services/availability.h"
 #include "sim/campaign.h"
 #include "sim/monte_carlo.h"
@@ -81,9 +85,26 @@ analysis::ResilienceReport ScenarioRunner::run(
         options.dns_cable_loss_threshold_pct);
     analysis::CountryIsolationObserver isolation(world_.submarine(),
                                                  options.countries);
-    sim::CheckpointableObserver* observers[] = {&connectivity, &google,
-                                                &facebook, &dns_resolution,
-                                                &isolation};
+    std::vector<sim::CheckpointableObserver*> observers = {
+        &connectivity, &google, &facebook, &dns_resolution, &isolation};
+
+    // Optional traffic-routing observer: shares the same draws and the
+    // same per-trial component decomposition as every metric above.
+    std::unique_ptr<routing::TrafficEngine> traffic_engine;
+    std::unique_ptr<routing::TrafficObserver> traffic_observer;
+    if (options.traffic) {
+      std::vector<routing::TrafficDemand> demands =
+          options.traffic_demand_pairs == 0
+              ? routing::gravity_demands(world_.submarine())
+              : routing::sampled_node_demands(world_.submarine(),
+                                              options.traffic_demand_pairs,
+                                              400.0, options.seed);
+      traffic_engine = std::make_unique<routing::TrafficEngine>(
+          world_.submarine(), std::move(demands));
+      traffic_observer =
+          std::make_unique<routing::TrafficObserver>(*traffic_engine);
+      observers.push_back(traffic_observer.get());
+    }
 
     if (options.checkpoint_path.empty()) {
       for (sim::CheckpointableObserver* o : observers) {
@@ -131,6 +152,9 @@ analysis::ResilienceReport ScenarioRunner::run(
     report.dns_resolution = dns_resolution.result();
     report.has_dns_resolution = true;
     report.country_isolation = isolation.results();
+    if (traffic_observer) {
+      report.traffic.push_back(traffic_observer->result());
+    }
 
     // Analytic country connectivity (exact products, no Monte-Carlo noise)
     // from the same simulator — the observed isolation rates above converge

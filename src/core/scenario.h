@@ -37,6 +37,17 @@ struct ScenarioOptions {
   // Threshold for the DNS joint statistic: P(resolution degraded AND more
   // than this % of cables lost) within the same trial.
   double dns_cable_loss_threshold_pct = 10.0;
+  // Add the post-failure traffic routing observer to the submarine pass
+  // (report section "Post-failure traffic routing"): every trial routes a
+  // demand matrix over the surviving topology via routing::TrafficEngine.
+  // Off by default — routing a matrix per trial costs one SSSP tree per
+  // distinct demand source.
+  bool traffic = false;
+  // Demand matrix for the traffic observer: 0 routes the deterministic
+  // gravity matrix (routing::gravity_demands); N > 0 routes N sampled
+  // demand entries (routing::sampled_node_demands with this scenario's
+  // seed) — the stress-scale knob behind the CLI's --demand-pairs.
+  std::size_t traffic_demand_pairs = 0;
   // Non-empty: run the submarine Monte-Carlo pass through a
   // sim::CampaignRunner that checkpoints to this path and resumes from it
   // (bit-identically) when the file already holds a compatible partial

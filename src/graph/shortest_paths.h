@@ -1,0 +1,66 @@
+// Scratch-based shortest-path trees over a Csr: the batched routing kernel.
+//
+// graph::dijkstra (traversal.h) allocates its ShortestPaths result and a
+// fresh priority queue on every call, which is fine for one-shot analyses
+// but hopeless inside a Monte-Carlo trial loop that needs one SSSP tree per
+// gateway per trial. This kernel follows the ComponentScratch discipline:
+// all working storage (distance/parent arrays plus the binary-heap vector)
+// lives in a reusable RoutingScratch, one instance per worker thread, so
+// the steady-state cost of a tree build is zero heap allocations.
+//
+// Determinism/equivalence contract: for any (graph, mask, source) the tree
+// produced here is bit-identical to graph::dijkstra on the same graph —
+// same distances, same parent and parent_edge choices. That holds because
+// the kernel replicates dijkstra's exact mechanics: a min-heap of
+// (distance, vertex) pairs ordered by std::greater<> (std::push_heap /
+// std::pop_heap — the same algorithms std::priority_queue runs), the same
+// stale-entry skip, the same strict-< relaxation, and the Csr's adjacency
+// order, which matches Graph::incident() half-edge for half-edge. The
+// bench (bench/perf_routing.cpp) gates this equivalence on the seed
+// network; tests/graph/shortest_paths_test.cpp property-checks it on
+// random graphs and masks.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/graph.h"
+
+namespace solarnet::graph {
+
+// Reusable working storage for shortest_path_tree / shortest_path_to. The
+// output arrays double as working state, so the tree is read directly from
+// the scratch after the call. One instance per worker thread.
+struct RoutingScratch {
+  std::vector<double> distance;     // kUnreachable when not reachable
+  std::vector<EdgeId> parent_edge;  // kInvalidEdge at source/unreachable
+  std::vector<VertexId> parent;     // kInvalidVertex at source/unreachable
+  std::vector<std::pair<double, VertexId>> heap;
+};
+
+// Builds the full shortest-path tree from `source` over the masked
+// subgraph into `scratch` (arrays resized to the vertex count; heap left
+// empty). `edge_weight[e]` is the length of Csr edge e — the Csr itself
+// stores no weights, so callers snapshot them once (see
+// routing::TrafficEngine). A dead or unmasked source yields an
+// all-unreachable tree, matching graph::dijkstra. Throws
+// std::invalid_argument when the source is out of range or edge_weight
+// does not cover every edge. Allocation-free once the scratch is warm.
+void shortest_path_tree(const Csr& csr, std::span<const double> edge_weight,
+                        const AliveMask& mask, VertexId source,
+                        RoutingScratch& scratch);
+
+// Early-exit variant: stops as soon as `target` is settled (its distance
+// and parent chain are final — everything nearer is settled first), leaving
+// the rest of the arrays in a partially-explored state that callers must
+// not read beyond the target's parent chain. Returns true when the target
+// is reachable. Same validation and determinism rules as
+// shortest_path_tree: the settled prefix is bit-identical to the full
+// tree's.
+bool shortest_path_to(const Csr& csr, std::span<const double> edge_weight,
+                      const AliveMask& mask, VertexId source, VertexId target,
+                      RoutingScratch& scratch);
+
+}  // namespace solarnet::graph

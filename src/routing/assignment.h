@@ -4,13 +4,32 @@
 // one region shift load onto surviving cables elsewhere ("when all
 // submarine cables connecting to NY fail, there will be significant shifts
 // in BGP paths and potential overload in Internet cables in California").
+//
+// The engine is batched: construction groups the demand matrix by source
+// (ascending source id, original order within a source) and snapshots the
+// per-edge weights and per-cable capacities, so routing a failure draw
+// costs one scratch-based SSSP tree per distinct source
+// (graph::shortest_path_tree) with every demand sharing that source
+// assigned off the same tree. The hot assign() overload writes into
+// caller-owned TrafficScratch + AssignmentResult and performs zero heap
+// allocations once they are warm — this is what lets
+// routing::TrafficObserver route the full matrix on every Monte-Carlo
+// trial. When the caller also has the trial's component decomposition
+// (sim::TrialPipeline computes one per draw), demands whose endpoints fall
+// in different components are counted as stranded without touching the
+// SSSP kernel, and sources with no surviving demand skip their tree
+// entirely.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "graph/components.h"
+#include "graph/shortest_paths.h"
 #include "routing/capacity.h"
 #include "routing/demand.h"
 #include "topology/network.h"
+#include "util/bitset.h"
 
 namespace solarnet::routing {
 
@@ -37,18 +56,46 @@ struct AssignmentResult {
   }
 };
 
+// Reusable per-worker working storage for the hot assign() path: the SSSP
+// scratch plus a mask rebuilt in place per draw. Allocation-free once warm.
+struct TrafficScratch {
+  graph::RoutingScratch sssp;
+  graph::AliveMask mask;
+};
+
 class TrafficEngine {
  public:
-  // The network must outlive the engine.
+  // The network must outlive the engine. Demand endpoints must be in
+  // range (throws std::out_of_range) and volumes finite and non-negative
+  // (throws std::invalid_argument); the capacity model is validated via
+  // validate(CapacityModel) — util::Error(kInvalidArgument) naming the
+  // offending field.
   TrafficEngine(const topo::InfrastructureNetwork& net,
                 std::vector<TrafficDemand> demands,
                 CapacityModel capacity = {});
 
+  const topo::InfrastructureNetwork& network() const noexcept { return net_; }
   const std::vector<TrafficDemand>& demands() const noexcept {
     return demands_;
   }
+  // Total offered load (sum of demand volumes).
+  double offered_gbps() const noexcept { return offered_gbps_; }
+  // Distinct demand sources — the number of SSSP trees a full assign costs.
+  std::size_t source_count() const noexcept { return sources_.size(); }
 
-  // Routes every demand on the shortest surviving path (by km).
+  // Routes every demand on the shortest surviving path (by km) into `out`,
+  // reusing `scratch`. `mask`, when non-null, must be the alive mask for
+  // this exact `cable_dead` (the pipeline already built it); null means
+  // assign builds it into scratch.mask. `components`, when non-null, must
+  // be the component decomposition of that mask — it short-circuits
+  // cross-component demands to stranded without running SSSP. Results are
+  // identical with or without the component fast path. Zero heap
+  // allocations once scratch and out are warm.
+  void assign(const util::Bitset& cable_dead, const graph::AliveMask* mask,
+              const graph::ComponentResult* components,
+              TrafficScratch& scratch, AssignmentResult& out) const;
+
+  // One-shot conveniences (allocate their result per call).
   AssignmentResult assign(const std::vector<bool>& cable_dead) const;
   AssignmentResult assign_baseline() const;  // no failures
 
@@ -58,6 +105,21 @@ class TrafficEngine {
   // short ones fill. Demand with no fitting path is blocked (counted in
   // undeliverable_gbps — the congestion analogue of disconnection).
   // Utilization never exceeds 1.
+  //
+  // Implementation note (PR 9): instead of one Dijkstra per *demand* over
+  // a demand-specific fit mask, the engine now builds one SSSP tree per
+  // distinct source over the failure mask and reuses it whenever the
+  // tree's path can absorb the whole demand; only demands whose tree path
+  // lacks residual fall back to the per-demand fit-mask search (with early
+  // exit at the destination). When shortest paths are unique this is
+  // exactly the historical per-demand result — delivered/blocked volumes,
+  // path lengths and per-cable loads all match bit for bit (the fallback
+  // runs the identical algorithm on the identical mask, and a feasible
+  // tree path is provably the fit-mask optimum). The one intentional
+  // semantic difference: when a demand has several *equal-length* shortest
+  // paths, the reused tree may charge a different one of them than the
+  // historical fit-mask search would have picked. bench/perf_routing.cpp
+  // gates the equivalence on the seed network.
   AssignmentResult assign_capacity_aware(
       const std::vector<bool>& cable_dead) const;
 
@@ -67,9 +129,23 @@ class TrafficEngine {
                                         const AssignmentResult& after);
 
  private:
+  // Demand indices of the s-th distinct source (ascending source order,
+  // original demand order within a source — the exact accumulation order
+  // of the historical per-source std::map loop, for bit-identity).
+  std::span<const std::uint32_t> demands_of_source(std::size_t s) const {
+    return {grouped_.data() + source_begin_[s],
+            grouped_.data() + source_begin_[s + 1]};
+  }
+
   const topo::InfrastructureNetwork& net_;
   std::vector<TrafficDemand> demands_;
   CapacityModel capacity_;
+  std::vector<topo::NodeId> sources_;        // ascending distinct sources
+  std::vector<std::uint32_t> source_begin_;  // sources_.size()+1 offsets
+  std::vector<std::uint32_t> grouped_;       // demand indices by source
+  std::vector<double> edge_weight_;          // per graph edge, in km
+  std::vector<double> capacity_gbps_;        // per cable
+  double offered_gbps_ = 0.0;
 };
 
 }  // namespace solarnet::routing

@@ -2,7 +2,37 @@
 
 #include <cmath>
 
+#include "util/status.h"
+
 namespace solarnet::routing {
+
+namespace {
+
+void require_finite_non_negative(double value, const char* field) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "CapacityModel: field must be finite and >= 0",
+                      util::SourceContext{{}, 0, field});
+  }
+}
+
+}  // namespace
+
+void validate(const CapacityModel& model) {
+  require_finite_non_negative(model.submarine_base_tbps,
+                              "submarine_base_tbps");
+  require_finite_non_negative(model.submarine_floor_tbps,
+                              "submarine_floor_tbps");
+  require_finite_non_negative(model.land_long_haul_tbps,
+                              "land_long_haul_tbps");
+  require_finite_non_negative(model.land_regional_tbps, "land_regional_tbps");
+  if (!std::isfinite(model.submarine_halving_length_km) ||
+      model.submarine_halving_length_km <= 0.0) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "CapacityModel: field must be finite and > 0",
+                      util::SourceContext{{}, 0, "submarine_halving_length_km"});
+  }
+}
 
 double CapacityModel::capacity_tbps(const topo::Cable& cable) const {
   switch (cable.kind) {

@@ -22,4 +22,12 @@ struct CapacityModel {
   double capacity_tbps(const topo::Cable& cable) const;
 };
 
+// Up-front validation (PR 6 error contract): every capacity finite and
+// non-negative, the halving length finite and strictly positive. Throws
+// util::Error(kInvalidArgument) with the offending field name in the
+// SourceContext, so a bad config names its own knob instead of surfacing
+// as NaN utilizations deep inside a campaign. TrafficEngine construction
+// calls this.
+void validate(const CapacityModel& model);
+
 }  // namespace solarnet::routing

@@ -6,11 +6,35 @@
 
 #include "geo/distance.h"
 #include "geo/regions.h"
+#include "util/rng.h"
+#include "util/status.h"
 
 namespace solarnet::routing {
 
+void validate(const DemandModelParams& params) {
+  if (params.gateways_per_continent < 1) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "DemandModelParams: need at least one gateway per "
+                      "continent",
+                      util::SourceContext{{}, 0, "gateways_per_continent"});
+  }
+  if (!std::isfinite(params.total_offered_tbps) ||
+      params.total_offered_tbps < 0.0) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "DemandModelParams: offered load must be finite and "
+                      ">= 0",
+                      util::SourceContext{{}, 0, "total_offered_tbps"});
+  }
+  if (!std::isfinite(params.distance_exponent)) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "DemandModelParams: deterrence exponent must be finite",
+                      util::SourceContext{{}, 0, "distance_exponent"});
+  }
+}
+
 std::vector<TrafficDemand> gravity_demands(
     const topo::InfrastructureNetwork& net, const DemandModelParams& params) {
+  validate(params);
   // 1. Pick gateways: per continent, the landing points with the most
   // cables.
   std::map<geo::Continent, std::vector<topo::NodeId>> by_continent;
@@ -54,6 +78,55 @@ std::vector<TrafficDemand> gravity_demands(
     const double scale =
         params.total_offered_tbps * 1000.0 / gravity_total;  // Tbps -> Gbps
     for (TrafficDemand& t : demands) t.gbps *= scale;
+  }
+  return demands;
+}
+
+std::vector<TrafficDemand> sampled_node_demands(
+    const topo::InfrastructureNetwork& net, std::size_t pairs,
+    double total_offered_tbps, std::uint64_t seed) {
+  if (!std::isfinite(total_offered_tbps) || total_offered_tbps < 0.0) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "sampled_node_demands: offered load must be finite and "
+                      ">= 0",
+                      util::SourceContext{{}, 0, "total_offered_tbps"});
+  }
+  if (pairs == 0) return {};
+
+  // Candidate endpoints: every cable-bearing node, weighted by degree.
+  std::vector<topo::NodeId> nodes;
+  std::vector<double> cumulative;  // running degree sum, for inversion
+  double total_weight = 0.0;
+  for (topo::NodeId n = 0; n < net.node_count(); ++n) {
+    const std::size_t degree = net.cables_at(n).size();
+    if (degree == 0) continue;
+    nodes.push_back(n);
+    total_weight += static_cast<double>(degree);
+    cumulative.push_back(total_weight);
+  }
+  if (nodes.size() < 2) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "sampled_node_demands: need >= 2 cable-bearing nodes",
+                      util::SourceContext{{}, 0, "pairs"});
+  }
+
+  util::Rng rng(seed);
+  const auto draw = [&]() -> topo::NodeId {
+    const double u = rng.uniform() * total_weight;
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    return nodes[std::min(i, nodes.size() - 1)];
+  };
+
+  const double gbps_each = total_offered_tbps * 1000.0 / double(pairs);
+  std::vector<TrafficDemand> demands;
+  demands.reserve(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const topo::NodeId src = draw();
+    topo::NodeId dst = draw();
+    while (dst == src) dst = draw();
+    demands.push_back({src, dst, gbps_each});
   }
   return demands;
 }

@@ -27,10 +27,33 @@ struct DemandModelParams {
   double distance_exponent = 0.5;
 };
 
+// Up-front validation (PR 6 error contract): gateways_per_continent >= 1,
+// total_offered_tbps finite and non-negative, distance_exponent finite.
+// Throws util::Error(kInvalidArgument) with the offending field name in
+// the SourceContext. gravity_demands calls this.
+void validate(const DemandModelParams& params);
+
 // Builds the demand matrix. Deterministic (no RNG): gateways are chosen by
-// descending cable degree (ties by node id).
+// descending cable degree (ties by node id), so the matrix is invariant
+// under node-id permutations whenever degrees are distinct.
 std::vector<TrafficDemand> gravity_demands(
     const topo::InfrastructureNetwork& net,
     const DemandModelParams& params = {});
+
+// Stress-scale demand matrix: `pairs` demand entries between cable-bearing
+// nodes, each endpoint drawn with probability proportional to its cable
+// degree (so the matrix concentrates on hubs, like the gravity model) and
+// src != dst per entry, with the offered load split evenly so the entries
+// sum to total_offered_tbps. Entries may repeat a node pair — the traffic
+// engine routes every entry individually, which is the point: this is how
+// the million-pair routing gate (ROADMAP item 5, bench/perf_routing)
+// offers more demand rows than the network has distinct node pairs.
+// Deterministic for a given (network, pairs, seed) via util::Rng(seed).
+// Throws util::Error(kInvalidArgument) when total_offered_tbps is not
+// finite/non-negative or when pairs > 0 and the network has fewer than two
+// cable-bearing nodes.
+std::vector<TrafficDemand> sampled_node_demands(
+    const topo::InfrastructureNetwork& net, std::size_t pairs,
+    double total_offered_tbps, std::uint64_t seed);
 
 }  // namespace solarnet::routing

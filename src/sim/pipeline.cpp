@@ -71,6 +71,7 @@ void TrialPipeline::run_trial(std::size_t trial, const util::Rng& base,
                 static_cast<double>(connected_nodes_)
           : 0.0;
   view.components = needs_components_ ? &scratch.components : nullptr;
+  view.mask = needs_components_ ? &scratch.mask : nullptr;
   view.rng = &rng;
   for (TrialObserver* observer : observers_) {
     observer->observe(view, worker, chunk);
@@ -198,6 +199,7 @@ void TrialPipeline::run_batched(std::size_t trials, const util::Rng& base,
         view.nodes_unreachable_pct = s.nodes_pct[lane];
         view.components =
             scalar_needs_components_ ? &s.scalar.components : nullptr;
+        view.mask = scalar_needs_components_ ? &s.scalar.mask : nullptr;
         view.rng = &s.batch.lane_rng[lane];
         const std::size_t chunk = first_chunk + lane / kTrialChunk;
         for (TrialObserver* observer : scalar_observers_) {

@@ -70,6 +70,12 @@ struct TrialView {
   // Masked component decomposition over the network's CSR; null when no
   // registered observer reports needs_components().
   const graph::ComponentResult* components = nullptr;
+  // The alive mask the components were decomposed over (all vertices
+  // alive, dead cables' edges dead — mask_for_failures). Non-null exactly
+  // when components is non-null; observers that traverse the masked graph
+  // (e.g. routing::TrafficObserver's SSSP trees) read it instead of
+  // rebuilding the mask from cable_dead.
+  const graph::AliveMask* mask = nullptr;
   // The trial's child rng after the failure draw. Observers that need
   // extra randomness derive independent substreams from it instead of
   // consuming the stream directly (which would couple observers).

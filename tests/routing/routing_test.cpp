@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "datasets/submarine.h"
 #include "routing/assignment.h"
 #include "routing/capacity.h"
 #include "routing/demand.h"
+#include "util/status.h"
 
 namespace solarnet::routing {
 namespace {
@@ -216,6 +222,256 @@ TEST_F(RoutingTest, CapacityAwareRespectsFailures) {
   const AssignmentResult r = engine.assign_capacity_aware(dead);
   EXPECT_DOUBLE_EQ(r.loads[atl_].load_gbps, 0.0);
   EXPECT_DOUBLE_EQ(r.loads[pacific_].load_gbps, 50.0);
+}
+
+// Expects `fn` to throw util::Error(kInvalidArgument) whose SourceContext
+// names `field`.
+template <typename Fn>
+void expect_rejects_field(Fn fn, const char* field) {
+  try {
+    fn();
+    FAIL() << "expected util::Error naming field " << field;
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(e.context().field, field);
+  }
+}
+
+TEST(CapacityModelValidation, RejectsBadFieldsByName) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_rejects_field(
+      [&] {
+        CapacityModel m;
+        m.submarine_base_tbps = -1.0;
+        validate(m);
+      },
+      "submarine_base_tbps");
+  expect_rejects_field(
+      [&] {
+        CapacityModel m;
+        m.submarine_floor_tbps = nan;
+        validate(m);
+      },
+      "submarine_floor_tbps");
+  expect_rejects_field(
+      [&] {
+        CapacityModel m;
+        m.land_long_haul_tbps = inf;
+        validate(m);
+      },
+      "land_long_haul_tbps");
+  expect_rejects_field(
+      [&] {
+        CapacityModel m;
+        m.land_regional_tbps = -0.5;
+        validate(m);
+      },
+      "land_regional_tbps");
+  expect_rejects_field(
+      [&] {
+        CapacityModel m;
+        m.submarine_halving_length_km = 0.0;  // division by zero downstream
+        validate(m);
+      },
+      "submarine_halving_length_km");
+  validate(CapacityModel{});  // defaults are valid
+}
+
+TEST_F(RoutingTest, EngineValidatesCapacityModel) {
+  CapacityModel bad;
+  bad.submarine_base_tbps = std::numeric_limits<double>::quiet_NaN();
+  expect_rejects_field(
+      [&] { TrafficEngine(net_, {{ny_, sg_, 1.0}}, bad); },
+      "submarine_base_tbps");
+}
+
+TEST(DemandParamsValidation, RejectsBadFieldsByName) {
+  expect_rejects_field(
+      [] {
+        DemandModelParams p;
+        p.gateways_per_continent = 0;
+        validate(p);
+      },
+      "gateways_per_continent");
+  expect_rejects_field(
+      [] {
+        DemandModelParams p;
+        p.total_offered_tbps = -400.0;
+        validate(p);
+      },
+      "total_offered_tbps");
+  expect_rejects_field(
+      [] {
+        DemandModelParams p;
+        p.distance_exponent = std::numeric_limits<double>::infinity();
+        validate(p);
+      },
+      "distance_exponent");
+  validate(DemandModelParams{});  // defaults are valid
+}
+
+TEST_F(RoutingTest, GravityDemandsValidateParams) {
+  DemandModelParams p;
+  p.total_offered_tbps = std::numeric_limits<double>::quiet_NaN();
+  expect_rejects_field([&] { gravity_demands(net_, p); },
+                       "total_offered_tbps");
+}
+
+TEST_F(RoutingTest, GravityHandlesFewerLandingNodesThanGateways) {
+  // Every continent here has a single landing node; asking for 10 per
+  // continent must take what exists, not read past the end.
+  DemandModelParams params;
+  params.gateways_per_continent = 10;
+  params.total_offered_tbps = 8.0;
+  const auto demands = gravity_demands(net_, params);
+  EXPECT_EQ(demands.size(), 6u);  // 4 gateways -> 6 pairs
+  double total = 0.0;
+  for (const TrafficDemand& d : demands) total += d.gbps;
+  EXPECT_NEAR(total, 8000.0, 1e-6);
+}
+
+TEST_F(RoutingTest, GravityIgnoresCablelessContinents) {
+  // A continent whose only node has no cables contributes zero gateways
+  // and must not perturb the matrix.
+  add_node("Nairobi", {-1.3, 36.8}, "KE");  // Africa, no cables
+  DemandModelParams params;
+  params.gateways_per_continent = 2;
+  const auto demands = gravity_demands(net_, params);
+  EXPECT_EQ(demands.size(), 6u);  // still 4 gateways
+  for (const TrafficDemand& d : demands) {
+    EXPECT_FALSE(net_.cables_at(d.src).empty());
+    EXPECT_FALSE(net_.cables_at(d.dst).empty());
+  }
+}
+
+TEST(GravityDeterminism, InvariantUnderNodeIdPermutationWithDistinctDegrees) {
+  // Same physical network built in two different node orders. Degrees are
+  // distinct within each continent, so the degree sort alone must pin the
+  // gateway choice — the demand matrix (resolved to node names) has to be
+  // identical.
+  struct Spec {
+    const char* name;
+    geo::GeoPoint at;
+    const char* cc;
+  };
+  // Europe: Bude (degree 2) vs Lisbon (degree 1); NA: NY (degree 3).
+  const std::vector<Spec> specs = {{"NY", {40.7, -74.0}, "US"},
+                                   {"Bude", {50.8, -4.5}, "GB"},
+                                   {"Lisbon", {38.7, -9.1}, "PT"},
+                                   {"Singapore", {1.35, 103.8}, "SG"}};
+  const auto build = [&](std::vector<std::size_t> order) {
+    topo::InfrastructureNetwork net("perm");
+    for (std::size_t i : order) {
+      net.add_node({specs[i].name, specs[i].at, specs[i].cc,
+                    topo::NodeKind::kLandingPoint, true});
+    }
+    const auto cable = [&](const char* a, const char* b, double km) {
+      topo::Cable c;
+      c.name = std::string(a) + "-" + b;
+      c.segments = {{*net.find_node(a), *net.find_node(b), km}};
+      net.add_cable(std::move(c));
+    };
+    cable("NY", "Bude", 6000.0);
+    cable("NY", "Lisbon", 5500.0);
+    cable("NY", "Singapore", 15000.0);
+    cable("Bude", "Singapore", 11000.0);
+    return net;
+  };
+  const auto named_demands = [](const topo::InfrastructureNetwork& net,
+                                const std::vector<TrafficDemand>& demands) {
+    std::vector<std::string> rows;
+    for (const TrafficDemand& d : demands) {
+      rows.push_back(net.node(d.src).name + ">" + net.node(d.dst).name + "@" +
+                     std::to_string(d.gbps));
+    }
+    return rows;
+  };
+  DemandModelParams params;
+  params.gateways_per_continent = 1;
+  const auto a = build({0, 1, 2, 3});
+  const auto b = build({3, 2, 1, 0});
+  EXPECT_EQ(named_demands(a, gravity_demands(a, params)),
+            named_demands(b, gravity_demands(b, params)));
+}
+
+TEST(GravityDeterminism, EqualDegreesTieBreakByLowestId) {
+  // Two same-continent nodes with identical cable degree: the lower node
+  // id must win the gateway slot.
+  topo::InfrastructureNetwork net("tie");
+  const auto ny = net.add_node(
+      {"NY", {40.7, -74.0}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto boston = net.add_node(
+      {"Boston", {42.4, -71.1}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto bude = net.add_node(
+      {"Bude", {50.8, -4.5}, "GB", topo::NodeKind::kLandingPoint, true});
+  const auto cable = [&](topo::NodeId a, topo::NodeId b, double km) {
+    topo::Cable c;
+    c.name = "c" + std::to_string(net.cable_count());
+    c.segments = {{a, b, km}};
+    net.add_cable(std::move(c));
+  };
+  cable(ny, bude, 6000.0);
+  cable(boston, bude, 6100.0);  // NY and Boston both have degree 1
+  DemandModelParams params;
+  params.gateways_per_continent = 1;
+  const auto demands = gravity_demands(net, params);
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_EQ(std::min(demands[0].src, demands[0].dst), ny);
+  EXPECT_NE(demands[0].src, boston);
+  EXPECT_NE(demands[0].dst, boston);
+}
+
+TEST_F(RoutingTest, SampledNodeDemandsDeterministicAndNormalized) {
+  const auto a = sampled_node_demands(net_, 1000, 40.0, 99);
+  const auto b = sampled_node_demands(net_, 1000, 40.0, 99);
+  ASSERT_EQ(a.size(), 1000u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].gbps, b[i].gbps);
+    EXPECT_NE(a[i].src, a[i].dst);
+    EXPECT_FALSE(net_.cables_at(a[i].src).empty());
+    EXPECT_FALSE(net_.cables_at(a[i].dst).empty());
+    total += a[i].gbps;
+  }
+  EXPECT_NEAR(total, 40000.0, 1e-6);
+  // A different seed draws a different matrix.
+  const auto c = sampled_node_demands(net_, 1000, 40.0, 100);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    any_diff = any_diff || c[i].src != a[i].src || c[i].dst != a[i].dst;
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_TRUE(sampled_node_demands(net_, 0, 40.0, 1).empty());
+}
+
+TEST(SampledNodeDemandsValidation, RejectsBadInput) {
+  topo::InfrastructureNetwork lonely("lonely");
+  lonely.add_node(
+      {"solo", {0.0, 0.0}, "US", topo::NodeKind::kLandingPoint, true});
+  try {
+    sampled_node_demands(lonely, 10, 1.0, 7);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidArgument);
+  }
+  topo::InfrastructureNetwork ok("two");
+  const auto a = ok.add_node(
+      {"a", {0.0, 0.0}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto b = ok.add_node(
+      {"b", {1.0, 1.0}, "GB", topo::NodeKind::kLandingPoint, true});
+  topo::Cable c;
+  c.name = "ab";
+  c.segments = {{a, b, 500.0}};
+  ok.add_cable(std::move(c));
+  try {
+    sampled_node_demands(ok, 10, -1.0, 7);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.context().field, "total_offered_tbps");
+  }
 }
 
 TEST(RoutingDefault, GeneratedWorldBaselineMostlyDelivered) {

@@ -59,6 +59,10 @@ commands:
                --threads N (auto; aggregates are thread-count independent)
                --engine auto|scalar (auto; bit-identical results either way)
                --quorum N (2)  --dns-threshold PCT (10)
+               --traffic (adds the post-failure traffic-routing section:
+                 every trial routes a demand matrix over the survivors)
+               --demand-pairs N (0 = gravity matrix; N > 0 routes N sampled
+                 demand entries per trial — the million-pair stress knob)
                --checkpoint PATH (crash-safe campaign: checkpoint the
                  Monte-Carlo pass to PATH and resume from it bit-identically)
                --checkpoint-every CHUNKS (64)
@@ -175,6 +179,9 @@ int cmd_report(const Args& args) {
       "quorum", static_cast<long long>(opts.service_write_quorum)));
   opts.dns_cable_loss_threshold_pct =
       args.get_double_or("dns-threshold", opts.dns_cable_loss_threshold_pct);
+  opts.traffic = args.has("traffic") || args.has("demand-pairs");
+  opts.traffic_demand_pairs = static_cast<std::size_t>(
+      args.get_int_or("demand-pairs", 0));
   opts.checkpoint_path = args.get_or("checkpoint", "");
   opts.checkpoint_every_chunks = static_cast<std::size_t>(args.get_int_or(
       "checkpoint-every",
