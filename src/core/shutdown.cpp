@@ -61,4 +61,52 @@ ShutdownOutcome evaluate_shutdown(const topo::InfrastructureNetwork& net,
   return outcome;
 }
 
+ShutdownPlan plan_shutdown(const sim::FailureSimulator& simulator,
+                           const gic::RepeaterFailureModel& model,
+                           const ShutdownPolicy& policy) {
+  const topo::InfrastructureNetwork& net = simulator.network();
+  const ShutdownAdjustedModel off_model(model, policy.powered_off_factor);
+
+  const std::size_t budget =
+      policy.hours_per_cable > 0.0
+          ? static_cast<std::size_t>(policy.lead_time_hours /
+                                     policy.hours_per_cable)
+          : net.cable_count();
+
+  ShutdownPlan plan;
+  plan.table = simulator.death_probability_table(model);
+
+  std::vector<std::pair<double, topo::CableId>> risk;
+  risk.reserve(net.cable_count());
+  for (topo::CableId c = 0; c < net.cable_count(); ++c) {
+    const double p = plan.table.probability[c];
+    double key = 0.0;
+    switch (policy.priority) {
+      case ShutdownPriority::kByBenefit:
+        key = p - simulator.cable_death_probability(c, off_model);
+        break;
+      case ShutdownPriority::kByRisk:
+        key = p;
+        break;
+      case ShutdownPriority::kNone:
+        key = 0.0;
+        break;
+    }
+    risk.push_back({key, c});
+  }
+  if (policy.priority != ShutdownPriority::kNone) {
+    std::stable_sort(risk.begin(), risk.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+  }
+
+  for (std::size_t i = 0; i < risk.size() && i < budget; ++i) {
+    const topo::CableId c = risk[i].second;
+    plan.cables.push_back(c);
+    plan.table.probability[c] = simulator.cable_death_probability(c, off_model);
+  }
+  return plan;
+}
+
 }  // namespace solarnet::core

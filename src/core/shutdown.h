@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "gic/failure_model.h"
 #include "sim/monte_carlo.h"
@@ -71,5 +72,20 @@ ShutdownOutcome evaluate_shutdown(const topo::InfrastructureNetwork& net,
                                   const gic::RepeaterFailureModel& model,
                                   const ShutdownPolicy& policy,
                                   double repeater_spacing_km = 150.0);
+
+// A concrete plan: which cables get powered off, plus the spliced
+// death-probability table (powered-off probability for shut cables, base
+// probability otherwise) that downstream engines — sim::TimelineEngine,
+// sim::TrialPipeline — consume directly. Same ranking and budget logic as
+// evaluate_shutdown, but against the caller's simulator so repeater
+// spacing and trial config match the rest of the run.
+struct ShutdownPlan {
+  std::vector<topo::CableId> cables;  // shut down, in priority order
+  sim::DeathProbabilityTable table;
+};
+
+ShutdownPlan plan_shutdown(const sim::FailureSimulator& simulator,
+                           const gic::RepeaterFailureModel& model,
+                           const ShutdownPolicy& policy);
 
 }  // namespace solarnet::core

@@ -1,0 +1,569 @@
+#include "datasets/space_weather.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/checkpoint.h"
+#include "util/status.h"
+
+namespace solarnet::datasets {
+
+namespace {
+
+// Hinnant civil-date algorithm: days since 1970-01-01 for a proleptic
+// Gregorian date. Exact integer arithmetic — no locale, no timezone, no
+// platform time API, so parsing is deterministic everywhere.
+long long days_from_civil(long long y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+bool leap_year(long long y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+unsigned days_in_month(long long y, unsigned m) {
+  static constexpr unsigned kDays[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (m == 2 && leap_year(y)) return 29;
+  return kDays[m - 1];
+}
+
+// One parsed scalar field of a record (string or number), with the line it
+// appeared on for error provenance.
+struct Field {
+  bool present = false;
+  bool is_number = false;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 0;
+};
+
+struct KpEntry {
+  std::string time;  // raw timestamp text
+  std::size_t time_line = 0;
+  std::string time_field;  // "time_tag" or "observedTime"
+  Field kp;
+  std::string kp_field;  // "kp_index", "estimated_kp" or "kpIndex"
+};
+
+// Minimal line-tracking JSON reader. Only what the NOAA/DONKI shapes need:
+// objects, arrays, strings (common escapes; \u is rejected — the feeds are
+// plain ASCII), numbers, true/false/null. Everything it cannot digest is a
+// kParseError with the current line.
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  [[noreturn]] void fail(util::ErrorCode code, const std::string& message,
+                         const std::string& field = "",
+                         std::size_t line = 0) const {
+    throw util::Error(code, message,
+                      {source_, line == 0 ? line_ : line, field});
+  }
+
+  std::size_t line() const noexcept { return line_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      if (c == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail(util::ErrorCode::kParseError, "unexpected end of document");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(util::ErrorCode::kParseError,
+           std::string("expected '") + c + "', found '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail(util::ErrorCode::kParseError, "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') {
+        fail(util::ErrorCode::kParseError, "newline inside string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail(util::ErrorCode::kParseError, "unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default:
+          fail(util::ErrorCode::kParseError,
+               std::string("unsupported escape '\\") + e +
+                   "' (the NOAA/DONKI feeds are plain ASCII)");
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + begin, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || begin == pos_ ||
+        !std::isfinite(value)) {
+      fail(util::ErrorCode::kParseError,
+           "malformed number '" +
+               std::string(text_.substr(begin, pos_ - begin)) + "'");
+    }
+    return value;
+  }
+
+  void parse_literal(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_, word.size()) != word) {
+      fail(util::ErrorCode::kParseError,
+           "malformed token (expected '" + std::string(word) + "')");
+    }
+    pos_ += word.size();
+  }
+
+  // Parses and discards any JSON value (validating its syntax).
+  void skip_value() {
+    switch (peek()) {
+      case '{': {
+        expect('{');
+        if (consume_if('}')) return;
+        while (true) {
+          parse_string();
+          expect(':');
+          skip_value();
+          if (consume_if(',')) continue;
+          expect('}');
+          return;
+        }
+      }
+      case '[': {
+        expect('[');
+        if (consume_if(']')) return;
+        while (true) {
+          skip_value();
+          if (consume_if(',')) continue;
+          expect(']');
+          return;
+        }
+      }
+      case '"':
+        parse_string();
+        return;
+      case 't':
+        parse_literal("true");
+        return;
+      case 'f':
+        parse_literal("false");
+        return;
+      case 'n':
+        parse_literal("null");
+        return;
+      default:
+        parse_number();
+        return;
+    }
+  }
+
+  // Scalar field: string or number (NOAA serves Kp both ways).
+  Field parse_field() {
+    Field f;
+    f.present = true;
+    f.line = line_;
+    if (peek() == '"') {
+      f.line = line_;
+      f.text = parse_string();
+    } else {
+      f.line = line_;
+      f.is_number = true;
+      f.number = parse_number();
+    }
+    return f;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  const std::string& source_;
+};
+
+// The scalar fields one record can carry, whatever its shape.
+struct Record {
+  std::size_t line = 0;  // line the record's '{' appeared on
+  Field time_tag, kp_index, estimated_kp;
+  Field gst_id, start_time;
+  Field flr_id, begin_time, class_type;
+  Field activity_id, speed;
+  std::vector<KpEntry> all_kp;  // from "allKpIndex"
+};
+
+KpEntry parse_kp_entry(Parser& p) {
+  KpEntry entry;
+  p.peek();  // position the line counter on the entry's first token
+  const std::size_t entry_line = p.line();
+  p.expect('{');
+  if (!p.consume_if('}')) {
+    while (true) {
+      const std::string key = p.parse_string();
+      p.expect(':');
+      if (key == "observedTime") {
+        const Field f = p.parse_field();
+        entry.time = f.text;
+        entry.time_line = f.line;
+        entry.time_field = "observedTime";
+      } else if (key == "kpIndex") {
+        entry.kp = p.parse_field();
+        entry.kp_field = "kpIndex";
+      } else {
+        p.skip_value();
+      }
+      if (p.consume_if(',')) continue;
+      p.expect('}');
+      break;
+    }
+  }
+  if (entry.time_field.empty()) {
+    p.fail(util::ErrorCode::kInvalidData,
+           "allKpIndex entry missing field 'observedTime'", "observedTime",
+           entry_line);
+  }
+  if (!entry.kp.present) {
+    p.fail(util::ErrorCode::kInvalidData,
+           "allKpIndex entry missing field 'kpIndex'", "kpIndex",
+           entry_line);
+  }
+  return entry;
+}
+
+Record parse_record(Parser& p) {
+  Record r;
+  p.peek();  // position the line counter on the record's '{'
+  r.line = p.line();
+  p.expect('{');
+  if (p.consume_if('}')) return r;
+  while (true) {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "time_tag") {
+      r.time_tag = p.parse_field();
+    } else if (key == "kp_index") {
+      r.kp_index = p.parse_field();
+    } else if (key == "estimated_kp") {
+      r.estimated_kp = p.parse_field();
+    } else if (key == "gstID") {
+      r.gst_id = p.parse_field();
+    } else if (key == "startTime") {
+      r.start_time = p.parse_field();
+    } else if (key == "flrID") {
+      r.flr_id = p.parse_field();
+    } else if (key == "beginTime") {
+      r.begin_time = p.parse_field();
+    } else if (key == "classType") {
+      r.class_type = p.parse_field();
+    } else if (key == "activityID") {
+      r.activity_id = p.parse_field();
+    } else if (key == "speed") {
+      r.speed = p.parse_field();
+    } else if (key == "allKpIndex") {
+      p.expect('[');
+      if (!p.consume_if(']')) {
+        while (true) {
+          r.all_kp.push_back(parse_kp_entry(p));
+          if (p.consume_if(',')) continue;
+          p.expect(']');
+          break;
+        }
+      }
+    } else {
+      p.skip_value();  // links, instruments, submission metadata, …
+    }
+    if (p.consume_if(',')) continue;
+    p.expect('}');
+    return r;
+  }
+}
+
+// "YYYY-MM-DD[T ]HH:MM[:SS][Z]" → absolute hours since the epoch.
+double parse_iso_hours(const Parser& p, const std::string& text,
+                       std::size_t line, const std::string& field) {
+  const auto bad = [&]() {
+    p.fail(util::ErrorCode::kInvalidData,
+           "malformed timestamp '" + text +
+               "' (expected YYYY-MM-DDTHH:MM[:SS][Z])",
+           field, line);
+  };
+  const auto digits = [&](std::size_t at, std::size_t count) -> long long {
+    long long value = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (at + i >= text.size() || text[at + i] < '0' ||
+          text[at + i] > '9') {
+        bad();
+      }
+      value = value * 10 + (text[at + i] - '0');
+    }
+    return value;
+  };
+  if (text.size() < 16) bad();
+  const long long year = digits(0, 4);
+  if (text[4] != '-') bad();
+  const long long month = digits(5, 2);
+  if (text[7] != '-') bad();
+  const long long day = digits(8, 2);
+  if (text[10] != 'T' && text[10] != ' ') bad();
+  const long long hour = digits(11, 2);
+  if (text[13] != ':') bad();
+  const long long minute = digits(14, 2);
+  long long second = 0;
+  std::size_t at = 16;
+  if (at < text.size() && text[at] == ':') {
+    second = digits(at + 1, 2);
+    at += 3;
+  }
+  if (at < text.size() && text[at] == 'Z') ++at;
+  if (at != text.size()) bad();
+  if (month < 1 || month > 12 || day < 1 ||
+      day > days_in_month(year, static_cast<unsigned>(month)) || hour > 23 ||
+      minute > 59 || second > 60) {
+    p.fail(util::ErrorCode::kInvalidData,
+           "timestamp '" + text + "' out of calendar range", field, line);
+  }
+  const long long days = days_from_civil(year, static_cast<unsigned>(month),
+                                         static_cast<unsigned>(day));
+  return static_cast<double>(days) * 24.0 + static_cast<double>(hour) +
+         static_cast<double>(minute) / 60.0 +
+         static_cast<double>(second) / 3600.0;
+}
+
+// Kp values arrive as numbers or numeric strings ("6.33").
+double field_kp(const Parser& p, const Field& f, const std::string& name) {
+  double value = 0.0;
+  if (f.is_number) {
+    value = f.number;
+  } else {
+    const auto [end, ec] =
+        std::from_chars(f.text.data(), f.text.data() + f.text.size(), value);
+    if (f.text.empty() || ec != std::errc() ||
+        end != f.text.data() + f.text.size()) {
+      p.fail(util::ErrorCode::kParseError,
+             "'" + f.text + "' is not a Kp number", name, f.line);
+    }
+  }
+  if (!(value >= 0.0 && value <= 9.0)) {
+    p.fail(util::ErrorCode::kInvalidData, "Kp index outside [0, 9]", name,
+           f.line);
+  }
+  return value;
+}
+
+struct RawSample {
+  double abs_hours = 0.0;
+  double kp = 0.0;
+  std::string time_text;
+  std::size_t line = 0;
+  std::string field;
+};
+
+}  // namespace
+
+std::string_view to_string(SpaceWeatherEventKind kind) noexcept {
+  switch (kind) {
+    case SpaceWeatherEventKind::kGeomagneticStorm: return "GST";
+    case SpaceWeatherEventKind::kFlare: return "FLR";
+    case SpaceWeatherEventKind::kCme: return "CME";
+  }
+  return "?";
+}
+
+SpaceWeatherTimeline parse_space_weather_json(
+    std::string_view text, const std::string& source_name) {
+  Parser p(text, source_name);
+  std::vector<RawSample> samples;
+  struct RawEvent {
+    SpaceWeatherEvent event;
+    double abs_hours = 0.0;
+  };
+  std::vector<RawEvent> events;
+
+  if (p.at_end()) {
+    p.fail(util::ErrorCode::kParseError, "empty document");
+  }
+  p.expect('[');
+  if (!p.consume_if(']')) {
+    while (true) {
+      const Record r = parse_record(p);
+      if (r.gst_id.present) {
+        if (!r.start_time.present) {
+          p.fail(util::ErrorCode::kInvalidData,
+                 "GST record missing field 'startTime'", "startTime",
+                 r.line);
+        }
+        if (r.all_kp.empty()) {
+          p.fail(util::ErrorCode::kInvalidData,
+                 "GST record missing field 'allKpIndex'", "allKpIndex",
+                 r.line);
+        }
+        RawEvent ev;
+        ev.event.kind = SpaceWeatherEventKind::kGeomagneticStorm;
+        ev.event.id = r.gst_id.text;
+        ev.abs_hours = parse_iso_hours(p, r.start_time.text,
+                                       r.start_time.line, "startTime");
+        events.push_back(std::move(ev));
+        for (const KpEntry& entry : r.all_kp) {
+          RawSample sample;
+          sample.abs_hours = parse_iso_hours(p, entry.time, entry.time_line,
+                                             entry.time_field);
+          sample.kp = field_kp(p, entry.kp, entry.kp_field);
+          sample.time_text = entry.time;
+          sample.line = entry.time_line;
+          sample.field = entry.time_field;
+          samples.push_back(std::move(sample));
+        }
+      } else if (r.flr_id.present) {
+        if (!r.begin_time.present) {
+          p.fail(util::ErrorCode::kInvalidData,
+                 "FLR record missing field 'beginTime'", "beginTime",
+                 r.line);
+        }
+        RawEvent ev;
+        ev.event.kind = SpaceWeatherEventKind::kFlare;
+        ev.event.id = r.flr_id.text;
+        ev.event.detail = r.class_type.text;
+        ev.abs_hours = parse_iso_hours(p, r.begin_time.text,
+                                       r.begin_time.line, "beginTime");
+        events.push_back(std::move(ev));
+      } else if (r.activity_id.present) {
+        if (!r.start_time.present) {
+          p.fail(util::ErrorCode::kInvalidData,
+                 "CME record missing field 'startTime'", "startTime",
+                 r.line);
+        }
+        RawEvent ev;
+        ev.event.kind = SpaceWeatherEventKind::kCme;
+        ev.event.id = r.activity_id.text;
+        if (r.speed.present && r.speed.is_number) {
+          ev.event.detail =
+              std::to_string(static_cast<long long>(r.speed.number)) +
+              " km/s";
+        }
+        ev.abs_hours = parse_iso_hours(p, r.start_time.text,
+                                       r.start_time.line, "startTime");
+        events.push_back(std::move(ev));
+      } else if (r.time_tag.present) {
+        const Field& kp_field =
+            r.kp_index.present ? r.kp_index : r.estimated_kp;
+        if (!kp_field.present) {
+          p.fail(util::ErrorCode::kInvalidData,
+                 "Kp record missing field 'kp_index'", "kp_index", r.line);
+        }
+        RawSample sample;
+        sample.abs_hours = parse_iso_hours(p, r.time_tag.text,
+                                           r.time_tag.line, "time_tag");
+        sample.kp = field_kp(
+            p, kp_field, r.kp_index.present ? "kp_index" : "estimated_kp");
+        sample.time_text = r.time_tag.text;
+        sample.line = r.time_tag.line;
+        sample.field = "time_tag";
+        samples.push_back(std::move(sample));
+      } else {
+        p.fail(util::ErrorCode::kInvalidData,
+               "unrecognized record (expected one of 'time_tag', 'gstID', "
+               "'flrID', 'activityID')",
+               "", r.line);
+      }
+      if (p.consume_if(',')) continue;
+      p.expect(']');
+      break;
+    }
+  }
+  if (!p.at_end()) {
+    p.fail(util::ErrorCode::kParseError, "trailing content after document");
+  }
+  if (samples.empty()) {
+    p.fail(util::ErrorCode::kInvalidData, "no Kp samples in document",
+           "allKpIndex", 0);
+  }
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (!(samples[i].abs_hours > samples[i - 1].abs_hours)) {
+      p.fail(util::ErrorCode::kInvalidData,
+             "non-monotone Kp timestamps ('" + samples[i].time_text +
+                 "' does not advance past '" + samples[i - 1].time_text +
+                 "')",
+             samples[i].field, samples[i].line);
+    }
+  }
+
+  SpaceWeatherTimeline timeline;
+  timeline.source = source_name;
+  timeline.start_time = samples.front().time_text;
+  const double origin = samples.front().abs_hours;
+  timeline.kp.reserve(samples.size());
+  for (const RawSample& sample : samples) {
+    timeline.kp.push_back({sample.abs_hours - origin, sample.kp});
+  }
+  timeline.events.reserve(events.size());
+  for (RawEvent& ev : events) {
+    ev.event.hours = ev.abs_hours - origin;
+    timeline.events.push_back(std::move(ev.event));
+  }
+  return timeline;
+}
+
+SpaceWeatherTimeline load_space_weather_json(const std::string& path) {
+  return parse_space_weather_json(util::read_file(path), path);
+}
+
+}  // namespace solarnet::datasets

@@ -1,0 +1,64 @@
+// Deterministic loader for NOAA / NASA-DONKI-format space-weather JSON —
+// the real-storm feed for sim::TimelineEngine (ROADMAP item 3).
+//
+// Two wire shapes are accepted, mixed freely inside one top-level array:
+//
+//  * NOAA SWPC planetary Kp: objects with "time_tag" + "kp_index" (or
+//    "estimated_kp"), e.g. services.swpc.noaa.gov planetary_k_index_1m.
+//  * NASA DONKI records, keyed by their ID field:
+//      - "gstID"      geomagnetic storm, with "startTime" and an
+//                     "allKpIndex" array of {observedTime, kpIndex}
+//      - "flrID"      solar flare, with "beginTime" and "classType"
+//      - "activityID" CME, with "startTime" and optional "speed"
+//
+// Unknown fields are ignored (real DONKI payloads carry links, instruments,
+// submission metadata, …); unknown *record* shapes are rejected. The
+// parser is a self-contained line-tracking JSON reader — every rejection
+// (malformed JSON, non-monotone timestamps, out-of-range Kp, missing
+// fields) throws util::Error with file:line:field provenance, the PR 6
+// loader contract. Parsing is deterministic: same bytes, same timeline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace solarnet::datasets {
+
+enum class SpaceWeatherEventKind { kGeomagneticStorm, kFlare, kCme };
+std::string_view to_string(SpaceWeatherEventKind kind) noexcept;
+
+struct KpSample {
+  double hours = 0.0;  // since the first Kp sample
+  double kp = 0.0;     // planetary K index, [0, 9]
+};
+
+struct SpaceWeatherEvent {
+  SpaceWeatherEventKind kind = SpaceWeatherEventKind::kGeomagneticStorm;
+  std::string id;        // gstID / flrID / activityID
+  double hours = 0.0;    // since the first Kp sample (may be negative:
+                         // flares and CMEs precede the geomagnetic storm)
+  std::string detail;    // classType for flares, "<speed> km/s" for CMEs
+};
+
+struct SpaceWeatherTimeline {
+  std::string source;      // file path or caller-supplied name
+  std::string start_time;  // ISO timestamp of the first Kp sample
+  std::vector<KpSample> kp;              // strictly increasing hours
+  std::vector<SpaceWeatherEvent> events;  // file order
+
+  double duration_hours() const noexcept {
+    return kp.empty() ? 0.0 : kp.back().hours;
+  }
+};
+
+// Parses a JSON document (top-level array of records). `source_name` is
+// the provenance name used in error contexts. Requires >= 1 Kp sample and
+// strictly increasing Kp timestamps across the whole document.
+SpaceWeatherTimeline parse_space_weather_json(std::string_view text,
+                                              const std::string& source_name);
+
+// read_file + parse, with the path as the provenance name.
+SpaceWeatherTimeline load_space_weather_json(const std::string& path);
+
+}  // namespace solarnet::datasets

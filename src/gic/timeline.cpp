@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/status.h"
+
 namespace solarnet::gic {
 
 namespace {
@@ -82,6 +84,68 @@ std::vector<FailureTimePoint> failure_time_series(
                       final_expected > 0.0 ? expected / final_expected : 0.0});
   }
   return series;
+}
+
+std::vector<double> dose_share_from_kp(std::span<const double> hours,
+                                       std::span<const double> kp,
+                                       const KpDoseParams& params) {
+  const util::SourceContext ctx{"kp-series", 0, ""};
+  if (!(params.quiet_kp >= 0.0 && params.quiet_kp < 9.0)) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "dose_share_from_kp: quiet_kp must be in [0, 9)",
+                      {"kp-series", 0, "quiet_kp"});
+  }
+  if (!(params.exponent > 0.0) || !std::isfinite(params.exponent)) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "dose_share_from_kp: exponent must be finite and > 0",
+                      {"kp-series", 0, "exponent"});
+  }
+  if (hours.size() != kp.size()) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "dose_share_from_kp: hours/kp size mismatch", ctx);
+  }
+  if (hours.size() < 2) {
+    throw util::Error(util::ErrorCode::kInvalidArgument,
+                      "dose_share_from_kp: need >= 2 samples", ctx);
+  }
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    if (!std::isfinite(hours[i]) || (i > 0 && hours[i] < hours[i - 1])) {
+      throw util::Error(util::ErrorCode::kInvalidData,
+                        "dose_share_from_kp: hours must be finite and "
+                        "non-decreasing",
+                        {"kp-series", i, "hours"});
+    }
+    if (!(kp[i] >= 0.0 && kp[i] <= 9.0)) {
+      throw util::Error(util::ErrorCode::kInvalidData,
+                        "dose_share_from_kp: Kp outside [0, 9]",
+                        {"kp-series", i, "kp"});
+    }
+  }
+
+  // Instantaneous intensity per sample, then trapezoid cumulative dose.
+  const double span = 9.0 - params.quiet_kp;
+  std::vector<double> dose(hours.size(), 0.0);
+  double previous_intensity =
+      std::pow(std::max(0.0, (kp[0] - params.quiet_kp) / span),
+               params.exponent);
+  for (std::size_t i = 1; i < hours.size(); ++i) {
+    const double intensity =
+        std::pow(std::max(0.0, (kp[i] - params.quiet_kp) / span),
+                 params.exponent);
+    dose[i] = dose[i - 1] + 0.5 * (previous_intensity + intensity) *
+                                (hours[i] - hours[i - 1]);
+    previous_intensity = intensity;
+  }
+  const double total = dose.back();
+  if (!(total > 0.0)) {
+    throw util::Error(util::ErrorCode::kInvalidData,
+                      "dose_share_from_kp: no interval above quiet_kp — "
+                      "the series has no storm to normalize against",
+                      {"kp-series", 0, "kp"});
+  }
+  for (double& d : dose) d /= total;
+  dose.back() = 1.0;  // exact by construction (total/total); pin it anyway
+  return dose;
 }
 
 }  // namespace solarnet::gic

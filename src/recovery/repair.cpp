@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <queue>
 #include <stdexcept>
 
@@ -141,6 +142,120 @@ RecoveryTimeline schedule_repairs(const topo::InfrastructureNetwork& net,
   schedule_pool(submarine_jobs, params.cable_ships);
   schedule_pool(land_jobs, params.land_crews);
   return timeline;
+}
+
+FaultSampler::FaultSampler(const sim::FailureSimulator& simulator,
+                           const sim::DeathProbabilityTable& table) {
+  const topo::InfrastructureNetwork& net = simulator.network();
+  const std::size_t cables = net.cable_count();
+  if (table.probability.size() != cables) {
+    throw std::invalid_argument("FaultSampler: table size mismatch");
+  }
+  repeaters_.resize(cables);
+  per_repeater_.assign(cables, 0.0);
+  for (topo::CableId c = 0; c < cables; ++c) {
+    const std::size_t repeaters = topo::cable_repeater_count(
+        net.cable(c), simulator.config().repeater_spacing_km);
+    repeaters_[c] = static_cast<std::uint32_t>(repeaters);
+    if (repeaters == 0) continue;
+    // Same inversion as sample_fault_counts; the table entry is the same
+    // double cable_death_probability returns, so per_repeater matches it
+    // bit for bit.
+    const double death = table.probability[c];
+    per_repeater_[c] =
+        1.0 - std::pow(std::max(1e-12, 1.0 - death),
+                       1.0 / static_cast<double>(repeaters));
+  }
+}
+
+void FaultSampler::sample(std::span<const std::uint8_t> dead, util::Rng& rng,
+                          std::span<std::uint32_t> faults) const {
+  if (dead.size() != repeaters_.size() || faults.size() != repeaters_.size()) {
+    throw std::invalid_argument("FaultSampler::sample: size mismatch");
+  }
+  for (std::size_t c = 0; c < repeaters_.size(); ++c) {
+    if (!dead[c]) {
+      faults[c] = 0;
+      continue;
+    }
+    const std::size_t repeaters = repeaters_[c];
+    if (repeaters == 0) {
+      faults[c] = 1;  // defensive: a dead repeaterless cable has one fault
+      continue;
+    }
+    const double per_repeater = per_repeater_[c];
+    std::uint32_t extra = 0;
+    for (std::size_t r = 1; r < repeaters; ++r) {
+      if (rng.bernoulli(per_repeater)) ++extra;
+    }
+    faults[c] = 1 + extra;
+  }
+}
+
+RepairScheduler::RepairScheduler(const topo::InfrastructureNetwork& net,
+                                 RepairFleetParams params)
+    : params_(params) {
+  if (params_.cable_ships == 0 || params_.land_crews == 0) {
+    throw std::invalid_argument("RepairScheduler: empty fleet");
+  }
+  // One stable sort of *all* cables by priority (landing points,
+  // descending). schedule_repairs stable-sorts the per-trial dead-job list
+  // built in ascending cable order; a stable sort of the ascending full
+  // list filtered by the dead set yields the identical sequence, so the
+  // order can be resolved once per network instead of once per trial.
+  std::vector<std::uint32_t> order(net.cable_count());
+  for (std::size_t c = 0; c < order.size(); ++c) {
+    order[c] = static_cast<std::uint32_t>(c);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return net.cable(a).endpoints().size() >
+                            net.cable(b).endpoints().size();
+                   });
+  for (const std::uint32_t c : order) {
+    if (net.cable(c).kind == topo::CableKind::kSubmarine) {
+      submarine_order_.push_back(c);
+    } else {
+      land_order_.push_back(c);
+    }
+  }
+}
+
+void RepairScheduler::schedule(std::span<const std::uint8_t> dead,
+                               std::span<const std::uint32_t> faults,
+                               Scratch& scratch,
+                               std::span<double> restore_day) const {
+  const std::size_t cables = submarine_order_.size() + land_order_.size();
+  if (dead.size() != cables || faults.size() != cables ||
+      restore_day.size() != cables) {
+    throw std::invalid_argument("RepairScheduler::schedule: size mismatch");
+  }
+  std::fill(restore_day.begin(), restore_day.end(), 0.0);
+
+  // Greedy earliest-free-worker assignment with an explicit min-heap over
+  // warm storage — same values, same pop/push sequence as the
+  // priority_queue in schedule_repairs.
+  std::vector<double>& heap = scratch.free_at;
+  const auto run_pool = [&](std::span<const std::uint32_t> order,
+                            std::size_t workers, bool submarine) {
+    heap.assign(workers, 0.0);
+    for (const std::uint32_t c : order) {
+      if (!dead[c]) continue;
+      const double job_faults =
+          static_cast<double>(std::max<std::uint32_t>(1, faults[c]));
+      const double work =
+          submarine ? params_.mobilization_days +
+                          params_.repair_days_per_fault * job_faults
+                    : params_.land_repair_days * job_faults;
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      const double start = heap.back();
+      heap.back() = start + work;
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+      restore_day[c] = start + work;
+    }
+  };
+  run_pool(submarine_order_, params_.cable_ships, /*submarine=*/true);
+  run_pool(land_order_, params_.land_crews, /*submarine=*/false);
 }
 
 std::vector<std::pair<double, double>> node_restoration_curve(

@@ -7,6 +7,8 @@
 // fault counts, schedules the fleet, and produces restoration timelines.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/monte_carlo.h"
@@ -63,6 +65,63 @@ RecoveryTimeline schedule_repairs(const topo::InfrastructureNetwork& net,
                                   const std::vector<bool>& cable_dead,
                                   const std::vector<std::size_t>& faults,
                                   const RepairFleetParams& params = {});
+
+// Allocation-free form of sample_fault_counts for hot trial loops
+// (sim::TimelineEngine runs one fault draw per Monte-Carlo trial). The
+// constructor precomputes per-cable repeater counts and the conditional
+// per-repeater probability from the end-state death table; sample() then
+// replays sample_fault_counts' exact draw sequence (dead cables ascending,
+// repeaters-1 bernoullis each) into a caller-owned buffer. Because
+// FailureSimulator::death_probability_table() evaluates
+// cable_death_probability per cable, the fault counts are bit-identical to
+// sample_fault_counts given the same rng state (asserted in
+// tests/recovery/repair_test.cpp).
+class FaultSampler {
+ public:
+  FaultSampler(const sim::FailureSimulator& simulator,
+               const sim::DeathProbabilityTable& table);
+
+  // `dead` and `faults` are indexed by cable (nonzero byte = dead);
+  // faults[c] is 0 for alive cables. Both must match the network size.
+  void sample(std::span<const std::uint8_t> dead, util::Rng& rng,
+              std::span<std::uint32_t> faults) const;
+
+ private:
+  std::vector<std::uint32_t> repeaters_;
+  std::vector<double> per_repeater_;
+};
+
+// Allocation-free form of schedule_repairs for hot trial loops. The
+// constructor resolves the priority order once (stable sort of all cables
+// by landing-point count, descending — filtering that order by the
+// per-trial dead set reproduces schedule_repairs' stable_sort over the
+// per-trial job list exactly); schedule() then runs the greedy
+// earliest-free-worker assignment with an explicit binary heap in warm
+// scratch storage. Completion days are bit-identical to schedule_repairs
+// (asserted in tests/recovery/repair_test.cpp).
+class RepairScheduler {
+ public:
+  struct Scratch {
+    std::vector<double> free_at;  // worker free-time heap storage
+  };
+
+  RepairScheduler(const topo::InfrastructureNetwork& net,
+                  RepairFleetParams params = {});
+
+  const RepairFleetParams& params() const noexcept { return params_; }
+
+  // Writes each dead cable's completion day into restore_day (0.0 for
+  // cables that never failed). `faults` entries are clamped to >= 1 for
+  // dead cables, like schedule_repairs.
+  void schedule(std::span<const std::uint8_t> dead,
+                std::span<const std::uint32_t> faults, Scratch& scratch,
+                std::span<double> restore_day) const;
+
+ private:
+  RepairFleetParams params_;
+  std::vector<std::uint32_t> submarine_order_;  // priority order, all cables
+  std::vector<std::uint32_t> land_order_;
+};
 
 // Connectivity restoration: fraction of nodes reachable (paper definition:
 // has >= 1 live cable) as repairs complete, sampled at `step_days`.

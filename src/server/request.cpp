@@ -14,12 +14,20 @@ namespace {
 // Format version folded into every key: bump when the response body layout
 // or the key encoding itself changes, so stale cache entries (or persisted
 // derivatives) can never be mistaken for current ones.
-constexpr std::uint64_t kServeFormatVersion = 1;
+constexpr std::uint64_t kServeFormatVersion = 2;
 
 // A request line can carry at most this many sweep grid points; a larger
 // array is almost certainly a client bug and would pin the engine for a
 // very long time.
 constexpr std::size_t kMaxGridPoints = 4096;
+
+// Ceiling on the sampled-demand stress knob: an order of magnitude above
+// the million-pair routing gate, far below anything that would pin the
+// engine indefinitely.
+constexpr std::size_t kMaxDemandPairs = 10'000'000;
+
+constexpr std::size_t kMaxRepairSteps = 4096;
+constexpr std::size_t kMaxShips = 100'000;
 
 [[noreturn]] void parse_fail(const std::string& message,
                              std::string_view field = {}) {
@@ -122,9 +130,18 @@ void fold_common(const ScenarioRequest& req, std::uint64_t network_fingerprint,
   key.f64(req.spacing_km);
   key.u64(req.quorum);
   key.f64(req.dns_threshold_pct);
+  key.u8(req.traffic ? 1 : 0);
+  key.u64(req.demand_pairs);
   if (req.kind == RequestKind::kSweep) {
     key.u64(req.grid.size());
     for (const double p : req.grid) key.f64(p);
+  }
+  if (req.kind == RequestKind::kTimeline) {
+    key.f64(req.timeline_step_hours);
+    key.u64(req.repair_steps);
+    key.f64(req.repair_step_days);
+    key.u64(req.ships);
+    key.f64(req.partition_threshold_pct);
   }
 }
 
@@ -140,6 +157,8 @@ std::string_view to_string(RequestKind kind) noexcept {
       return "stats";
     case RequestKind::kShutdown:
       return "shutdown";
+    case RequestKind::kTimeline:
+      return "timeline";
   }
   return "?";
 }
@@ -155,7 +174,14 @@ void ScenarioRequest::reset() {
   quorum = 2;
   dns_threshold_pct = 10.0;
   engine = sim::TrialEngine::kAuto;
+  traffic = false;
+  demand_pairs = 0;
   grid.clear();
+  timeline_step_hours = 6.0;
+  repair_steps = 24;
+  repair_step_days = 15.0;
+  ships = 60;
+  partition_threshold_pct = 50.0;
 }
 
 void parse_request(std::string_view line, ScenarioRequest& out) {
@@ -185,8 +211,10 @@ void parse_request(std::string_view line, ScenarioRequest& out) {
           out.kind = RequestKind::kStats;
         } else if (v == "shutdown") {
           out.kind = RequestKind::kShutdown;
+        } else if (v == "timeline") {
+          out.kind = RequestKind::kTimeline;
         } else {
-          value_fail("must be report|sweep|stats|shutdown", field);
+          value_fail("must be report|sweep|timeline|stats|shutdown", field);
         }
       } else if (field == "network") {
         const std::string_view v = cur.string_token();
@@ -229,6 +257,44 @@ void parse_request(std::string_view line, ScenarioRequest& out) {
           value_fail("must be in [0, 100]", field);
         }
         out.dns_threshold_pct = v;
+      } else if (field == "traffic") {
+        const double v = cur.number_token(field);
+        if (v != 0.0 && v != 1.0) value_fail("must be 0 or 1", field);
+        out.traffic = v == 1.0;
+      } else if (field == "demand_pairs") {
+        out.demand_pairs = static_cast<std::size_t>(
+            nonnegative_integer(cur.number_token(field), field));
+        if (out.demand_pairs > kMaxDemandPairs) {
+          value_fail("too many demand pairs (max 10000000)", field);
+        }
+      } else if (field == "step_hours") {
+        const double v = cur.number_token(field);
+        if (!std::isfinite(v) || v <= 0.0 || v > 72.0) {
+          value_fail("must be in (0, 72]", field);
+        }
+        out.timeline_step_hours = v;
+      } else if (field == "repair_steps") {
+        out.repair_steps = positive_integer(cur.number_token(field), field);
+        if (out.repair_steps > kMaxRepairSteps) {
+          value_fail("too many repair steps (max 4096)", field);
+        }
+      } else if (field == "repair_step_days") {
+        const double v = cur.number_token(field);
+        if (!std::isfinite(v) || v <= 0.0 || v > 365.0) {
+          value_fail("must be in (0, 365]", field);
+        }
+        out.repair_step_days = v;
+      } else if (field == "ships") {
+        out.ships = positive_integer(cur.number_token(field), field);
+        if (out.ships > kMaxShips) {
+          value_fail("too many ships (max 100000)", field);
+        }
+      } else if (field == "partition_threshold") {
+        const double v = cur.number_token(field);
+        if (!(v >= 0.0 && v <= 100.0)) {
+          value_fail("must be in [0, 100]", field);
+        }
+        out.partition_threshold_pct = v;
       } else if (field == "grid") {
         cur.expect('[', "to open the grid array");
         cur.skip_ws();

@@ -9,12 +9,16 @@
 //
 //   {"cmd":"report","model":"uniform","p":0.01,"spacing":150,
 //    "trials":64,"seed":7,"quorum":2,"dns_threshold":10}
+//   {"cmd":"report","traffic":1,"demand_pairs":10000,"trials":64}
 //   {"cmd":"sweep","grid":[0.001,0.01,0.1],"trials":32,"seed":1859}
+//   {"cmd":"timeline","model":"s1","step_hours":6,"repair_steps":24,
+//    "trials":64,"seed":7}
 //   {"cmd":"stats"}
 //   {"cmd":"shutdown"}
 //
 // Fields and defaults (unknown fields are rejected, naming the field):
-//   cmd            report | sweep | stats | shutdown   (default report)
+//   cmd            report | sweep | timeline | stats | shutdown
+//                                                      (default report)
 //   network        submarine | intertubes | itu        (default submarine)
 //   model          s1 | s2 | uniform                   (default s1)
 //   p              uniform-model probability in [0,1]  (default 0.01)
@@ -24,9 +28,26 @@
 //   quorum         service write quorum, integer >= 1  (default 2)
 //   dns_threshold  DNS joint-statistic cable-loss %    (default 10)
 //   engine         auto | scalar                       (default auto)
+//   traffic        0 | 1: add the post-failure traffic-routing section to
+//                  report responses (default 0)
+//   demand_pairs   0 = gravity demand matrix; N > 0 routes N sampled
+//                  demand entries per trial (integer, max 10000000;
+//                  default 0). Served sampled matrices use a fixed demand
+//                  seed, NOT the request seed — pooled engines are keyed
+//                  without (trials, seed) and must be reusable across them
 //   grid           sweep probability grid, each in [0,1]; canonicalized
 //                  by sorting ascending (responses are in sorted order);
 //                  empty/absent = the paper's default grid
+//   step_hours     timeline storm-step width, hours in (0, 72]
+//                  (default 6)
+//   repair_steps   timeline repair steps, integer in [1, 4096]
+//                  (default 24)
+//   repair_step_days  width of one repair step, days in (0, 365]
+//                  (default 15)
+//   ships          repair fleet cable ships, integer in [1, 100000]
+//                  (default 60)
+//   partition_threshold  timeline partition threshold, % in [0, 100]
+//                  (default 50)
 //
 // Cache-key semantics: build_cache_key produces the canonical
 // content-addressed key of a request — an injective binary encoding of
@@ -58,6 +79,7 @@ enum class RequestKind : std::uint8_t {
   kSweep,
   kStats,
   kShutdown,
+  kTimeline,
 };
 
 std::string_view to_string(RequestKind kind) noexcept;
@@ -73,7 +95,19 @@ struct ScenarioRequest {
   std::size_t quorum = 2;
   double dns_threshold_pct = 10.0;
   sim::TrialEngine engine = sim::TrialEngine::kAuto;
+  // Post-failure traffic routing (report responses). Folded into every key
+  // unconditionally — like quorum/dns_threshold, these shape the resident
+  // observer bundle, so two requests differing only here must never share
+  // an engine or a cached body.
+  bool traffic = false;
+  std::size_t demand_pairs = 0;
   std::vector<double> grid;  // sorted ascending after parse; sweep only
+  // Timeline playback axis (timeline requests only; folded kind-gated).
+  double timeline_step_hours = 6.0;
+  std::size_t repair_steps = 24;
+  double repair_step_days = 15.0;
+  std::size_t ships = 60;
+  double partition_threshold_pct = 50.0;
 
   // Restores every field to its default, keeping buffer capacity (the
   // strings' values all fit in the small-string buffer).

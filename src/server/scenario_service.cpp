@@ -10,6 +10,8 @@
 #include "core/world.h"
 #include "datasets/datacenters.h"
 #include "gic/failure_model.h"
+#include "gic/timeline.h"
+#include "routing/demand.h"
 #include "sim/monte_carlo.h"
 #include "util/fingerprint.h"
 #include "util/status.h"
@@ -151,6 +153,20 @@ struct ScenarioService::ReportEngine {
     pipeline.add_observer(facebook);
     pipeline.add_observer(dns);
     pipeline.add_observer(isolation);
+    if (req.traffic) {
+      // Sampled matrices use kServedDemandSeed, not req.seed: this bundle
+      // is pooled without (trials, seed) and must serve any seed.
+      std::vector<routing::TrafficDemand> demands =
+          req.demand_pairs == 0
+              ? routing::gravity_demands(net)
+              : routing::sampled_node_demands(net, req.demand_pairs, 400.0,
+                                              kServedDemandSeed);
+      traffic_engine = std::make_unique<routing::TrafficEngine>(
+          net, std::move(demands));
+      traffic_observer =
+          std::make_unique<routing::TrafficObserver>(*traffic_engine);
+      pipeline.add_observer(*traffic_observer);
+    }
   }
 
   std::unique_ptr<gic::RepeaterFailureModel> model;
@@ -161,6 +177,8 @@ struct ScenarioService::ReportEngine {
   services::AvailabilityObserver facebook;
   analysis::DnsResolutionObserver dns;
   analysis::CountryIsolationObserver isolation;
+  std::unique_ptr<routing::TrafficEngine> traffic_engine;
+  std::unique_ptr<routing::TrafficObserver> traffic_observer;
 };
 
 struct ScenarioService::SweepEngineEntry {
@@ -176,6 +194,40 @@ struct ScenarioService::SweepEngineEntry {
   sim::SweepEngine engine;
 };
 
+namespace {
+
+sim::TimelineConfig timeline_config_for(const ScenarioRequest& req) {
+  sim::TimelineConfig config = sim::TimelineConfig::from_profile(
+      gic::StormPhaseProfile{}, req.timeline_step_hours);
+  config.repair_steps = req.repair_steps;
+  config.repair_step_hours = req.repair_step_days * 24.0;
+  config.fleet.cable_ships = req.ships;
+  return config;
+}
+
+}  // namespace
+
+struct ScenarioService::TimelineEngineEntry {
+  TimelineEngineEntry(const topo::InfrastructureNetwork& net,
+                      const ScenarioRequest& req,
+                      const ServiceOptions& options)
+      : model(make_model(req)),
+        simulator(net, trial_config_for(req, options.threads)),
+        engine(simulator, simulator.death_probability_table(*model),
+               timeline_config_for(req)),
+        connectivity(req.partition_threshold_pct),
+        outage(net, options.countries) {
+    engine.add_observer(connectivity);
+    engine.add_observer(outage);
+  }
+
+  std::unique_ptr<gic::RepeaterFailureModel> model;
+  sim::FailureSimulator simulator;
+  sim::TimelineEngine engine;
+  sim::TimelineConnectivityObserver connectivity;
+  analysis::CountryOutageObserver outage;
+};
+
 // --- body serializers -------------------------------------------------------
 
 std::string serialize_report_body(
@@ -183,7 +235,8 @@ std::string serialize_report_body(
     const services::AvailabilitySweep& google,
     const services::AvailabilitySweep& facebook,
     const analysis::DnsResolutionSweep& dns,
-    const std::vector<analysis::CountryIsolationResult>& isolation) {
+    const std::vector<analysis::CountryIsolationResult>& isolation,
+    const routing::TrafficSweep* traffic) {
   std::string out;
   out.reserve(2048);
   append_request_echo(out, req);
@@ -255,7 +308,26 @@ std::string serialize_report_body(
     append_stats(out, country.surviving_cables);
     out += '}';
   }
-  out += "]}";
+  out += ']';
+
+  if (traffic != nullptr) {
+    out += ",\"traffic\":{\"demand_pairs\":";
+    append_u64(out, traffic->demand_pairs);
+    out += ",\"offered_gbps\":";
+    append_double(out, traffic->offered_gbps);
+    out += ",\"delivered_fraction\":";
+    append_stats(out, traffic->delivered_fraction);
+    out += ",\"stranded_gbps\":";
+    append_stats(out, traffic->stranded_gbps);
+    out += ",\"max_utilization\":";
+    append_stats(out, traffic->max_utilization);
+    out += ",\"overloaded_cables\":";
+    append_stats(out, traffic->overloaded_cables);
+    out += ",\"mean_path_km\":";
+    append_stats(out, traffic->mean_path_km);
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 
@@ -277,6 +349,72 @@ std::string serialize_sweep_body(const ScenarioRequest& req,
     append_stats(out, point.nodes_unreachable_pct);
     out += ",\"largest_component_pct\":";
     append_stats(out, point.largest_component_pct);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string serialize_timeline_body(
+    const ScenarioRequest& req, const sim::TimelineEngine& engine,
+    const sim::TimelineConnectivityResult& conn,
+    const std::vector<analysis::CountryOutageResult>& outage) {
+  std::string out;
+  out.reserve(1024 + 256 * conn.steps.size());
+  append_request_echo(out, req);
+  out += ",\"model\":\"";
+  out += req.model;
+  out += '"';
+  if (req.model == "uniform") {
+    out += ",\"p\":";
+    append_double(out, req.uniform_p);
+  }
+  out += ",\"storm_steps\":";
+  append_u64(out, engine.storm_step_count());
+  out += ",\"repair_steps\":";
+  append_u64(out, engine.repair_step_count());
+  out += ",\"steps\":[";
+  bool first = true;
+  for (const sim::TimelineStepStats& step : conn.steps) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"hour\":";
+    append_double(out, step.hour);
+    out += ",\"cables_dead_pct\":";
+    append_stats(out, step.cables_dead_pct);
+    out += ",\"nodes_unreachable_pct\":";
+    append_stats(out, step.nodes_unreachable_pct);
+    out += ",\"largest_component_pct\":";
+    append_stats(out, step.largest_component_pct);
+    out += '}';
+  }
+  out += "],\"partition\":{\"threshold_pct\":";
+  append_double(out, conn.partition_threshold_pct);
+  out += ",\"baseline_largest_pct\":";
+  append_double(out, engine.baseline_largest_pct());
+  out += ",\"partitioned_trials\":";
+  append_u64(out, conn.partitioned_trials);
+  out += ",\"time_to_partition_hours\":";
+  append_stats(out, conn.time_to_partition_hours);
+  out += "},\"peak_nodes_unreachable_pct\":";
+  append_stats(out, conn.peak_nodes_unreachable_pct);
+  out += ",\"outage\":[";
+  first = true;
+  for (const analysis::CountryOutageResult& country : outage) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"country\":\"";
+    append_escaped(out, country.country);
+    out += "\",\"international_cables\":";
+    append_u64(out, country.international_cable_count);
+    out += ",\"trials\":";
+    append_u64(out, country.trials);
+    out += ",\"cutoff_trials\":";
+    append_u64(out, country.cutoff_trials);
+    out += ",\"outage_hours\":";
+    append_stats(out, country.outage_hours);
+    out += ",\"cutoff_start_hour\":";
+    append_stats(out, country.cutoff_start_hour);
     out += '}';
   }
   out += "]}";
@@ -319,7 +457,7 @@ ScenarioService::ScenarioService(ServiceContext context,
   // rather than the request: the body format, the isolation country list,
   // the data-center operator set, and the DNS root deployment.
   util::Fingerprint salt(0x7372762d73616c74ULL);  // "srv-salt"
-  salt.fold_bytes("serve-body/v1");
+  salt.fold_bytes("serve-body/v2");
   salt.fold(options_.countries.size());
   for (const std::string& country : options_.countries) {
     salt.fold_bytes(country);
@@ -383,6 +521,7 @@ Body ScenarioService::handle(const ScenarioRequest& request,
     }
     case RequestKind::kReport:
     case RequestKind::kSweep:
+    case RequestKind::kTimeline:
       break;
   }
   std::uint64_t fp = 0;
@@ -459,6 +598,7 @@ Body ScenarioService::compute(const ScenarioRequest& req) {
   std::uint64_t fp = 0;
   const topo::InfrastructureNetwork& net = network_for(req, &fp);
   if (req.kind == RequestKind::kSweep) return compute_sweep(req, net);
+  if (req.kind == RequestKind::kTimeline) return compute_timeline(req, net);
   return compute_report(req, net);
 }
 
@@ -492,7 +632,9 @@ Body ScenarioService::compute_report(const ScenarioRequest& req,
     body = make_body(serialize_report_body(
         req, engine->connectivity.result(), engine->google.result(),
         engine->facebook.result(), engine->dns.result(),
-        engine->isolation.results()));
+        engine->isolation.results(),
+        engine->traffic_observer ? &engine->traffic_observer->result()
+                                 : nullptr));
   } catch (...) {
     const std::lock_guard<std::mutex> lock(pool_mutex_);
     report_pool_[engine_key].push_back(std::move(engine));
@@ -536,6 +678,43 @@ Body ScenarioService::compute_sweep(const ScenarioRequest& req,
   }
   const std::lock_guard<std::mutex> lock(pool_mutex_);
   sweep_pool_[engine_key].push_back(std::move(entry));
+  return body;
+}
+
+Body ScenarioService::compute_timeline(
+    const ScenarioRequest& req, const topo::InfrastructureNetwork& net) {
+  util::ByteWriter key_writer;
+  std::uint64_t fp = 0;
+  network_for(req, &fp);
+  build_engine_key(req, fp, observer_salt_, key_writer);
+  const std::string engine_key = key_writer.take();
+
+  std::unique_ptr<TimelineEngineEntry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto& pool = timeline_pool_[engine_key];
+    if (!pool.empty()) {
+      entry = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+  if (!entry) {
+    entry = std::make_unique<TimelineEngineEntry>(net, req, options_);
+  }
+
+  Body body;
+  try {
+    entry->engine.run(req.trials, req.seed, options_.threads);
+    body = make_body(serialize_timeline_body(req, entry->engine,
+                                             entry->connectivity.result(),
+                                             entry->outage.results()));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    timeline_pool_[engine_key].push_back(std::move(entry));
+    throw;
+  }
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  timeline_pool_[engine_key].push_back(std::move(entry));
   return body;
 }
 

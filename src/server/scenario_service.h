@@ -46,12 +46,15 @@
 
 #include "analysis/country.h"
 #include "analysis/dns_resolution.h"
+#include "analysis/outage.h"
 #include "datasets/infra_points.h"
+#include "routing/traffic_observer.h"
 #include "server/request.h"
 #include "server/result_cache.h"
 #include "services/availability.h"
 #include "sim/pipeline.h"
 #include "sim/sweep.h"
+#include "sim/timeline_engine.h"
 #include "topology/network.h"
 #include "util/checkpoint.h"
 
@@ -100,15 +103,27 @@ struct RequestScratch {
 // The exact bytes the service serves, reproducible from direct engine runs.
 // Doubles are printed as shortest round-trip-exact decimals ("%.17g"-class
 // precision via to_chars), so byte-identical text <=> bit-identical values.
+// `traffic` is null unless the request asked for the traffic section.
 std::string serialize_report_body(
     const ScenarioRequest& req, const sim::ConnectivityObserver::Result& conn,
     const services::AvailabilitySweep& google,
     const services::AvailabilitySweep& facebook,
     const analysis::DnsResolutionSweep& dns,
-    const std::vector<analysis::CountryIsolationResult>& isolation);
+    const std::vector<analysis::CountryIsolationResult>& isolation,
+    const routing::TrafficSweep* traffic = nullptr);
 std::string serialize_sweep_body(const ScenarioRequest& req,
                                  const sim::SweepResult& result);
+std::string serialize_timeline_body(
+    const ScenarioRequest& req, const sim::TimelineEngine& engine,
+    const sim::TimelineConnectivityResult& conn,
+    const std::vector<analysis::CountryOutageResult>& outage);
 std::string serialize_error_body(std::string_view message);
+
+// The demand seed served sampled-demand matrices are built with. Fixed —
+// deliberately NOT the request seed: engine-pool keys exclude (trials,
+// seed), so a pooled traffic bundle must serve any seed, and the cache key
+// must keep meaning "bit-identical body".
+inline constexpr std::uint64_t kServedDemandSeed = 0x64656d616e647321ULL;
 
 class ScenarioService {
  public:
@@ -157,6 +172,9 @@ class ScenarioService {
   // Resident sweep bundle: simulator + CRN sweep engine for one
   // (network, spacing, grid) tuple.
   struct SweepEngineEntry;
+  // Resident timeline bundle: simulator + death table + TimelineEngine +
+  // temporal observers for one (network, model, spacing, axis) tuple.
+  struct TimelineEngineEntry;
 
   struct InFlight {
     std::shared_ptr<std::promise<Body>> promise;
@@ -171,6 +189,8 @@ class ScenarioService {
                       const topo::InfrastructureNetwork& net);
   Body compute_sweep(const ScenarioRequest& req,
                      const topo::InfrastructureNetwork& net);
+  Body compute_timeline(const ScenarioRequest& req,
+                        const topo::InfrastructureNetwork& net);
   Body stats_body() const;
 
   ServiceContext context_;
@@ -194,6 +214,9 @@ class ScenarioService {
   std::unordered_map<std::string,
                      std::vector<std::unique_ptr<SweepEngineEntry>>>
       sweep_pool_;
+  std::unordered_map<std::string,
+                     std::vector<std::unique_ptr<TimelineEngineEntry>>>
+      timeline_pool_;
 
   std::atomic<bool> shutdown_{false};
 

@@ -1,0 +1,66 @@
+#include "sim/incremental.h"
+
+#include <stdexcept>
+
+namespace solarnet::sim {
+
+IncrementalConnectivity::IncrementalConnectivity(
+    const topo::InfrastructureNetwork& net)
+    : cables_(net.cable_count()),
+      nodes_(net.node_count()),
+      connected_nodes_(net.connected_node_count()) {
+  // Flatten per-cable graph edges for the resurrection walk.
+  edge_offset_.reserve(cables_ + 1);
+  edge_offset_.push_back(0);
+  for (topo::CableId c = 0; c < cables_; ++c) {
+    for (const graph::EdgeId e : net.edges_of_cable(c)) {
+      const graph::Edge& ed = net.graph().edge(e);
+      edge_u_.push_back(ed.u);
+      edge_v_.push_back(ed.v);
+    }
+    edge_offset_.push_back(static_cast<std::uint32_t>(edge_u_.size()));
+  }
+
+  // Per-cable unique incident nodes, built by inverting cables_at(n) in
+  // two counting passes (each (cable, node) incidence appears exactly once
+  // there — Cable::endpoints() dedups before network registration).
+  node_offset_.assign(cables_ + 1, 0);
+  for (topo::NodeId n = 0; n < nodes_; ++n) {
+    for (const topo::CableId c : net.cables_at(n)) ++node_offset_[c + 1];
+  }
+  for (topo::CableId c = 0; c < cables_; ++c) {
+    node_offset_[c + 1] += node_offset_[c];
+  }
+  node_ids_.resize(node_offset_[cables_]);
+  std::vector<std::uint32_t> cursor(node_offset_.begin(),
+                                    node_offset_.end() - 1);
+  for (topo::NodeId n = 0; n < nodes_; ++n) {
+    for (const topo::CableId c : net.cables_at(n)) {
+      node_ids_[cursor[c]++] = static_cast<std::uint32_t>(n);
+    }
+  }
+}
+
+void IncrementalConnectivity::bucket_by_first_dead(
+    std::span<const std::uint32_t> first_dead, std::size_t steps,
+    IncrementalScratch& s) const {
+  if (first_dead.size() != cables_) {
+    throw std::invalid_argument(
+        "IncrementalConnectivity: first_dead size mismatches network");
+  }
+  s.bucket_start.assign(steps + 2, 0);
+  for (std::size_t c = 0; c < cables_; ++c) {
+    ++s.bucket_start[first_dead[c] + 1];
+  }
+  for (std::size_t g = 1; g <= steps + 1; ++g) {
+    s.bucket_start[g] += s.bucket_start[g - 1];
+  }
+  s.bucket_cursor.assign(s.bucket_start.begin(), s.bucket_start.end() - 1);
+  s.bucket_cables.resize(cables_);
+  for (std::size_t c = 0; c < cables_; ++c) {
+    s.bucket_cables[s.bucket_cursor[first_dead[c]]++] =
+        static_cast<std::uint32_t>(c);
+  }
+}
+
+}  // namespace solarnet::sim

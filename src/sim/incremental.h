@@ -1,0 +1,133 @@
+// Shared incremental-connectivity core: the reusable union-find
+// resurrection walk that prices a whole axis of nested dead-cable sets at
+// the cost of ~one component build.
+//
+// SweepEngine (probability axis, PR 4) and TimelineEngine (time axis) both
+// evaluate sequences of *monotone nested* dead sets: dead(0) ⊆ dead(1) ⊆ …
+// along severity, or failures accumulating during a storm and healing
+// during repair. The trick is identical in every case: walk the axis from
+// the most severe step to the least severe, *resurrecting* cables into an
+// insert-only union-find, and read the aggregates (alive cables, nodes with
+// >= 1 alive cable, largest component) after each resurrection batch. This
+// header owns that walk so every axis-shaped workload shares one
+// implementation — and one set of bit-identity gates (bench/perf_sweep,
+// bench/perf_timeline).
+//
+// The protocol:
+//   1. Compute, per cable, its *first dead step* on the axis: the smallest
+//      step index at which the cable is dead, or `steps` when it is alive
+//      everywhere. Nesting means the dead set at step g is exactly
+//      {c : first_dead[c] <= g}.
+//   2. bucket_by_first_dead() counting-sorts cables into buckets by that
+//      index (ascending cable order preserved inside each bucket).
+//   3. walk() activates bucket `steps` (the always-alive cables), then
+//      iterates g = steps-1 … 0, reporting step g's aggregates *before*
+//      resurrecting bucket g — so the callback observes exactly
+//      {c : first_dead[c] > g}, step g's alive set.
+//
+// All state lives in IncrementalScratch; a warm scratch makes the
+// bucket+walk pair allocation-free (asserted by the perf benches).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/union_find.h"
+#include "topology/network.h"
+
+namespace solarnet::sim {
+
+// Aggregates maintained by the walk, updated after every resurrection.
+struct IncrementalAggregates {
+  std::size_t alive_cables = 0;
+  std::size_t lit_nodes = 0;  // nodes with >= 1 alive cable
+  // Largest union-find component over *all* graph nodes; isolated vertices
+  // count as singleton components, hence the 1 floor on non-empty graphs.
+  std::size_t largest = 0;
+};
+
+// Reusable buffers for one walk. Sized on first use, never shrunk.
+struct IncrementalScratch {
+  std::vector<std::uint32_t> bucket_start;   // counting-sort offsets, S+2
+  std::vector<std::uint32_t> bucket_cursor;  // counting-sort fill cursors
+  std::vector<std::uint32_t> bucket_cables;  // cables grouped by first-dead
+  std::vector<std::uint32_t> alive_cables_at_node;
+  graph::UnionFind uf;
+};
+
+// Immutable per-network geometry for the resurrection walk: per-cable graph
+// edges (CSR endpoints) and unique incident nodes, flattened once at
+// construction. The network must outlive this object.
+class IncrementalConnectivity {
+ public:
+  explicit IncrementalConnectivity(const topo::InfrastructureNetwork& net);
+
+  std::size_t cable_count() const noexcept { return cables_; }
+  std::size_t node_count() const noexcept { return nodes_; }
+  // Nodes with >= 1 registered cable — the denominator the engines use for
+  // unreachable / largest-component percentages.
+  std::size_t connected_node_count() const noexcept { return connected_nodes_; }
+
+  // Counting-sorts cables into buckets by first-dead step index. Each
+  // first_dead[c] must be in [0, steps]; bucket `steps` holds the cables
+  // alive across the whole axis. Ascending cable order is preserved inside
+  // each bucket, so activation order — and therefore every union-find merge
+  // sequence — is a pure function of the first_dead array.
+  void bucket_by_first_dead(std::span<const std::uint32_t> first_dead,
+                            std::size_t steps,
+                            IncrementalScratch& scratch) const;
+
+  // The resurrection walk over a bucketed scratch. Calls
+  // `on_step(g, aggregates)` for g = steps-1 … 0 with the aggregates of
+  // step g's alive set {c : first_dead[c] > g}. With steps == 0 the
+  // callback is never invoked (an empty axis has no steps to report).
+  // Header-inline so the per-cable activation loop inlines into each
+  // engine's callback; the arithmetic is intentionally untouched from the
+  // PR 4 SweepEngine walk so the refactor stays bit-identical.
+  template <typename OnStep>
+  void walk(std::size_t steps, IncrementalScratch& s, OnStep&& on_step) const {
+    s.alive_cables_at_node.assign(nodes_, 0);
+    s.uf.reset(nodes_);
+    IncrementalAggregates agg;
+    agg.largest = nodes_ > 0 ? 1 : 0;
+
+    const auto activate_bucket = [&](std::size_t bucket) {
+      for (std::uint32_t i = s.bucket_start[bucket];
+           i < s.bucket_start[bucket + 1]; ++i) {
+        const std::uint32_t c = s.bucket_cables[i];
+        ++agg.alive_cables;
+        for (std::uint32_t k = node_offset_[c]; k < node_offset_[c + 1];
+             ++k) {
+          if (s.alive_cables_at_node[node_ids_[k]]++ == 0) ++agg.lit_nodes;
+        }
+        for (std::uint32_t k = edge_offset_[c]; k < edge_offset_[c + 1];
+             ++k) {
+          const std::size_t merged =
+              s.uf.unite_returning_size(edge_u_[k], edge_v_[k]);
+          agg.largest = std::max(agg.largest, merged);
+        }
+      }
+    };
+
+    activate_bucket(steps);
+    for (std::size_t g = steps; g-- > 0;) {
+      on_step(g, static_cast<const IncrementalAggregates&>(agg));
+      if (g > 0) activate_bucket(g);
+    }
+  }
+
+ private:
+  std::size_t cables_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t connected_nodes_ = 0;
+  // Per-cable flattened graph edges and unique incident nodes.
+  std::vector<std::uint32_t> edge_offset_;  // size cables+1
+  std::vector<std::uint32_t> edge_u_;
+  std::vector<std::uint32_t> edge_v_;
+  std::vector<std::uint32_t> node_offset_;  // size cables+1
+  std::vector<std::uint32_t> node_ids_;
+};
+
+}  // namespace solarnet::sim

@@ -12,7 +12,10 @@ namespace solarnet::sim {
 SweepEngine::SweepEngine(const FailureSimulator& simulator,
                          std::vector<DeathProbabilityTable> grid,
                          std::vector<double> axis)
-    : sim_(simulator), grid_size_(grid.size()), axis_(std::move(axis)) {
+    : sim_(simulator),
+      grid_size_(grid.size()),
+      axis_(std::move(axis)),
+      inc_(simulator.network()) {
   if (sim_.config().rule != CableDeathRule::kAnyRepeaterFails) {
     throw std::invalid_argument(
         "SweepEngine: CRN grid thresholding models the any-repeater-fails "
@@ -55,41 +58,14 @@ SweepEngine::SweepEngine(const FailureSimulator& simulator,
     }
   }
 
-  // Flatten per-cable graph edges for the resurrection walk.
-  edge_offset_.reserve(cables + 1);
-  edge_offset_.push_back(0);
+  // The graph geometry for the resurrection walk (per-cable edges, unique
+  // incident nodes, connected-node denominator) lives in inc_; the engine
+  // only keeps the draw list of repeater-bearing cables.
   for (topo::CableId c = 0; c < cables; ++c) {
-    for (const graph::EdgeId e : net.edges_of_cable(c)) {
-      const graph::Edge& ed = net.graph().edge(e);
-      edge_u_.push_back(ed.u);
-      edge_v_.push_back(ed.v);
-    }
-    edge_offset_.push_back(static_cast<std::uint32_t>(edge_u_.size()));
     if (sim_.cable_repeater_count(c) > 0) {
       mortal_.push_back(static_cast<std::uint32_t>(c));
     }
   }
-
-  // Per-cable unique incident nodes, built by inverting cables_at(n) in
-  // two counting passes (each (cable, node) incidence appears exactly once
-  // there — Cable::endpoints() dedups before network registration).
-  const std::size_t nodes = net.node_count();
-  node_offset_.assign(cables + 1, 0);
-  for (topo::NodeId n = 0; n < nodes; ++n) {
-    for (const topo::CableId c : net.cables_at(n)) ++node_offset_[c + 1];
-  }
-  for (topo::CableId c = 0; c < cables; ++c) {
-    node_offset_[c + 1] += node_offset_[c];
-  }
-  node_ids_.resize(node_offset_[cables]);
-  std::vector<std::uint32_t> cursor(node_offset_.begin(),
-                                    node_offset_.end() - 1);
-  for (topo::NodeId n = 0; n < nodes; ++n) {
-    for (const topo::CableId c : net.cables_at(n)) {
-      node_ids_[cursor[c]++] = static_cast<std::uint32_t>(n);
-    }
-  }
-  connected_nodes_ = net.connected_node_count();
 }
 
 SweepEngine SweepEngine::uniform(const FailureSimulator& simulator,
@@ -175,7 +151,6 @@ void SweepEngine::sample_death_grid_indices(
 
 void SweepEngine::run_trial(util::Rng& rng, SweepScratch& s) const {
   const std::size_t cables = sim_.network().cable_count();
-  const std::size_t nodes = sim_.network().node_count();
   const std::size_t grid = grid_size_;
 
   // Same draws as sample_death_grid_indices (one uniform per mortal cable
@@ -197,69 +172,31 @@ void SweepEngine::run_trial(util::Rng& rng, SweepScratch& s) const {
     s.death_index[mortal_[i]] = static_cast<std::uint32_t>(grid) - dead_points;
   }
 
-  // Counting-sort cables by first-dead grid index (bucket `grid` holds the
-  // cables that survive the whole axis), preserving ascending cable order
-  // inside each bucket.
-  s.bucket_start.assign(grid + 2, 0);
-  for (topo::CableId c = 0; c < cables; ++c) {
-    ++s.bucket_start[s.death_index[c] + 1];
-  }
-  for (std::size_t g = 1; g <= grid + 1; ++g) {
-    s.bucket_start[g] += s.bucket_start[g - 1];
-  }
-  s.bucket_cursor.assign(s.bucket_start.begin(), s.bucket_start.end() - 1);
-  s.bucket_cables.resize(cables);
-  for (topo::CableId c = 0; c < cables; ++c) {
-    s.bucket_cables[s.bucket_cursor[s.death_index[c]]++] = c;
-  }
-
-  // Reverse-resurrection walk. Start from the most severe point (only the
-  // always-alive bucket active) and add cables back as severity drops; the
-  // union-find only ever takes insertions, which is what makes the whole
-  // grid cost one component build.
-  s.alive_cables_at_node.assign(nodes, 0);
-  s.uf.reset(nodes);
+  // Reverse-resurrection walk over the shared core. The alive set when the
+  // callback fires at point g is exactly {c : death_index[c] > g} — point
+  // g's state.
+  inc_.bucket_by_first_dead(s.death_index, grid, s.inc);
   s.cables_pct.resize(grid);
   s.nodes_pct.resize(grid);
   s.largest_pct.resize(grid);
-  std::size_t alive_cables = 0;
-  std::size_t lit_nodes = 0;  // nodes with >= 1 alive cable
-  std::size_t largest = nodes > 0 ? 1 : 0;
-
-  const auto activate_bucket = [&](std::size_t bucket) {
-    for (std::uint32_t i = s.bucket_start[bucket];
-         i < s.bucket_start[bucket + 1]; ++i) {
-      const std::uint32_t c = s.bucket_cables[i];
-      ++alive_cables;
-      for (std::uint32_t k = node_offset_[c]; k < node_offset_[c + 1]; ++k) {
-        if (s.alive_cables_at_node[node_ids_[k]]++ == 0) ++lit_nodes;
-      }
-      for (std::uint32_t k = edge_offset_[c]; k < edge_offset_[c + 1]; ++k) {
-        const std::size_t merged =
-            s.uf.unite_returning_size(edge_u_[k], edge_v_[k]);
-        largest = std::max(largest, merged);
-      }
-    }
-  };
-
-  activate_bucket(grid);
-  for (std::size_t g = grid; g-- > 0;) {
-    // Alive set here is exactly {c : death_index[c] > g} — point g's state.
-    const std::size_t dead = cables - alive_cables;
-    s.cables_pct[g] = cables > 0 ? 100.0 * static_cast<double>(dead) /
-                                       static_cast<double>(cables)
-                                 : 0.0;
-    const std::size_t unreachable = connected_nodes_ - lit_nodes;
-    s.nodes_pct[g] = connected_nodes_ > 0
-                         ? 100.0 * static_cast<double>(unreachable) /
-                               static_cast<double>(connected_nodes_)
-                         : 0.0;
-    s.largest_pct[g] = connected_nodes_ > 0
-                           ? 100.0 * static_cast<double>(largest) /
-                                 static_cast<double>(connected_nodes_)
-                           : 0.0;
-    if (g > 0) activate_bucket(g);
-  }
+  const std::size_t connected = inc_.connected_node_count();
+  inc_.walk(grid, s.inc,
+            [&](std::size_t g, const IncrementalAggregates& agg) {
+              const std::size_t dead = cables - agg.alive_cables;
+              s.cables_pct[g] = cables > 0
+                                    ? 100.0 * static_cast<double>(dead) /
+                                          static_cast<double>(cables)
+                                    : 0.0;
+              const std::size_t unreachable = connected - agg.lit_nodes;
+              s.nodes_pct[g] =
+                  connected > 0 ? 100.0 * static_cast<double>(unreachable) /
+                                      static_cast<double>(connected)
+                                : 0.0;
+              s.largest_pct[g] =
+                  connected > 0 ? 100.0 * static_cast<double>(agg.largest) /
+                                      static_cast<double>(connected)
+                                : 0.0;
+            });
 }
 
 SweepResult SweepEngine::run(std::size_t trials, std::uint64_t seed) const {

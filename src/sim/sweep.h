@@ -21,7 +21,9 @@
 //    *resurrecting* cables into a reusable incremental union-find (offline
 //    decremental connectivity). Whole-grid unreachable-node counts and
 //    largest-component sizes cost one component build per trial instead of
-//    G. All scratch lives in SweepScratch: the steady-state per-trial loop
+//    G. The walk itself lives in sim/incremental.h
+//    (IncrementalConnectivity), shared with the time-axis TimelineEngine.
+//    All scratch lives in SweepScratch: the steady-state per-trial loop
 //    performs zero heap allocations (asserted by bench/perf_sweep.cpp).
 //
 // Determinism contract: trial t always draws from child stream t of the
@@ -39,7 +41,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/union_find.h"
+#include "sim/incremental.h"
 #include "sim/monte_carlo.h"
 #include "util/stats.h"
 
@@ -67,13 +69,9 @@ struct SweepResult {
 // sized on first use and never shrink, so a warm scratch makes
 // SweepEngine::run_trial allocation-free.
 struct SweepScratch {
-  std::vector<double> uniforms;              // one CRN draw per mortal cable
-  std::vector<std::uint32_t> death_index;    // per cable: first dead point
-  std::vector<std::uint32_t> bucket_start;   // counting-sort offsets, G+2
-  std::vector<std::uint32_t> bucket_cursor;  // counting-sort fill cursors
-  std::vector<std::uint32_t> bucket_cables;  // cables grouped by death_index
-  std::vector<std::uint32_t> alive_cables_at_node;
-  graph::UnionFind uf;
+  std::vector<double> uniforms;            // one CRN draw per mortal cable
+  std::vector<std::uint32_t> death_index;  // per cable: first dead point
+  IncrementalScratch inc;                  // resurrection-walk buffers
   // Per-point percentages of the current trial, in grid order.
   std::vector<double> cables_pct;
   std::vector<double> nodes_pct;
@@ -138,16 +136,10 @@ class SweepEngine {
   // probability at point g — one contiguous non-decreasing row per cable,
   // so the per-cable threshold search is a cache-local upper_bound.
   std::vector<double> probability_;
-  // Per-cable flattened graph edges (CSR endpoints) and unique incident
-  // nodes, for the resurrection walk.
-  std::vector<std::uint32_t> edge_offset_;  // size cables+1
-  std::vector<std::uint32_t> edge_u_;
-  std::vector<std::uint32_t> edge_v_;
-  std::vector<std::uint32_t> node_offset_;  // size cables+1
-  std::vector<std::uint32_t> node_ids_;
+  // Shared resurrection-walk core (per-cable edges/nodes, flattened once).
+  IncrementalConnectivity inc_;
   // Repeater-bearing cables in ascending order — the only ones that draw.
   std::vector<std::uint32_t> mortal_;
-  std::size_t connected_nodes_ = 0;
 };
 
 }  // namespace solarnet::sim

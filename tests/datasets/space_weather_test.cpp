@@ -1,0 +1,253 @@
+#include "datasets/space_weather.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace solarnet::datasets {
+namespace {
+
+// Parses an expected-bad document and hands back the structured error for
+// inspection. Every loader rejection must carry file:line:field provenance
+// (the PR 6 loader contract).
+util::Error capture(std::string_view text) {
+  try {
+    parse_space_weather_json(text, "feed.json");
+  } catch (const util::Error& e) {
+    return e;
+  }
+  ADD_FAILURE() << "document unexpectedly parsed";
+  return util::Error(util::ErrorCode::kOk, "no error");
+}
+
+TEST(SpaceWeatherTest, ParsesDonkiDocument) {
+  const std::string_view doc = R"([
+  {"flrID": "FLR-1", "beginTime": "2024-05-10T06:27Z", "classType": "X3.9",
+   "sourceLocation": "S17W45", "link": null},
+  {"activityID": "CME-1", "startTime": "2024-05-08T22:36Z", "speed": 1109,
+   "instruments": [{"displayName": "SOHO"}]},
+  {"gstID": "GST-1", "startTime": "2024-05-10T15:00Z",
+   "allKpIndex": [
+     {"observedTime": "2024-05-10T15:00Z", "kpIndex": 7, "source": "NOAA"},
+     {"observedTime": "2024-05-10T18:00Z", "kpIndex": "8.67"}
+   ],
+   "linkedEvents": [{"activityID": "CME-1"}]}
+])";
+  const SpaceWeatherTimeline timeline =
+      parse_space_weather_json(doc, "donki.json");
+  EXPECT_EQ(timeline.source, "donki.json");
+  EXPECT_EQ(timeline.start_time, "2024-05-10T15:00Z");
+
+  ASSERT_EQ(timeline.kp.size(), 2u);
+  EXPECT_EQ(timeline.kp[0].hours, 0.0);
+  EXPECT_EQ(timeline.kp[0].kp, 7.0);
+  EXPECT_NEAR(timeline.kp[1].hours, 3.0, 1e-9);
+  EXPECT_NEAR(timeline.kp[1].kp, 8.67, 1e-12);
+  EXPECT_NEAR(timeline.duration_hours(), 3.0, 1e-9);
+
+  // Events keep file order; hours are relative to the first Kp sample, so
+  // the flare and the CME that precede the geomagnetic storm go negative.
+  ASSERT_EQ(timeline.events.size(), 3u);
+  EXPECT_EQ(timeline.events[0].kind, SpaceWeatherEventKind::kFlare);
+  EXPECT_EQ(timeline.events[0].id, "FLR-1");
+  EXPECT_EQ(timeline.events[0].detail, "X3.9");
+  EXPECT_NEAR(timeline.events[0].hours, -(8.0 + 33.0 / 60.0), 1e-9);
+  EXPECT_EQ(timeline.events[1].kind, SpaceWeatherEventKind::kCme);
+  EXPECT_EQ(timeline.events[1].id, "CME-1");
+  EXPECT_EQ(timeline.events[1].detail, "1109 km/s");
+  EXPECT_NEAR(timeline.events[1].hours, -(40.0 + 24.0 / 60.0), 1e-9);
+  EXPECT_EQ(timeline.events[2].kind,
+            SpaceWeatherEventKind::kGeomagneticStorm);
+  EXPECT_EQ(timeline.events[2].hours, 0.0);
+}
+
+TEST(SpaceWeatherTest, ParsesNoaaPlanetaryKpDocument) {
+  // NOAA SWPC shape: space-separated timestamps, Kp as number or numeric
+  // string, "estimated_kp" as the fallback field name.
+  const std::string_view doc = R"([
+  {"time_tag": "2024-05-10 15:00:00", "kp_index": 7},
+  {"time_tag": "2024-05-10 18:00:00", "estimated_kp": "6.33"}
+])";
+  const SpaceWeatherTimeline timeline =
+      parse_space_weather_json(doc, "noaa.json");
+  ASSERT_EQ(timeline.kp.size(), 2u);
+  EXPECT_EQ(timeline.kp[0].kp, 7.0);
+  EXPECT_NEAR(timeline.kp[1].kp, 6.33, 1e-12);
+  EXPECT_NEAR(timeline.kp[1].hours, 3.0, 1e-9);
+  EXPECT_TRUE(timeline.events.empty());
+}
+
+TEST(SpaceWeatherTest, RejectsEmptyDocument) {
+  const util::Error e = capture("   \n ");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_EQ(e.context().file, "feed.json");
+  EXPECT_NE(e.status().message().find("empty document"), std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsTruncatedDocument) {
+  const util::Error e = capture("[ {");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(e.status().message().find("unexpected end of document"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsUnterminatedString) {
+  const util::Error e = capture("[{\"time_tag\": \"2024");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(e.status().message().find("unterminated string"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsUnicodeEscapes) {
+  const util::Error e = capture("[{\"time_tag\": \"a\\u0041\"}]");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(e.status().message().find("unsupported escape"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsTrailingContent) {
+  const util::Error e = capture("[] extra");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(e.status().message().find("trailing content"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsDocumentWithoutKpSamples) {
+  // Well-formed, but only a flare — there is no Kp axis to build.
+  const util::Error e = capture(
+      R"([{"flrID": "F", "beginTime": "2024-05-10T06:27Z"}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "allKpIndex");
+  EXPECT_NE(e.status().message().find("no Kp samples"), std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsUnknownRecordShape) {
+  const util::Error e = capture("[\n  {\"foo\": 1}\n]");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().line, 2u);  // the record's '{' line
+  EXPECT_NE(e.status().message().find("unrecognized record"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsGstMissingStartTime) {
+  const util::Error e = capture(
+      R"([{"gstID": "G",
+  "allKpIndex": [{"observedTime": "2024-05-10T15:00Z", "kpIndex": 5}]}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "startTime");
+  EXPECT_EQ(e.context().line, 1u);
+}
+
+TEST(SpaceWeatherTest, RejectsGstMissingAllKpIndex) {
+  const util::Error e =
+      capture(R"([{"gstID": "G", "startTime": "2024-05-10T15:00Z"}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "allKpIndex");
+}
+
+TEST(SpaceWeatherTest, RejectsFlareMissingBeginTime) {
+  const util::Error e = capture(R"([{"flrID": "F", "classType": "X1.0"}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "beginTime");
+}
+
+TEST(SpaceWeatherTest, RejectsCmeMissingStartTime) {
+  const util::Error e = capture(R"([{"activityID": "C", "speed": 900}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "startTime");
+}
+
+TEST(SpaceWeatherTest, RejectsKpEntryMissingObservedTime) {
+  const util::Error e = capture(
+      R"([{"gstID": "G", "startTime": "2024-05-10T15:00Z",
+  "allKpIndex": [{"kpIndex": 5}]}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "observedTime");
+  EXPECT_EQ(e.context().line, 2u);
+}
+
+TEST(SpaceWeatherTest, RejectsKpEntryMissingKpIndex) {
+  const util::Error e = capture(
+      R"([{"gstID": "G", "startTime": "2024-05-10T15:00Z",
+  "allKpIndex": [{"observedTime": "2024-05-10T15:00Z"}]}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "kpIndex");
+}
+
+TEST(SpaceWeatherTest, RejectsKpRecordMissingKpIndex) {
+  const util::Error e = capture(R"([{"time_tag": "2024-05-10T15:00:00Z"}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "kp_index");
+}
+
+TEST(SpaceWeatherTest, RejectsKpOutsideValidRange) {
+  const util::Error e = capture(
+      "[\n  {\"time_tag\": \"2024-05-10T15:00Z\",\n   \"kp_index\": 9.5}\n]");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().file, "feed.json");
+  EXPECT_EQ(e.context().field, "kp_index");
+  EXPECT_EQ(e.context().line, 3u);  // the line the value appeared on
+  EXPECT_NE(e.status().message().find("Kp index outside [0, 9]"),
+            std::string::npos);
+  const util::Error negative = capture(
+      R"([{"time_tag": "2024-05-10T15:00Z", "kp_index": -1}])");
+  EXPECT_EQ(negative.code(), util::ErrorCode::kInvalidData);
+}
+
+TEST(SpaceWeatherTest, RejectsNonNumericKpString) {
+  const util::Error e = capture(
+      R"([{"time_tag": "2024-05-10T15:00Z", "kp_index": "abc"}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kParseError);
+  EXPECT_EQ(e.context().field, "kp_index");
+  EXPECT_NE(e.status().message().find("not a Kp number"), std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsNonMonotoneTimestamps) {
+  const util::Error e = capture(
+      "[\n"
+      "  {\"time_tag\": \"2024-05-10T15:00Z\", \"kp_index\": 5},\n"
+      "  {\"time_tag\": \"2024-05-10T15:00Z\", \"kp_index\": 6}\n"
+      "]");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "time_tag");
+  EXPECT_EQ(e.context().line, 3u);  // the sample that fails to advance
+  EXPECT_NE(e.status().message().find("non-monotone"), std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsMalformedTimestamp) {
+  const util::Error e = capture(
+      R"([{"time_tag": "2024-05-10", "kp_index": 5}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "time_tag");
+  EXPECT_NE(e.status().message().find("malformed timestamp"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, RejectsTimestampOutsideCalendarRange) {
+  const util::Error e = capture(
+      R"([{"time_tag": "2024-13-10T15:00Z", "kp_index": 5}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+  EXPECT_EQ(e.context().field, "time_tag");
+  EXPECT_NE(e.status().message().find("out of calendar range"),
+            std::string::npos);
+}
+
+TEST(SpaceWeatherTest, LeapDayIsAValidTimestamp) {
+  const std::string_view doc = R"([
+  {"time_tag": "2024-02-29T00:00Z", "kp_index": 4},
+  {"time_tag": "2024-03-01T00:00Z", "kp_index": 5}
+])";
+  const SpaceWeatherTimeline timeline =
+      parse_space_weather_json(doc, "leap.json");
+  ASSERT_EQ(timeline.kp.size(), 2u);
+  EXPECT_NEAR(timeline.kp[1].hours, 24.0, 1e-9);
+  const util::Error e = capture(
+      R"([{"time_tag": "2023-02-29T00:00Z", "kp_index": 4}])");
+  EXPECT_EQ(e.code(), util::ErrorCode::kInvalidData);
+}
+
+}  // namespace
+}  // namespace solarnet::datasets

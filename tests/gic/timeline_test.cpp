@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
 
 namespace solarnet::gic {
 namespace {
@@ -127,6 +131,83 @@ TEST_F(TimelineSimTest, StepValidation) {
   const UniformFailureModel m(0.05);
   EXPECT_THROW(failure_time_series(simulator, m, StormPhaseProfile{}, 0.0),
                std::invalid_argument);
+}
+
+TEST(KpDose, ShareIsNormalizedAndMonotone) {
+  // The Gannon-storm shape: quiet lead-in, G5 peak, slow decay.
+  const std::vector<double> hours = {0.0, 3.0, 6.0, 9.0, 12.0, 15.0};
+  const std::vector<double> kp = {4.33, 8.0, 9.0, 8.0, 6.33, 4.0};
+  const std::vector<double> share = dose_share_from_kp(hours, kp);
+  ASSERT_EQ(share.size(), hours.size());
+  EXPECT_EQ(share.front(), 0.0);  // first interval starts the integral
+  EXPECT_EQ(share.back(), 1.0);   // exactly — TimelineConfig requires it
+  for (std::size_t i = 1; i < share.size(); ++i) {
+    EXPECT_GE(share[i], share[i - 1]);
+    EXPECT_GE(share[i], 0.0);
+    EXPECT_LE(share[i], 1.0);
+  }
+  // Most of the dose lands around the Kp 9 peak, not the quiet tail.
+  EXPECT_GT(share[3], 0.75);
+}
+
+TEST(KpDose, QuietSamplesContributeNothing) {
+  // Kp at or below quiet_kp has zero intensity: the share is flat across
+  // the quiet prefix and only rises once the storm threshold is crossed.
+  const std::vector<double> hours = {0.0, 3.0, 6.0, 9.0};
+  const std::vector<double> kp = {2.0, 4.0, 9.0, 2.0};
+  const std::vector<double> share = dose_share_from_kp(hours, kp);
+  EXPECT_EQ(share[0], 0.0);
+  EXPECT_EQ(share[1], 0.0);  // both endpoints of [0,3] are quiet
+  EXPECT_GT(share[2], 0.0);
+}
+
+TEST(KpDose, RejectsBadInputs) {
+  const std::vector<double> hours = {0.0, 3.0, 6.0};
+  const std::vector<double> kp = {5.0, 9.0, 5.0};
+
+  const auto expect_error = [](auto&& fn, util::ErrorCode code,
+                               const std::string& field) {
+    try {
+      fn();
+      ADD_FAILURE() << "expected util::Error, field " << field;
+    } catch (const util::Error& e) {
+      EXPECT_EQ(e.code(), code);
+      EXPECT_EQ(e.context().field, field);
+    }
+  };
+
+  KpDoseParams bad_quiet;
+  bad_quiet.quiet_kp = 9.0;
+  expect_error([&] { dose_share_from_kp(hours, kp, bad_quiet); },
+               util::ErrorCode::kInvalidArgument, "quiet_kp");
+  bad_quiet.quiet_kp = -1.0;
+  expect_error([&] { dose_share_from_kp(hours, kp, bad_quiet); },
+               util::ErrorCode::kInvalidArgument, "quiet_kp");
+
+  KpDoseParams bad_exponent;
+  bad_exponent.exponent = 0.0;
+  expect_error([&] { dose_share_from_kp(hours, kp, bad_exponent); },
+               util::ErrorCode::kInvalidArgument, "exponent");
+
+  const std::vector<double> short_kp = {5.0, 9.0};
+  EXPECT_THROW(dose_share_from_kp(hours, short_kp, {}), util::Error);
+
+  const std::vector<double> one_hour = {0.0};
+  const std::vector<double> one_kp = {9.0};
+  EXPECT_THROW(dose_share_from_kp(one_hour, one_kp, {}), util::Error);
+
+  const std::vector<double> backwards = {0.0, 3.0, 2.0};
+  expect_error([&] { dose_share_from_kp(backwards, kp, {}); },
+               util::ErrorCode::kInvalidData, "hours");
+
+  const std::vector<double> out_of_range = {5.0, 9.5, 5.0};
+  expect_error([&] { dose_share_from_kp(hours, out_of_range, {}); },
+               util::ErrorCode::kInvalidData, "kp");
+
+  // All-quiet series: nothing to normalize against.
+  const std::vector<double> calm = {1.0, 2.0, 1.0};
+  expect_error([&] { dose_share_from_kp(hours, calm, {}); },
+               util::ErrorCode::kInvalidData, "kp");
 }
 
 }  // namespace

@@ -145,6 +145,99 @@ TEST_F(RepairTest, Validation) {
   EXPECT_THROW(t.restoration_curve(0.0), std::invalid_argument);
 }
 
+// The allocation-free trial-loop forms must replay the one-shot APIs'
+// exact draw sequences and schedules — sim::TimelineEngine leans on this
+// parity for its determinism contract.
+TEST_F(RepairTest, FaultSamplerMatchesSampleFaultCounts) {
+  const sim::FailureSimulator simulator(net_, {});
+  const gic::UniformFailureModel model(0.35);
+  const FaultSampler sampler(simulator,
+                             simulator.death_probability_table(model));
+  const std::vector<std::vector<bool>> dead_sets = {
+      {true, false, true}, {true, true, true}, {false, false, false}};
+  for (const std::vector<bool>& dead : dead_sets) {
+    util::Rng one_shot_rng(97);
+    const auto expected =
+        sample_fault_counts(simulator, model, dead, one_shot_rng);
+    std::vector<std::uint8_t> dead_u8(dead.size());
+    for (std::size_t c = 0; c < dead.size(); ++c) dead_u8[c] = dead[c];
+    std::vector<std::uint32_t> faults(dead.size(), 777);
+    util::Rng loop_rng(97);
+    sampler.sample(dead_u8, loop_rng, faults);
+    ASSERT_EQ(expected.size(), faults.size());
+    for (std::size_t c = 0; c < faults.size(); ++c) {
+      EXPECT_EQ(faults[c], expected[c]) << "cable " << c;
+    }
+    // Identical rng consumption: the next draw from both streams agrees.
+    EXPECT_EQ(one_shot_rng.uniform(), loop_rng.uniform());
+  }
+}
+
+TEST_F(RepairTest, RepairSchedulerMatchesScheduleRepairs) {
+  RepairFleetParams fleets[3];
+  fleets[1].cable_ships = 1;
+  fleets[2].cable_ships = 2;
+  fleets[2].land_crews = 1;
+  const std::vector<std::vector<bool>> dead_sets = {
+      {true, true, true}, {true, false, true}, {false, true, false}};
+  const std::vector<std::size_t> faults = {2, 3, 1};
+  for (const RepairFleetParams& fleet : fleets) {
+    const RepairScheduler scheduler(net_, fleet);
+    RepairScheduler::Scratch scratch;
+    for (const std::vector<bool>& dead : dead_sets) {
+      const RecoveryTimeline expected =
+          schedule_repairs(net_, dead, faults, fleet);
+      std::vector<std::uint8_t> dead_u8(dead.size());
+      std::vector<std::uint32_t> faults_u32(dead.size());
+      for (std::size_t c = 0; c < dead.size(); ++c) {
+        dead_u8[c] = dead[c];
+        faults_u32[c] = static_cast<std::uint32_t>(faults[c]);
+      }
+      std::vector<double> restore(dead.size(), -1.0);
+      scheduler.schedule(dead_u8, faults_u32, scratch, restore);
+      for (std::size_t c = 0; c < restore.size(); ++c) {
+        EXPECT_EQ(restore[c], expected.restore_day[c])
+            << "cable " << c << " ships " << fleet.cable_ships;
+      }
+    }
+  }
+}
+
+TEST(RepairFullScale, SchedulerParityOnFullNetwork) {
+  // Bit-parity at scale: a storm-sized dead set over the full generated
+  // network, fault counts drawn through both paths, completion days
+  // compared exactly.
+  const auto net = datasets::make_submarine_network({});
+  const sim::FailureSimulator simulator(net, {});
+  const auto s1 = gic::LatitudeBandFailureModel::s1();
+  util::Rng rng(77);
+  const auto dead = simulator.sample_cable_failures(s1, rng);
+
+  util::Rng fault_rng_a(5);
+  const auto faults = sample_fault_counts(simulator, s1, dead, fault_rng_a);
+  const FaultSampler sampler(simulator, simulator.death_probability_table(s1));
+  std::vector<std::uint8_t> dead_u8(dead.size());
+  for (std::size_t c = 0; c < dead.size(); ++c) dead_u8[c] = dead[c];
+  std::vector<std::uint32_t> faults_u32(dead.size());
+  util::Rng fault_rng_b(5);
+  sampler.sample(dead_u8, fault_rng_b, faults_u32);
+  std::size_t dead_count = 0;
+  for (std::size_t c = 0; c < dead.size(); ++c) {
+    EXPECT_EQ(faults_u32[c], faults[c]) << "cable " << c;
+    dead_count += dead[c] ? 1 : 0;
+  }
+  ASSERT_GT(dead_count, 50u);
+
+  const RecoveryTimeline expected = schedule_repairs(net, dead, faults, {});
+  const RepairScheduler scheduler(net, {});
+  RepairScheduler::Scratch scratch;
+  std::vector<double> restore(dead.size());
+  scheduler.schedule(dead_u8, faults_u32, scratch, restore);
+  for (std::size_t c = 0; c < restore.size(); ++c) {
+    EXPECT_EQ(restore[c], expected.restore_day[c]) << "cable " << c;
+  }
+}
+
 TEST(RepairFullScale, StormRecoveryTakesMonths) {
   // §3.2.2's punchline: the global fleet is sized for isolated faults, so
   // a storm that kills a third of all submarine cables queues repairs for

@@ -474,6 +474,83 @@ TEST(SampledNodeDemandsValidation, RejectsBadInput) {
   }
 }
 
+// Regression pin for the documented assign_capacity_aware tie caveat: with
+// several *equal-length* shortest paths, the engine commits the whole
+// demand to one of them (whichever the reused SSSP tree charged) instead
+// of splitting — deterministically — and later demands spill onto the
+// other path only once the first fills up.
+TEST(CapacityAwareTies, EqualLengthDiamondPinsOnePathThenSpills) {
+  topo::InfrastructureNetwork net("diamond");
+  const auto s = net.add_node(
+      {"s", {0.0, 0.0}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto a = net.add_node(
+      {"a", {5.0, 5.0}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto b = net.add_node(
+      {"b", {-5.0, 5.0}, "US", topo::NodeKind::kLandingPoint, true});
+  const auto t = net.add_node(
+      {"t", {0.0, 10.0}, "GB", topo::NodeKind::kLandingPoint, true});
+  const auto add = [&](const char* name, topo::NodeId u, topo::NodeId v) {
+    topo::Cable c;
+    c.name = name;
+    c.segments = {{u, v, 500.0}};
+    return net.add_cable(std::move(c));
+  };
+  const auto sa = add("s-a", s, a);
+  const auto at = add("a-t", a, t);
+  const auto sb = add("s-b", s, b);
+  const auto bt = add("b-t", b, t);
+  const std::vector<bool> intact(net.cable_count(), false);
+
+  // All four cables share one capacity (same kind, same length).
+  const double cap =
+      TrafficEngine(net, {{s, t, 1.0}}).assign_baseline().loads[sa]
+          .capacity_gbps;
+  ASSERT_GT(cap, 0.0);
+
+  // One fitting demand: exactly ONE of the two equal-length paths carries
+  // the whole volume, the other stays empty.
+  const TrafficEngine engine(net, {{s, t, 100.0}});
+  const AssignmentResult one = engine.assign_capacity_aware(intact);
+  EXPECT_DOUBLE_EQ(one.delivered_gbps, 100.0);
+  EXPECT_EQ(one.undeliverable_gbps, 0.0);
+  const bool via_a =
+      one.loads[sa].load_gbps > 0.0 && one.loads[at].load_gbps > 0.0;
+  const bool via_b =
+      one.loads[sb].load_gbps > 0.0 && one.loads[bt].load_gbps > 0.0;
+  EXPECT_NE(via_a, via_b);  // one path, never a split
+  const topo::CableId first = via_a ? sa : sb;
+  const topo::CableId second = via_a ? at : bt;
+  EXPECT_DOUBLE_EQ(one.loads[first].load_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(one.loads[second].load_gbps, 100.0);
+  EXPECT_EQ(one.loads[via_a ? sb : sa].load_gbps, 0.0);
+  EXPECT_EQ(one.loads[via_a ? bt : at].load_gbps, 0.0);
+
+  // Deterministic: the same call charges the same path bit for bit.
+  const AssignmentResult replay = engine.assign_capacity_aware(intact);
+  for (std::size_t c = 0; c < one.loads.size(); ++c) {
+    EXPECT_EQ(replay.loads[c].load_gbps, one.loads[c].load_gbps);
+  }
+
+  // Two path-filling demands: the second spills onto the other equal-length
+  // path once the first is full.
+  const TrafficEngine spill(net, {{s, t, cap}, {s, t, cap}});
+  const AssignmentResult two = spill.assign_capacity_aware(intact);
+  EXPECT_DOUBLE_EQ(two.delivered_gbps, 2.0 * cap);
+  EXPECT_EQ(two.undeliverable_gbps, 0.0);
+  for (const topo::CableId c : {sa, at, sb, bt}) {
+    EXPECT_DOUBLE_EQ(two.loads[c].load_gbps, cap);
+  }
+  EXPECT_DOUBLE_EQ(two.max_utilization, 1.0);
+  EXPECT_EQ(two.overloaded_cables, 0u);
+
+  // A third demand finds both paths full and is blocked, not overloaded.
+  const TrafficEngine jammed(net, {{s, t, cap}, {s, t, cap}, {s, t, cap}});
+  const AssignmentResult three = jammed.assign_capacity_aware(intact);
+  EXPECT_DOUBLE_EQ(three.delivered_gbps, 2.0 * cap);
+  EXPECT_DOUBLE_EQ(three.undeliverable_gbps, cap);
+  EXPECT_EQ(three.overloaded_cables, 0u);
+}
+
 TEST(RoutingDefault, GeneratedWorldBaselineMostlyDelivered) {
   const auto net = datasets::make_submarine_network({});
   const TrafficEngine engine(net, gravity_demands(net));

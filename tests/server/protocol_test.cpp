@@ -254,6 +254,153 @@ TEST(ServeProtocol, EngineAndNonScenarioFieldsDoNotSplitTheCacheKey) {
   EXPECT_EQ(cache_key(s1_a), cache_key(s1_b));
 }
 
+TEST(ServeProtocol, ParsesTrafficAndTimelineFields) {
+  // Defaults first: traffic off, zero sampled pairs, the documented
+  // timeline axis defaults.
+  const ScenarioRequest defaults = parse("{}");
+  EXPECT_FALSE(defaults.traffic);
+  EXPECT_EQ(defaults.demand_pairs, 0u);
+  EXPECT_DOUBLE_EQ(defaults.timeline_step_hours, 6.0);
+  EXPECT_EQ(defaults.repair_steps, 24u);
+  EXPECT_DOUBLE_EQ(defaults.repair_step_days, 15.0);
+  EXPECT_EQ(defaults.ships, 60u);
+  EXPECT_DOUBLE_EQ(defaults.partition_threshold_pct, 50.0);
+
+  const ScenarioRequest req = parse(
+      R"({"cmd":"timeline","traffic":1,"demand_pairs":500,"step_hours":3,)"
+      R"("repair_steps":12,"repair_step_days":10,"ships":30,)"
+      R"("partition_threshold":40})");
+  EXPECT_EQ(req.kind, RequestKind::kTimeline);
+  EXPECT_TRUE(req.traffic);
+  EXPECT_EQ(req.demand_pairs, 500u);
+  EXPECT_DOUBLE_EQ(req.timeline_step_hours, 3.0);
+  EXPECT_EQ(req.repair_steps, 12u);
+  EXPECT_DOUBLE_EQ(req.repair_step_days, 10.0);
+  EXPECT_EQ(req.ships, 30u);
+  EXPECT_DOUBLE_EQ(req.partition_threshold_pct, 40.0);
+}
+
+TEST(ServeProtocol, RejectsBadTrafficAndTimelineFields) {
+  expect_rejected(R"({"traffic":2})", util::ErrorCode::kInvalidArgument,
+                  "traffic");
+  expect_rejected(R"({"traffic":0.5})", util::ErrorCode::kInvalidArgument,
+                  "traffic");
+  expect_rejected(R"({"demand_pairs":-1})",
+                  util::ErrorCode::kInvalidArgument, "demand_pairs");
+  expect_rejected(R"({"demand_pairs":10000001})",
+                  util::ErrorCode::kInvalidArgument, "demand_pairs");
+  expect_rejected(R"({"step_hours":0})", util::ErrorCode::kInvalidArgument,
+                  "step_hours");
+  expect_rejected(R"({"step_hours":73})", util::ErrorCode::kInvalidArgument,
+                  "step_hours");
+  expect_rejected(R"({"repair_steps":0})",
+                  util::ErrorCode::kInvalidArgument, "repair_steps");
+  expect_rejected(R"({"repair_steps":4097})",
+                  util::ErrorCode::kInvalidArgument, "repair_steps");
+  expect_rejected(R"({"repair_steps":2.5})",
+                  util::ErrorCode::kInvalidArgument, "repair_steps");
+  expect_rejected(R"({"repair_step_days":0})",
+                  util::ErrorCode::kInvalidArgument, "repair_step_days");
+  expect_rejected(R"({"repair_step_days":366})",
+                  util::ErrorCode::kInvalidArgument, "repair_step_days");
+  expect_rejected(R"({"ships":0})", util::ErrorCode::kInvalidArgument,
+                  "ships");
+  expect_rejected(R"({"ships":100001})", util::ErrorCode::kInvalidArgument,
+                  "ships");
+  expect_rejected(R"({"partition_threshold":-1})",
+                  util::ErrorCode::kInvalidArgument, "partition_threshold");
+  expect_rejected(R"({"partition_threshold":101})",
+                  util::ErrorCode::kInvalidArgument, "partition_threshold");
+}
+
+TEST(ServeProtocol, TrafficFieldsSeparateBothKeys) {
+  // traffic/demand_pairs shape the response body of every command, so they
+  // are folded unconditionally — cache key AND engine key must split.
+  ScenarioRequest with_traffic = base_request();
+  with_traffic.traffic = true;
+  EXPECT_NE(cache_key(base_request()), cache_key(with_traffic));
+  EXPECT_NE(engine_key(base_request()), engine_key(with_traffic));
+
+  ScenarioRequest sampled = with_traffic;
+  sampled.demand_pairs = 500;
+  EXPECT_NE(cache_key(with_traffic), cache_key(sampled));
+  EXPECT_NE(engine_key(with_traffic), engine_key(sampled));
+
+  ScenarioRequest more = sampled;
+  more.demand_pairs = 501;
+  EXPECT_NE(cache_key(sampled), cache_key(more));
+}
+
+TEST(ServeProtocol, TimelineFieldsSeparateKeys) {
+  ScenarioRequest base = base_request();
+  base.kind = RequestKind::kTimeline;
+
+  // Same parameters, different command: never the same entry.
+  EXPECT_NE(cache_key(base), cache_key(base_request()));
+  EXPECT_NE(engine_key(base), engine_key(base_request()));
+
+  // Every timeline-axis field must split both the cache key and the
+  // resident-engine pool key (the pool is keyed without trials/seed, so a
+  // collision would serve a wrong axis).
+  std::vector<std::string> cache_keys = {cache_key(base)};
+  std::vector<std::string> engine_keys = {engine_key(base)};
+  const auto push = [&](const ScenarioRequest& r) {
+    cache_keys.push_back(cache_key(r));
+    engine_keys.push_back(engine_key(r));
+  };
+  {
+    ScenarioRequest r = base;
+    r.timeline_step_hours = 3.0;
+    push(r);
+  }
+  {
+    ScenarioRequest r = base;
+    r.repair_steps = 12;
+    push(r);
+  }
+  {
+    ScenarioRequest r = base;
+    r.repair_step_days = 10.0;
+    push(r);
+  }
+  {
+    ScenarioRequest r = base;
+    r.ships = 30;
+    push(r);
+  }
+  {
+    ScenarioRequest r = base;
+    r.partition_threshold_pct = 40.0;
+    push(r);
+  }
+  for (std::size_t a = 0; a < cache_keys.size(); ++a) {
+    for (std::size_t b = a + 1; b < cache_keys.size(); ++b) {
+      EXPECT_NE(cache_keys[a], cache_keys[b])
+          << "cache variants " << a << " and " << b;
+      EXPECT_NE(engine_keys[a], engine_keys[b])
+          << "engine variants " << a << " and " << b;
+    }
+  }
+
+  // Trials/seed still reuse the timeline engine bundle.
+  ScenarioRequest rerun = base;
+  rerun.trials = 4096;
+  rerun.seed = 99;
+  EXPECT_EQ(engine_key(base), engine_key(rerun));
+  EXPECT_NE(cache_key(base), cache_key(rerun));
+}
+
+TEST(ServeProtocol, TimelineFieldsAreInertOutsideTimelineRequests) {
+  // Kind-gated folding: a report ignores the timeline axis, so mutating it
+  // must not split report cache entries.
+  ScenarioRequest tweaked = base_request();
+  tweaked.timeline_step_hours = 3.0;
+  tweaked.repair_steps = 12;
+  tweaked.ships = 30;
+  EXPECT_EQ(cache_key(base_request()), cache_key(tweaked));
+  EXPECT_EQ(engine_key(base_request()), engine_key(tweaked));
+}
+
 TEST(ServeProtocol, EngineKeyDropsTrialBudgetButKeepsEngine) {
   // Same scenario with a different trial budget or seed reuses the
   // resident engine bundle...

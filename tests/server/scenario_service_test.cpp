@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,16 +23,22 @@
 
 #include "analysis/country.h"
 #include "analysis/dns_resolution.h"
+#include "analysis/outage.h"
 #include "datasets/datacenters.h"
 #include "datasets/land.h"
 #include "datasets/submarine.h"
 #include "gic/failure_model.h"
+#include "gic/timeline.h"
+#include "routing/assignment.h"
+#include "routing/demand.h"
+#include "routing/traffic_observer.h"
 #include "server/request.h"
 #include "server/serve_loop.h"
 #include "services/availability.h"
 #include "sim/monte_carlo.h"
 #include "sim/pipeline.h"
 #include "sim/sweep.h"
+#include "sim/timeline_engine.h"
 
 namespace solarnet::server {
 namespace {
@@ -112,10 +119,28 @@ std::string direct_report_body(const ScenarioRequest& req,
   pipeline.add_observer(facebook);
   pipeline.add_observer(dns);
   pipeline.add_observer(isolation);
+  // Traffic demands mirror ReportEngine: sampled matrices use the fixed
+  // kServedDemandSeed so pooled engines serve any (trials, seed).
+  std::unique_ptr<routing::TrafficEngine> traffic_engine;
+  std::unique_ptr<routing::TrafficObserver> traffic_observer;
+  if (req.traffic) {
+    std::vector<routing::TrafficDemand> demands =
+        req.demand_pairs == 0
+            ? routing::gravity_demands(submarine())
+            : routing::sampled_node_demands(submarine(), req.demand_pairs,
+                                            400.0, kServedDemandSeed);
+    traffic_engine =
+        std::make_unique<routing::TrafficEngine>(submarine(),
+                                                 std::move(demands));
+    traffic_observer =
+        std::make_unique<routing::TrafficObserver>(*traffic_engine);
+    pipeline.add_observer(*traffic_observer);
+  }
   pipeline.run(req.trials, req.seed);
-  return serialize_report_body(req, conn.result(), google.result(),
-                               facebook.result(), dns.result(),
-                               isolation.results());
+  return serialize_report_body(
+      req, conn.result(), google.result(), facebook.result(), dns.result(),
+      isolation.results(),
+      traffic_observer ? &traffic_observer->result() : nullptr);
 }
 
 TEST(ScenarioService, ServedReportMatchesDirectBytes) {
@@ -327,6 +352,109 @@ TEST(ScenarioService, UnixSocketFrontEndServesEndToEnd) {
   RequestScratch scratch;
   ScenarioService direct(context());
   EXPECT_EQ(lines[0], *direct.handle_line(kReportLine, scratch));
+}
+
+TEST(ScenarioService, ServedTrafficReportMatchesDirectBytes) {
+  // The traffic knob routes the served report through a TrafficEngine +
+  // TrafficObserver pair; both the gravity matrix (demand_pairs omitted)
+  // and a sampled matrix must serve bytes identical to a direct run.
+  ScenarioService service(context());
+  RequestScratch scratch;
+  const std::string gravity_line =
+      R"({"cmd":"report","model":"uniform","p":0.3,"trials":8,"seed":3,)"
+      R"("traffic":1})";
+  const Body gravity = service.handle_line(gravity_line, scratch);
+  ASSERT_NE(gravity, nullptr);
+  EXPECT_NE(gravity->find("\"traffic\":{"), std::string::npos) << *gravity;
+  EXPECT_EQ(*gravity, direct_report_body(parse(gravity_line),
+                                         service.options().countries));
+
+  const std::string sampled_line =
+      R"({"cmd":"report","model":"uniform","p":0.3,"trials":8,"seed":3,)"
+      R"("traffic":1,"demand_pairs":64})";
+  const Body sampled = service.handle_line(sampled_line, scratch);
+  ASSERT_NE(sampled, nullptr);
+  EXPECT_NE(sampled->find("\"demand_pairs\":64"), std::string::npos)
+      << *sampled;
+  EXPECT_EQ(*sampled, direct_report_body(parse(sampled_line),
+                                         service.options().countries));
+
+  // Three distinct scenarios: plain, gravity-traffic, sampled-traffic.
+  const Body plain = service.handle_line(kReportLine, scratch);
+  EXPECT_EQ(service.stats().computed, 3u);
+  EXPECT_NE(*plain, *gravity);
+  EXPECT_NE(*gravity, *sampled);
+}
+
+std::string direct_timeline_body(const ScenarioRequest& req,
+                                 const std::vector<std::string>& countries) {
+  // Mirrors TimelineEngineEntry + timeline_config_for: the default storm
+  // phase profile sampled on the requested step, repair grid and fleet
+  // from the request, connectivity + per-country outage observers.
+  const auto model = req.model == "uniform" ? gic::make_uniform(req.uniform_p)
+                     : req.model == "s2"    ? gic::make_s2()
+                                            : gic::make_s1();
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = req.spacing_km;
+  cfg.engine = req.engine;
+  const sim::FailureSimulator simulator(submarine(), cfg);
+  sim::TimelineConfig config = sim::TimelineConfig::from_profile(
+      gic::StormPhaseProfile{}, req.timeline_step_hours);
+  config.repair_steps = req.repair_steps;
+  config.repair_step_hours = req.repair_step_days * 24.0;
+  config.fleet.cable_ships = req.ships;
+  sim::TimelineEngine engine(simulator,
+                             simulator.death_probability_table(*model),
+                             config);
+  sim::TimelineConnectivityObserver conn(req.partition_threshold_pct);
+  analysis::CountryOutageObserver outage(submarine(), countries);
+  engine.add_observer(conn);
+  engine.add_observer(outage);
+  engine.run(req.trials, req.seed, 0);
+  return serialize_timeline_body(req, engine, conn.result(),
+                                 outage.results());
+}
+
+const char* kTimelineLine =
+    R"({"cmd":"timeline","model":"uniform","p":0.3,"trials":8,"seed":3,)"
+    R"("step_hours":12,"repair_steps":8,"repair_step_days":10,"ships":40,)"
+    R"("partition_threshold":50})";
+
+TEST(ScenarioService, ServedTimelineMatchesDirectBytes) {
+  ScenarioService service(context());
+  RequestScratch scratch;
+  const Body served = service.handle_line(kTimelineLine, scratch);
+  ASSERT_NE(served, nullptr);
+  EXPECT_NE(served->find("\"ok\":true"), std::string::npos) << *served;
+  EXPECT_NE(served->find("\"steps\":["), std::string::npos);
+  EXPECT_NE(served->find("\"partition\":{"), std::string::npos);
+  EXPECT_NE(served->find("\"outage\":["), std::string::npos);
+  EXPECT_EQ(*served, direct_timeline_body(parse(kTimelineLine),
+                                          service.options().countries));
+}
+
+TEST(ScenarioService, RepeatedTimelineRequestHitsCacheWithSharedBody) {
+  ScenarioService service(context());
+  RequestScratch scratch;
+  const Body first = service.handle_line(kTimelineLine, scratch);
+  const auto before = service.stats();
+  const Body second = service.handle_line(kTimelineLine, scratch);
+  const auto after = service.stats();
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+  EXPECT_EQ(after.computed, before.computed);
+  EXPECT_EQ(second, first);  // literally the same shared body
+
+  // A different seed reuses the pooled engine but is a distinct scenario.
+  const std::string reseeded =
+      R"({"cmd":"timeline","model":"uniform","p":0.3,"trials":8,"seed":9,)"
+      R"("step_hours":12,"repair_steps":8,"repair_step_days":10,"ships":40,)"
+      R"("partition_threshold":50})";
+  const Body other = service.handle_line(reseeded, scratch);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(service.stats().computed, after.computed + 1);
+  EXPECT_NE(*other, *first);
+  EXPECT_EQ(*other, direct_timeline_body(parse(reseeded),
+                                         service.options().countries));
 }
 
 TEST(ScenarioService, RejectsNullContext) {

@@ -18,18 +18,22 @@
 
 #include "analysis/connectivity.h"
 #include "analysis/country.h"
+#include "analysis/outage.h"
 #include "cli_args.h"
 #include "core/mitigation.h"
 #include "core/planner.h"
 #include "core/scenario.h"
+#include "core/shutdown.h"
 #include "core/world.h"
 #include "datasets/land.h"
 #include "datasets/loaders.h"
+#include "datasets/space_weather.h"
 #include "datasets/submarine.h"
 #include "gic/timeline.h"
 #include "recovery/repair.h"
 #include "server/scenario_service.h"
 #include "server/serve_loop.h"
+#include "sim/timeline_engine.h"
 #include "solar/cycle.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -85,8 +89,18 @@ commands:
                --cache-mb N (64)  --threads N (auto)
   mitigate   evaluate a defense package (§5)
                --cables N (2)  --lead-hours H (13)
-  timeline   time-resolved expected damage during the storm
-               --model s1|s2 (s1)  --step H (6)
+  timeline   Monte-Carlo storm playback: onset -> peak -> decay -> repair,
+             with time-to-partition and outage-hours per country
+               --donki FILE (replay a NOAA/DONKI-format JSON storm;
+                 default: the synthetic 72 h phase profile)
+               --quiet-kp K (5; Kp floor below which no dose accrues)
+               --s1 | --s2 | --uniform P (s1)  --step H (6)
+               --spacing KM (150)  --trials N (64)  --seed N (7)
+               --threads N (auto)  --repair-steps N (24)
+               --repair-step-days D (15)  --ships N (60)
+               --partition-threshold PCT (50)
+               --lead-hours H (off; gate failures through the §5.2
+                 shutdown plan's powered-off probabilities)
   export     dump generated datasets to CSV
                --dir DIR (solarnet_export)
   help       this message
@@ -378,23 +392,121 @@ int cmd_mitigate(const Args& args) {
   return 0;
 }
 
+// Monte-Carlo storm playback (onset -> peak -> decay -> repair) over the
+// shared incremental-connectivity core. The storm axis is either the
+// synthetic phase profile (--step) or a real storm replayed from a NOAA /
+// DONKI-format JSON file (--donki), whose Kp series becomes the
+// proportional-hazard dose via gic::dose_share_from_kp.
 int cmd_timeline(const Args& args) {
   const auto net = datasets::make_submarine_network({});
-  const sim::FailureSimulator simulator(net, {});
-  const auto model = args.get_or("model", "s1") == "s2"
-                         ? gic::LatitudeBandFailureModel::s2()
-                         : gic::LatitudeBandFailureModel::s1();
-  const double step = args.get_double_or("step", 6.0);
-  const gic::StormPhaseProfile profile;
-  const auto series =
-      gic::failure_time_series(simulator, model, profile, step);
-  util::TextTable t({"hour", "E[cables failed]", "% of final"});
-  for (const auto& pt : series) {
-    t.add_row({util::format_fixed(pt.hours, 0),
-               util::format_fixed(pt.expected_cables_failed, 1),
-               util::format_fixed(100.0 * pt.fraction_of_final, 1)});
+  sim::TrialConfig cfg;
+  cfg.repeater_spacing_km = args.get_double_or("spacing", 150.0);
+  cfg.threads = static_cast<std::size_t>(args.get_int_or("threads", 0));
+  const sim::FailureSimulator simulator(net, cfg);
+  const auto model = model_from_args(args);
+
+  sim::TimelineConfig config;
+  if (args.has("donki")) {
+    const auto storm =
+        datasets::load_space_weather_json(args.get_or("donki", ""));
+    std::vector<double> hours;
+    std::vector<double> kp;
+    for (const datasets::KpSample& s : storm.kp) {
+      hours.push_back(s.hours);
+      kp.push_back(s.kp);
+    }
+    gic::KpDoseParams dose;
+    dose.quiet_kp = args.get_double_or("quiet-kp", 5.0);
+    std::vector<double> share = gic::dose_share_from_kp(hours, kp, dose);
+    config = sim::TimelineConfig::from_dose_schedule(std::move(hours),
+                                                     std::move(share));
+    std::cout << "storm: " << storm.source << " starting " << storm.start_time
+              << ", " << storm.kp.size() << " Kp samples over "
+              << util::format_fixed(storm.duration_hours(), 0) << " h\n";
+    for (const datasets::SpaceWeatherEvent& event : storm.events) {
+      std::cout << "  " << datasets::to_string(event.kind) << " " << event.id
+                << " at " << util::format_fixed(event.hours, 1) << " h";
+      if (!event.detail.empty()) std::cout << " (" << event.detail << ")";
+      std::cout << "\n";
+    }
+  } else {
+    config = sim::TimelineConfig::from_profile(
+        gic::StormPhaseProfile{}, args.get_double_or("step", 6.0));
+  }
+  config.repair_steps =
+      static_cast<std::size_t>(args.get_int_or("repair-steps", 24));
+  config.repair_step_hours =
+      args.get_double_or("repair-step-days", 15.0) * 24.0;
+  config.fleet.cable_ships =
+      static_cast<std::size_t>(args.get_int_or("ships", 60));
+
+  // Optional lead-time shutdown gating: the spliced table prices shut-down
+  // cables at the powered-off probability for the whole playback.
+  sim::DeathProbabilityTable table =
+      simulator.death_probability_table(*model);
+  if (args.has("lead-hours")) {
+    core::ShutdownPolicy policy;
+    policy.lead_time_hours = args.get_double_or("lead-hours", 13.0);
+    core::ShutdownPlan plan = core::plan_shutdown(simulator, *model, policy);
+    std::cout << "shutdown plan: " << plan.cables.size()
+              << " cables powered off within "
+              << util::format_fixed(policy.lead_time_hours, 0)
+              << " h of warning\n";
+    table = std::move(plan.table);
+  }
+
+  sim::TimelineEngine engine(simulator, std::move(table), std::move(config));
+  sim::TimelineConnectivityObserver connectivity(
+      args.get_double_or("partition-threshold", 50.0));
+  analysis::CountryOutageObserver outage(
+      net, {"US", "GB", "CN", "IN", "SG", "ZA", "AU", "NZ", "BR"});
+  engine.add_observer(connectivity);
+  engine.add_observer(outage);
+
+  const std::size_t trials = args.get_trials_or(64);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  engine.run(trials, seed);
+
+  const sim::TimelineConnectivityResult& conn = connectivity.result();
+  std::cout << "playback: " << engine.storm_step_count() << " storm steps + "
+            << engine.repair_step_count() << " repair steps, " << trials
+            << " trials (model " << model->name() << ")\n";
+  util::TextTable t({"hour", "cables dead %", "nodes unreachable %",
+                     "largest component %"});
+  for (const sim::TimelineStepStats& step : conn.steps) {
+    t.add_row({util::format_fixed(step.hour, 0),
+               util::format_fixed(step.cables_dead_pct.mean(), 1),
+               util::format_fixed(step.nodes_unreachable_pct.mean(), 1),
+               util::format_fixed(step.largest_component_pct.mean(), 1)});
   }
   t.print(std::cout);
+
+  std::cout << "partition (largest component < "
+            << util::format_fixed(conn.partition_threshold_pct, 0)
+            << "% of its pre-storm "
+            << util::format_fixed(engine.baseline_largest_pct(), 1)
+            << "%): " << conn.partitioned_trials << "/" << conn.trials
+            << " trials";
+  if (!conn.time_to_partition_hours.empty()) {
+    std::cout << ", mean time to partition "
+              << util::format_fixed(conn.time_to_partition_hours.mean(), 1)
+              << " h";
+  }
+  std::cout << "\npeak nodes unreachable: "
+            << util::format_fixed(conn.peak_nodes_unreachable_pct.mean(), 1)
+            << "% mean, "
+            << util::format_fixed(conn.peak_nodes_unreachable_pct.max(), 1)
+            << "% worst trial\n";
+
+  util::TextTable ot({"country", "intl cables", "cutoff trials",
+                      "mean outage h", "max outage h"});
+  for (const analysis::CountryOutageResult& r : outage.results()) {
+    ot.add_row({r.country, util::format_fixed(r.international_cable_count, 0),
+                util::format_fixed(r.cutoff_trials, 0),
+                util::format_fixed(r.outage_hours.mean(), 1),
+                util::format_fixed(r.outage_hours.max(), 1)});
+  }
+  ot.print(std::cout);
   return 0;
 }
 
